@@ -1,0 +1,15 @@
+//! Example applications built on the vsync toolkit.
+//!
+//! * [`twenty`] — the distributed *twenty questions* service of paper Section 5, including
+//!   every development step the paper walks through: the replicated database, vertical and
+//!   horizontal query decomposition by member rank, null replies from non-respondents and
+//!   standbys, dynamic updates through GBCAST, state transfer to joiners, logging for
+//!   total-failure recovery, and dynamic reconfiguration through the configuration tool.
+//! * [`factory`] — the factory-automation scenario from the paper's introduction: an
+//!   emulsion-deposition service using coordinator–cohort fail-over, a transport service
+//!   replicating station status, and a shared-resource semaphore.
+
+pub mod factory;
+pub mod twenty;
+
+pub use twenty::{Answer, Database, Op, Query, TwentyQuestions};

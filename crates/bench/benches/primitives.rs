@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the multicast primitives (the wall-clock cost of simulating the
+//! protocols; the *virtual-time* results the paper reports come from the `repro` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vsync_bench::BenchCluster;
+use vsync_core::{LatencyProfile, ProtocolKind};
+
+fn bench_primitive_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitive_one_reply_call");
+    group.sample_size(10);
+    for (name, proto) in [
+        ("cbcast", ProtocolKind::Cbcast),
+        ("abcast", ProtocolKind::Abcast),
+        ("gbcast", ProtocolKind::Gbcast),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &proto, |b, proto| {
+            b.iter_batched(
+                || BenchCluster::new(LatencyProfile::Modern, 3, 1),
+                |mut cluster| cluster.latency_one_reply(*proto, 128),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_async_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_cbcast_burst");
+    group.sample_size(10);
+    for size in [100usize, 4_096] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, size| {
+            b.iter_batched(
+                || BenchCluster::new(LatencyProfile::Modern, 3, 1),
+                |mut cluster| cluster.async_cbcast_throughput(*size, 8),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitive_latency, bench_async_throughput);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the protocol building blocks used by every tool: the message
+//! codec and the CBCAST / ABCAST ordering state machines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vsync_msg::{codec, Message};
+use vsync_proto::abcast::AbcastState;
+use vsync_proto::cbcast::{CbcastState, ReadyCb};
+use vsync_util::{ProcessId, SiteId, VectorClock};
+use vsync_net::MsgId;
+
+fn bench_codec(c: &mut Criterion) {
+    let msg = Message::new()
+        .with("price", 9000u64)
+        .with("color", "red")
+        .with("blob", vec![0u8; 1024])
+        .with("members", vec![vsync_util::Address::Group(vsync_util::GroupId(7)); 4]);
+    let encoded = codec::encode(&msg);
+    c.bench_function("codec_encode_1k", |b| b.iter(|| codec::encode(&msg)));
+    c.bench_function("codec_decode_1k", |b| b.iter(|| codec::decode(&encoded).unwrap()));
+}
+
+fn bench_cbcast_delivery(c: &mut Criterion) {
+    c.bench_function("cbcast_receive_drain_100", |b| {
+        b.iter(|| {
+            let mut cb = CbcastState::new(4);
+            for i in 1..=100u64 {
+                let ready = cb.receive(ReadyCb {
+                    id: MsgId::new(SiteId(1), i),
+                    sender: ProcessId::new(SiteId(1), 1),
+                    sender_rank: 1,
+                    vt: VectorClock::from_entries(vec![0, i, 0, 0]),
+                    payload: Message::with_body(i),
+                });
+                assert_eq!(ready.len(), 1);
+            }
+            cb
+        })
+    });
+}
+
+fn bench_abcast_ordering(c: &mut Criterion) {
+    c.bench_function("abcast_order_drain_100", |b| {
+        b.iter(|| {
+            let mut ab = AbcastState::new();
+            for i in 1..=100u64 {
+                let id = MsgId::new(SiteId(1), i);
+                let p = ab.on_data(id, ProcessId::new(SiteId(1), 1), Message::with_body(i));
+                ab.decide(id, p, SiteId(1));
+            }
+            let delivered = ab.drain();
+            assert_eq!(delivered.len(), 100);
+            delivered
+        })
+    });
+}
+
+criterion_group!(benches, bench_codec, bench_cbcast_delivery, bench_abcast_ordering);
+criterion_main!(benches);

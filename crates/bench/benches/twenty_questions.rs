@@ -1,0 +1,47 @@
+//! Criterion benchmark of the full twenty-questions request path (Section 5 workload) on the
+//! fast profile: deploy once per batch, then measure query round-trips.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vsync_apps::twenty::{Database, Op, Query, TwentyQuestions};
+use vsync_core::{Duration, IsisSystem, LatencyProfile, SiteId};
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("twenty_questions");
+    group.sample_size(10);
+    group.bench_function("vertical_query_roundtrip", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = IsisSystem::new(4, LatencyProfile::Modern);
+                let sites: Vec<SiteId> = (0..3).map(SiteId).collect();
+                let svc = TwentyQuestions::deploy(&mut sys, "twenty", &sites, 3, Database::demo());
+                let client = sys.spawn(SiteId(3), |_| {});
+                (sys, svc, client)
+            },
+            |(mut sys, svc, client)| {
+                let q = Query::vertical("price", Op::Gt, "9000");
+                svc.query(&mut sys, client, &q, Duration::from_secs(5))
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("horizontal_query_roundtrip", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = IsisSystem::new(4, LatencyProfile::Modern);
+                let sites: Vec<SiteId> = (0..3).map(SiteId).collect();
+                let svc = TwentyQuestions::deploy(&mut sys, "twenty", &sites, 3, Database::demo());
+                let client = sys.spawn(SiteId(3), |_| {});
+                (sys, svc, client)
+            },
+            |(mut sys, svc, client)| {
+                let q = Query::horizontal("price", Op::Gt, "9000");
+                svc.query(&mut sys, client, &q, Duration::from_secs(5))
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

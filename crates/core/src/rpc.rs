@@ -1,0 +1,349 @@
+//! Group RPC reply collection.
+//!
+//! "The caller indicates how many responses are desired; this will normally be 0, 1, or ALL,
+//! although any limit could be specified. ...  While collecting responses, the system waits
+//! until it has the number desired, or until all the remaining destinations have failed.
+//! ...  Superfluous and duplicate replies are discarded silently.  It is also possible for a
+//! destination to send a null reply, indicating that it does not intend to send a normal
+//! reply" (paper Section 3.2).
+
+use std::collections::BTreeSet;
+
+use vsync_msg::Message;
+use vsync_util::{ProcessId, SimTime, SiteId, VsError};
+
+/// How many replies the caller wants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplyWanted {
+    /// Asynchronous multicast: the caller continues immediately and no replies are collected.
+    None,
+    /// Wait for a single reply.
+    One,
+    /// Wait for a specific number of replies.
+    Count(usize),
+    /// Wait for a reply from every destination that does not send a null reply.
+    All,
+}
+
+impl ReplyWanted {
+    /// The numeric target given the number of destinations awaited.
+    pub fn target(&self, destinations: usize) -> usize {
+        match self {
+            ReplyWanted::None => 0,
+            ReplyWanted::One => 1.min(destinations),
+            ReplyWanted::Count(n) => (*n).min(destinations),
+            ReplyWanted::All => destinations,
+        }
+    }
+}
+
+/// The result handed to the caller's continuation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RpcOutcome {
+    /// The non-null replies collected, in arrival order.
+    pub replies: Vec<Message>,
+    /// The processes that sent each reply (parallel to `replies`).
+    pub responders: Vec<ProcessId>,
+    /// Set when the collection ended without reaching the target (all remaining destinations
+    /// failed, or the deadline passed for an external caller).
+    pub error: Option<VsError>,
+}
+
+impl RpcOutcome {
+    /// True if the desired number of replies was collected.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// State of one in-progress reply collection.
+pub struct ReplyCollector {
+    /// The process that issued the call (its continuation runs when collection completes).
+    pub caller: ProcessId,
+    /// Session id carried by the request and echoed by replies.
+    pub session: u64,
+    /// Destinations that have not yet replied (null replies and failures remove entries).
+    awaiting: BTreeSet<ProcessId>,
+    /// Number of real replies wanted.
+    target: usize,
+    replies: Vec<Message>,
+    responders: Vec<ProcessId>,
+    responded: BTreeSet<ProcessId>,
+    /// Optional deadline (used for callers that are not members of the destination group and
+    /// therefore do not observe its view changes).
+    pub deadline: Option<SimTime>,
+    /// True when the destination membership was unknown at call time (external caller with no
+    /// cached view): collection then completes on reaching the target or on the deadline,
+    /// never on "awaiting set empty".
+    open_ended: bool,
+}
+
+/// What to do after feeding an event to a collector.
+#[derive(Debug, PartialEq)]
+pub enum CollectorStatus {
+    /// Keep waiting.
+    Pending,
+    /// Collection finished; invoke the continuation with this outcome.
+    Done(RpcOutcome),
+}
+
+impl ReplyCollector {
+    /// Creates a collector awaiting replies from `destinations`.
+    pub fn new(
+        caller: ProcessId,
+        session: u64,
+        destinations: Vec<ProcessId>,
+        wanted: ReplyWanted,
+        deadline: Option<SimTime>,
+    ) -> Self {
+        Self::new_with_mode(caller, session, destinations, wanted, deadline, false)
+    }
+
+    /// Creates a collector, optionally in open-ended mode (destination membership unknown).
+    pub fn new_with_mode(
+        caller: ProcessId,
+        session: u64,
+        destinations: Vec<ProcessId>,
+        wanted: ReplyWanted,
+        deadline: Option<SimTime>,
+        open_ended: bool,
+    ) -> Self {
+        let awaiting: BTreeSet<ProcessId> = destinations.into_iter().collect();
+        let target = if open_ended {
+            match wanted {
+                ReplyWanted::None => 0,
+                ReplyWanted::One => 1,
+                ReplyWanted::Count(n) => n,
+                ReplyWanted::All => usize::MAX,
+            }
+        } else {
+            wanted.target(awaiting.len())
+        };
+        ReplyCollector {
+            caller,
+            session,
+            awaiting,
+            target,
+            replies: Vec::new(),
+            responders: Vec::new(),
+            responded: BTreeSet::new(),
+            deadline,
+            open_ended,
+        }
+    }
+
+    /// Number of real replies still needed.
+    pub fn outstanding(&self) -> usize {
+        self.target.saturating_sub(self.replies.len())
+    }
+
+    /// Processes whose replies are still awaited.
+    pub fn awaiting(&self) -> Vec<ProcessId> {
+        self.awaiting.iter().copied().collect()
+    }
+
+    fn check(&mut self) -> CollectorStatus {
+        if self.replies.len() >= self.target {
+            return CollectorStatus::Done(RpcOutcome {
+                replies: std::mem::take(&mut self.replies),
+                responders: std::mem::take(&mut self.responders),
+                error: None,
+            });
+        }
+        if self.awaiting.is_empty() && !self.open_ended {
+            // Everyone has either answered (possibly with a null reply) or failed.  If at
+            // least one real reply arrived the collection simply completes short (the quorum
+            // pattern of Section 3.3); if nothing arrived the caller gets an error code.
+            let error = if self.replies.is_empty() && self.target > 0 {
+                Some(VsError::AllDestinationsFailed {
+                    wanted: self.target,
+                    got: 0,
+                })
+            } else {
+                None
+            };
+            return CollectorStatus::Done(RpcOutcome {
+                error,
+                replies: std::mem::take(&mut self.replies),
+                responders: std::mem::take(&mut self.responders),
+            });
+        }
+        CollectorStatus::Pending
+    }
+
+    /// Feeds a reply (normal or null) from `from`.
+    pub fn on_reply(&mut self, from: ProcessId, msg: Message) -> CollectorStatus {
+        if self.responded.contains(&from) {
+            // Duplicate replies are discarded silently.
+            return self.check();
+        }
+        self.responded.insert(from);
+        self.awaiting.remove(&from);
+        if !msg.is_null_reply() {
+            self.replies.push(msg);
+            self.responders.push(from);
+        }
+        self.check()
+    }
+
+    /// Notes that a destination failed before replying.
+    pub fn on_failure(&mut self, failed: ProcessId) -> CollectorStatus {
+        self.awaiting.remove(&failed);
+        self.check()
+    }
+
+    /// Notes that every process at a site failed (site crash).
+    pub fn on_site_failure(&mut self, site: SiteId) -> CollectorStatus {
+        self.awaiting.retain(|p| p.site != site);
+        self.check()
+    }
+
+    /// Checks the deadline.
+    pub fn on_tick(&mut self, now: SimTime) -> CollectorStatus {
+        if let Some(d) = self.deadline {
+            if now >= d {
+                // Reaching the deadline with some replies in hand (an open-ended ALL call,
+                // for instance) is a normal completion; with none it is a timeout error.
+                let error = if self.replies.is_empty() && self.target > 0 {
+                    Some(VsError::Timeout(format!(
+                        "group RPC session {} (0 of {} replies)",
+                        self.session, self.target
+                    )))
+                } else {
+                    None
+                };
+                return CollectorStatus::Done(RpcOutcome {
+                    error,
+                    replies: std::mem::take(&mut self.replies),
+                    responders: std::mem::take(&mut self.responders),
+                });
+            }
+        }
+        self.check()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsync_util::SiteId;
+
+    fn p(site: u16, local: u32) -> ProcessId {
+        ProcessId::new(SiteId(site), local)
+    }
+
+    fn reply(body: u64) -> Message {
+        let mut m = Message::with_body(body);
+        m.mark_reply(false);
+        m
+    }
+
+    fn null_reply() -> Message {
+        let mut m = Message::new();
+        m.mark_reply(true);
+        m
+    }
+
+    #[test]
+    fn reply_wanted_targets() {
+        assert_eq!(ReplyWanted::None.target(5), 0);
+        assert_eq!(ReplyWanted::One.target(5), 1);
+        assert_eq!(ReplyWanted::One.target(0), 0);
+        assert_eq!(ReplyWanted::Count(3).target(5), 3);
+        assert_eq!(ReplyWanted::Count(9).target(5), 5);
+        assert_eq!(ReplyWanted::All.target(5), 5);
+    }
+
+    #[test]
+    fn collects_until_target() {
+        let dests = vec![p(0, 1), p(1, 1), p(2, 1)];
+        let mut c = ReplyCollector::new(p(3, 1), 1, dests, ReplyWanted::Count(2), None);
+        assert_eq!(c.on_reply(p(0, 1), reply(10)), CollectorStatus::Pending);
+        match c.on_reply(p(1, 1), reply(20)) {
+            CollectorStatus::Done(outcome) => {
+                assert!(outcome.is_ok());
+                assert_eq!(outcome.replies.len(), 2);
+                assert_eq!(outcome.responders, vec![p(0, 1), p(1, 1)]);
+            }
+            other => panic!("expected done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_replies_are_discarded() {
+        let mut c = ReplyCollector::new(p(3, 1), 1, vec![p(0, 1), p(1, 1)], ReplyWanted::All, None);
+        assert_eq!(c.on_reply(p(0, 1), reply(1)), CollectorStatus::Pending);
+        assert_eq!(c.on_reply(p(0, 1), reply(1)), CollectorStatus::Pending);
+        match c.on_reply(p(1, 1), reply(2)) {
+            CollectorStatus::Done(o) => assert_eq!(o.replies.len(), 2),
+            other => panic!("expected done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn null_replies_release_the_caller_from_waiting_for_standbys() {
+        // Caller wants ALL, but one destination is a standby that sends a null reply.
+        let mut c = ReplyCollector::new(p(3, 1), 1, vec![p(0, 1), p(1, 1)], ReplyWanted::All, None);
+        assert_eq!(c.on_reply(p(1, 1), null_reply()), CollectorStatus::Pending);
+        // Hmm: wanting ALL of 2 destinations but one was null; the real reply completes it
+        // because the null reply removed that destination from the awaited set and the target
+        // can never exceed what remains achievable.
+        match c.on_reply(p(0, 1), reply(5)) {
+            CollectorStatus::Done(o) => {
+                assert_eq!(o.replies.len(), 1);
+                assert!(o.error.is_some() || o.replies.len() == 1);
+            }
+            CollectorStatus::Pending => panic!("collector must finish once every dest answered"),
+        }
+    }
+
+    #[test]
+    fn all_destinations_failing_is_an_error() {
+        let mut c = ReplyCollector::new(p(3, 1), 7, vec![p(0, 1), p(1, 1)], ReplyWanted::One, None);
+        assert_eq!(c.on_failure(p(0, 1)), CollectorStatus::Pending);
+        match c.on_failure(p(1, 1)) {
+            CollectorStatus::Done(o) => {
+                assert!(matches!(o.error, Some(VsError::AllDestinationsFailed { .. })));
+            }
+            other => panic!("expected done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn site_failure_removes_every_process_at_that_site() {
+        let mut c = ReplyCollector::new(
+            p(9, 1),
+            7,
+            vec![p(0, 1), p(0, 2), p(1, 1)],
+            ReplyWanted::One,
+            None,
+        );
+        assert_eq!(c.on_site_failure(SiteId(0)), CollectorStatus::Pending);
+        assert_eq!(c.awaiting(), vec![p(1, 1)]);
+    }
+
+    #[test]
+    fn deadline_produces_timeout() {
+        let mut c = ReplyCollector::new(
+            p(9, 1),
+            7,
+            vec![p(0, 1)],
+            ReplyWanted::One,
+            Some(SimTime(1_000)),
+        );
+        assert_eq!(c.on_tick(SimTime(999)), CollectorStatus::Pending);
+        match c.on_tick(SimTime(1_000)) {
+            CollectorStatus::Done(o) => assert!(matches!(o.error, Some(VsError::Timeout(_)))),
+            other => panic!("expected done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_replies_wanted_completes_immediately() {
+        let mut c = ReplyCollector::new(p(9, 1), 7, vec![p(0, 1)], ReplyWanted::None, None);
+        match c.on_tick(SimTime(0)) {
+            CollectorStatus::Done(o) => assert!(o.is_ok()),
+            other => panic!("expected done, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,821 @@
+//! The per-site protocols process (paper Figure 1).
+//!
+//! "The system is organized around a protocols process which implements the multicast
+//! primitives, handles process group addressing and does all inter-site communication.  This
+//! process maintains process group membership views, using a cache for groups not resident at
+//! the site.  Client programs are linked directly to whatever tools they employ."
+//!
+//! [`SiteStack`] is that process.  It owns one [`GroupEndpoint`] per group with members at
+//! this site, hosts the client processes themselves (entry handlers and monitors), runs the
+//! failure detector, collects group-RPC replies, and relays multicasts issued by clients that
+//! are not members of the destination group to a site that is.
+
+use std::collections::BTreeMap;
+
+use vsync_msg::{fields, Message};
+use vsync_net::{Outbox, Packet, PacketKind, ProtocolKind, SharedStats, SiteHandler};
+use vsync_proto::messages::ProtoMsg;
+use vsync_proto::{Delivery, EndpointOutput, GroupEndpoint, ProtoConfig, View, ViewEvent};
+use vsync_util::{
+    Address, EntryId, GroupId, ProcessId, Result, SimTime, SiteId, VsError,
+};
+
+use crate::config::StackConfig;
+use crate::process::{reply_target, CtxAction, IsisProcess, ReplyCallback, ToolCtx};
+use crate::protection::{FilterDecision, ProtectionPolicy};
+use crate::rpc::{CollectorStatus, ReplyCollector, ReplyWanted, RpcOutcome};
+use vsync_net::FailureDetector;
+
+/// Timer token used for the stack's periodic maintenance tick.
+const TICK: u64 = 1;
+
+/// Control-field name used for stack-to-stack (non-protocol) traffic.
+const CTRL: &str = "@ctrl";
+
+/// Returns the process id conventionally used for the protocols process of a site.
+pub fn protocols_process(site: SiteId) -> ProcessId {
+    ProcessId::new(site, 0)
+}
+
+/// The per-site protocols process plus the client processes it hosts.
+pub struct SiteStack {
+    site: SiteId,
+    cfg: StackConfig,
+    proto_cfg: ProtoConfig,
+    stats: SharedStats,
+    all_sites: Vec<SiteId>,
+    processes: BTreeMap<ProcessId, IsisProcess>,
+    endpoints: BTreeMap<GroupId, GroupEndpoint>,
+    /// Views of groups this site knows about (member groups plus cached contact views).
+    views: BTreeMap<GroupId, View>,
+    /// Symbolic name -> group id (the namespace cache).
+    directory: BTreeMap<String, GroupId>,
+    /// Group id -> candidate contact sites, refreshed from every view we observe.
+    contacts: BTreeMap<GroupId, Vec<SiteId>>,
+    policies: BTreeMap<GroupId, ProtectionPolicy>,
+    fd: FailureDetector,
+    collectors: BTreeMap<u64, ReplyCollector>,
+    callbacks: BTreeMap<u64, ReplyCallback>,
+    next_session: u64,
+    now: SimTime,
+}
+
+impl SiteStack {
+    /// Creates the stack for `site` in a cluster of `all_sites`.
+    pub fn new(
+        site: SiteId,
+        all_sites: Vec<SiteId>,
+        cfg: StackConfig,
+        proto_cfg: ProtoConfig,
+        stats: SharedStats,
+    ) -> Self {
+        let fd = FailureDetector::new(
+            site,
+            all_sites.iter().copied(),
+            cfg.heartbeat_interval,
+            cfg.failure_timeout,
+            SimTime::ZERO,
+        );
+        SiteStack {
+            site,
+            cfg,
+            proto_cfg,
+            stats,
+            all_sites,
+            processes: BTreeMap::new(),
+            endpoints: BTreeMap::new(),
+            views: BTreeMap::new(),
+            directory: BTreeMap::new(),
+            contacts: BTreeMap::new(),
+            policies: BTreeMap::new(),
+            fd,
+            collectors: BTreeMap::new(),
+            callbacks: BTreeMap::new(),
+            next_session: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The site this stack runs on.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Shared statistics counters.
+    pub fn stats(&self) -> SharedStats {
+        self.stats.clone()
+    }
+
+    /// Adds a client process to this site.
+    pub fn add_process(&mut self, process: IsisProcess) {
+        assert_eq!(process.id.site, self.site, "process spawned on the wrong site");
+        self.processes.insert(process.id, process);
+    }
+
+    /// True if the process is currently hosted (and alive) here.
+    pub fn has_process(&self, pid: ProcessId) -> bool {
+        self.processes.contains_key(&pid)
+    }
+
+    /// The view this site currently has of a group (member view or cached).
+    pub fn view_of(&self, group: GroupId) -> Option<&View> {
+        self.views.get(&group)
+    }
+
+    /// Resolves a symbolic group name from the local namespace cache.
+    pub fn lookup(&self, name: &str) -> Option<GroupId> {
+        self.directory.get(name).copied()
+    }
+
+    /// Registers a group in the local namespace cache (the namespace service's push).
+    pub fn register_group(&mut self, name: &str, group: GroupId, contact_sites: Vec<SiteId>) {
+        self.directory.insert(name.to_owned(), group);
+        self.contacts.insert(group, contact_sites);
+    }
+
+    /// Installs a protection policy for a group (checked at this site when it coordinates).
+    pub fn set_policy(&mut self, group: GroupId, policy: ProtectionPolicy) {
+        self.policies.insert(group, policy);
+    }
+
+    /// Creates a group with `creator` (hosted here) as its founding member.
+    pub fn create_group(
+        &mut self,
+        name: &str,
+        group: GroupId,
+        creator: ProcessId,
+        out: &mut Outbox,
+    ) {
+        let mut ep = GroupEndpoint::new(group, self.site, self.proto_cfg, self.stats.clone());
+        let mut eouts = Vec::new();
+        ep.create(creator, &mut eouts);
+        self.endpoints.insert(group, ep);
+        self.register_group(name, group, vec![self.site]);
+        self.pump_endpoint_outputs(group, eouts, out);
+    }
+
+    /// Asks for `joiner` (hosted here) to join `group`.
+    pub fn join_group(
+        &mut self,
+        group: GroupId,
+        joiner: ProcessId,
+        credentials: Option<String>,
+        out: &mut Outbox,
+    ) -> Result<()> {
+        // Make sure an endpoint exists so the eventual FlushCommit can be applied here.
+        self.endpoints
+            .entry(group)
+            .or_insert_with(|| GroupEndpoint::new(group, self.site, self.proto_cfg, self.stats.clone()));
+        let ep = self.endpoints.get(&group).expect("endpoint just ensured");
+        if ep.view().is_some() {
+            // A member already lives here: submit the join locally.
+            let mut eouts = Vec::new();
+            let ep = self.endpoints.get_mut(&group).expect("endpoint exists");
+            ep.submit_join(self.now, joiner, credentials, &mut eouts)?;
+            self.pump_endpoint_outputs(group, eouts, out);
+            return Ok(());
+        }
+        // Otherwise ask a contact site.
+        let contact = self.alive_contact(group).ok_or(VsError::NoSuchGroup(group))?;
+        let wire = ProtoMsg::JoinReq {
+            joiner,
+            credentials,
+        }
+        .encode(group);
+        self.send_proto(contact, PacketKind::Flush, wire, out);
+        Ok(())
+    }
+
+    /// Asks for `member` (hosted here) to leave `group`.
+    pub fn leave_group(&mut self, group: GroupId, member: ProcessId, out: &mut Outbox) -> Result<()> {
+        let mut eouts = Vec::new();
+        match self.endpoints.get_mut(&group) {
+            Some(ep) if ep.view().is_some() => {
+                ep.submit_leave(self.now, member, &mut eouts)?;
+                self.pump_endpoint_outputs(group, eouts, out);
+                Ok(())
+            }
+            _ => {
+                let contact = self.alive_contact(group).ok_or(VsError::NoSuchGroup(group))?;
+                let wire = ProtoMsg::LeaveReq { member }.encode(group);
+                self.send_proto(contact, PacketKind::Flush, wire, out);
+                Ok(())
+            }
+        }
+    }
+
+    /// Crashes a local client process: it disappears immediately, and every group it belonged
+    /// to is told (the paper's "detectable by some monitoring mechanism at the site").
+    pub fn crash_local_process(&mut self, pid: ProcessId, out: &mut Outbox) {
+        self.processes.remove(&pid);
+        // Cancel the collectors belonging to the dead caller.
+        let dead_sessions: Vec<u64> = self
+            .collectors
+            .iter()
+            .filter(|(_, c)| c.caller == pid)
+            .map(|(s, _)| *s)
+            .collect();
+        for s in dead_sessions {
+            self.collectors.remove(&s);
+            self.callbacks.remove(&s);
+        }
+        let groups: Vec<GroupId> = self.endpoints.keys().copied().collect();
+        for g in groups {
+            let (is_member, peer_sites) = {
+                let ep = self.endpoints.get(&g).expect("endpoint exists");
+                match ep.view() {
+                    Some(v) if v.contains(pid) => (true, v.member_sites()),
+                    _ => (false, Vec::new()),
+                }
+            };
+            if !is_member {
+                continue;
+            }
+            let mut eouts = Vec::new();
+            if let Some(ep) = self.endpoints.get_mut(&g) {
+                ep.report_failures(self.now, &[pid], &mut eouts);
+            }
+            self.pump_endpoint_outputs(g, eouts, out);
+            // Other sites cannot observe a silent local crash; tell every member site so that
+            // whichever of them hosts the acting coordinator starts the view change (the
+            // crashed process may itself have been the coordinator).
+            for s in peer_sites {
+                if s != self.site {
+                    let wire = ProtoMsg::FailReport { failed: vec![pid] }.encode(g);
+                    self.send_proto(s, PacketKind::Flush, wire, out);
+                }
+            }
+        }
+        self.fail_collectors_for_process(pid, out);
+    }
+
+    /// Issues a call (multicast + reply collection) on behalf of `caller`, which must be a
+    /// process hosted at this site.  This is the entry point used both by handler actions and
+    /// by the system-level convenience API.
+    #[allow(clippy::too_many_arguments)]
+    pub fn issue_call(
+        &mut self,
+        caller: ProcessId,
+        dests: Vec<Address>,
+        entry: EntryId,
+        payload: Message,
+        protocol: ProtocolKind,
+        wanted: ReplyWanted,
+        callback: Option<ReplyCallback>,
+        out: &mut Outbox,
+    ) {
+        self.next_session += 1;
+        let session = self.next_session;
+
+        let mut msg = payload;
+        msg.strip_system_fields();
+        msg.set_sender(caller);
+        msg.set_entry(entry);
+        msg.set_session(session);
+        msg.set(fields::REPLY_TO, vec![Address::Process(caller)]);
+        msg.set(fields::PROTOCOL, format!("{protocol}"));
+
+        // Work out which concrete processes we expect replies from.
+        let mut awaited: Vec<ProcessId> = Vec::new();
+        let mut open_ended = false;
+        for d in &dests {
+            match d {
+                Address::Process(p) => awaited.push(*p),
+                Address::Group(g) => match self.views.get(g) {
+                    Some(v) => awaited.extend(v.members.iter().copied()),
+                    None => open_ended = true,
+                },
+            }
+        }
+
+        let mut callback = callback;
+        if !matches!(wanted, ReplyWanted::None) {
+            let deadline = Some(self.now + self.cfg.rpc_timeout);
+            let collector =
+                ReplyCollector::new_with_mode(caller, session, awaited, wanted, deadline, open_ended);
+            self.collectors.insert(session, collector);
+            if let Some(cb) = callback.take() {
+                self.callbacks.insert(session, cb);
+            }
+        }
+
+        for d in dests {
+            match d {
+                Address::Group(g) => {
+                    msg.set_group(g);
+                    self.multicast_to_group(caller, g, protocol, msg.clone(), out);
+                }
+                Address::Process(p) => {
+                    if p.site == self.site {
+                        self.stats.count_multicast(ProtocolKind::LocalRpc);
+                    } else {
+                        self.stats.count_multicast(ProtocolKind::Cbcast);
+                    }
+                    out.send(Packet::new(caller, p, PacketKind::Data, msg.clone()));
+                }
+            }
+        }
+        // A zero-reply call with a callback (unusual but allowed) completes immediately.
+        if matches!(wanted, ReplyWanted::None) {
+            if let Some(cb) = callback {
+                let outcome = RpcOutcome {
+                    replies: Vec::new(),
+                    responders: Vec::new(),
+                    error: None,
+                };
+                self.run_continuation(caller, cb, outcome, out);
+            }
+        } else {
+            self.poke_collector(session, out);
+        }
+    }
+
+    fn multicast_to_group(
+        &mut self,
+        caller: ProcessId,
+        group: GroupId,
+        protocol: ProtocolKind,
+        msg: Message,
+        out: &mut Outbox,
+    ) {
+        let can_serve_locally = self
+            .endpoints
+            .get(&group)
+            .map(|ep| ep.view().is_some() && !ep.local_members().is_empty())
+            .unwrap_or(false);
+        if can_serve_locally {
+            let mut eouts = Vec::new();
+            let ep = self.endpoints.get_mut(&group).expect("endpoint exists");
+            let res = match protocol {
+                ProtocolKind::Abcast => ep.abcast(self.now, caller, msg, &mut eouts).map(|_| ()),
+                ProtocolKind::Gbcast => ep.gbcast(self.now, caller, msg, &mut eouts),
+                _ => ep.cbcast(self.now, caller, msg, &mut eouts).map(|_| ()),
+            };
+            if res.is_err() {
+                out.trace(format!("{}: multicast to {group} failed: {res:?}", self.site));
+            }
+            self.pump_endpoint_outputs(group, eouts, out);
+        } else {
+            // Not a member site: relay through a contact site (Figure 1's view cache +
+            // forwarding path for external clients).
+            match self.alive_contact(group) {
+                Some(contact) => {
+                    self.stats.count_multicast(match protocol {
+                        ProtocolKind::Abcast => ProtocolKind::Abcast,
+                        ProtocolKind::Gbcast => ProtocolKind::Gbcast,
+                        _ => ProtocolKind::Cbcast,
+                    });
+                    let mut relay = Message::new();
+                    relay.set(CTRL, "relay");
+                    relay.set("relay-group", group);
+                    relay.set("relay-proto", format!("{protocol}"));
+                    relay.set("relay-payload", msg);
+                    out.send(Packet::new(
+                        protocols_process(self.site),
+                        protocols_process(contact),
+                        PacketKind::Control,
+                        relay,
+                    ));
+                }
+                None => {
+                    out.trace(format!("{}: no contact site known for {group}", self.site));
+                }
+            }
+        }
+    }
+
+    fn alive_contact(&self, group: GroupId) -> Option<SiteId> {
+        let candidates = self.contacts.get(&group)?;
+        candidates
+            .iter()
+            .copied()
+            .find(|s| *s == self.site || self.fd.is_alive(*s))
+            .or_else(|| candidates.first().copied())
+    }
+
+    fn send_proto(&self, dst_site: SiteId, kind: PacketKind, msg: Message, out: &mut Outbox) {
+        out.send(Packet::new(
+            protocols_process(self.site),
+            protocols_process(dst_site),
+            kind,
+            msg,
+        ));
+    }
+
+    // -- Endpoint output processing -----------------------------------------------------------
+
+    fn pump_endpoint_outputs(
+        &mut self,
+        group: GroupId,
+        outputs: Vec<EndpointOutput>,
+        out: &mut Outbox,
+    ) {
+        for o in outputs {
+            match o {
+                EndpointOutput::Send { dst_site, kind, msg } => {
+                    self.send_proto(dst_site, kind, msg, out);
+                }
+                EndpointOutput::Deliver(d) => {
+                    self.deliver_group_message(group, d, out);
+                }
+                EndpointOutput::ViewChange(ev) => {
+                    self.handle_view_change(group, ev, out);
+                }
+            }
+        }
+    }
+
+    fn deliver_group_message(&mut self, group: GroupId, delivery: Delivery, out: &mut Outbox) {
+        self.stats.count_delivery();
+        let members = self
+            .endpoints
+            .get(&group)
+            .map(|ep| ep.local_members())
+            .unwrap_or_default();
+        let Some(entry) = delivery.payload.entry() else {
+            return;
+        };
+        for m in members {
+            self.dispatch_entry(m, entry, &delivery.payload, out);
+        }
+    }
+
+    fn handle_view_change(&mut self, group: GroupId, ev: ViewEvent, out: &mut Outbox) {
+        self.views.insert(group, ev.view.clone());
+        self.contacts.insert(group, ev.view.member_sites());
+        // Tell reply collectors about departed members.
+        for departed in ev.view.departed.clone() {
+            self.fail_collectors_for_process(departed, out);
+        }
+        // Notify local monitors.
+        let locals: Vec<ProcessId> = self.processes.keys().copied().collect();
+        for pid in locals {
+            self.dispatch_view_event(pid, &ev, out);
+        }
+        // GBCAST payloads are delivered exactly at the cut, to the members of the new view.
+        let members = ev
+            .view
+            .members_at(self.site)
+            .into_iter()
+            .collect::<Vec<_>>();
+        for payload in &ev.gbcasts {
+            self.stats.count_delivery();
+            if let Some(entry) = payload.entry() {
+                for m in &members {
+                    self.dispatch_entry(*m, entry, payload, out);
+                }
+            }
+        }
+    }
+
+    // -- Handler dispatch ---------------------------------------------------------------------
+
+    fn dispatch_entry(&mut self, pid: ProcessId, entry: EntryId, msg: &Message, out: &mut Outbox) {
+        let Some(mut process) = self.processes.remove(&pid) else {
+            return;
+        };
+        match process.run_filters(msg) {
+            FilterDecision::Accept => {}
+            FilterDecision::Reject(why) => {
+                out.trace(format!("{pid}: filter rejected message at {entry:?}: {why}"));
+                self.processes.insert(pid, process);
+                return;
+            }
+        }
+        let actions = {
+            let mut ctx = ToolCtx::new(pid, self.now, &self.views, &self.directory);
+            if !process.dispatch(&mut ctx, entry, msg) {
+                out.trace(format!("{pid}: no handler bound at {entry:?}"));
+            }
+            ctx.take_actions()
+        };
+        self.processes.insert(pid, process);
+        self.apply_actions(pid, actions, out);
+    }
+
+    fn dispatch_view_event(&mut self, pid: ProcessId, ev: &ViewEvent, out: &mut Outbox) {
+        let Some(mut process) = self.processes.remove(&pid) else {
+            return;
+        };
+        let actions = {
+            let mut ctx = ToolCtx::new(pid, self.now, &self.views, &self.directory);
+            process.dispatch_view(&mut ctx, ev);
+            ctx.take_actions()
+        };
+        self.processes.insert(pid, process);
+        self.apply_actions(pid, actions, out);
+    }
+
+    fn run_continuation(
+        &mut self,
+        caller: ProcessId,
+        callback: ReplyCallback,
+        outcome: RpcOutcome,
+        out: &mut Outbox,
+    ) {
+        if !self.processes.contains_key(&caller) {
+            return;
+        }
+        let actions = {
+            let mut ctx = ToolCtx::new(caller, self.now, &self.views, &self.directory);
+            callback(&mut ctx, outcome);
+            ctx.take_actions()
+        };
+        self.apply_actions(caller, actions, out);
+    }
+
+    fn apply_actions(&mut self, caller: ProcessId, actions: Vec<CtxAction>, out: &mut Outbox) {
+        for action in actions {
+            match action {
+                CtxAction::Call {
+                    dests,
+                    entry,
+                    payload,
+                    protocol,
+                    wanted,
+                    callback,
+                } => {
+                    self.issue_call(caller, dests, entry, payload, protocol, wanted, callback, out);
+                }
+                CtxAction::Reply {
+                    request,
+                    payload,
+                    copies,
+                    null,
+                } => {
+                    self.issue_reply(caller, &request, payload, copies, null, out);
+                }
+                CtxAction::Join { group, credentials } => {
+                    if let Err(e) = self.join_group(group, caller, credentials, out) {
+                        out.trace(format!("{caller}: join {group} failed: {e}"));
+                    }
+                }
+                CtxAction::Leave { group } => {
+                    if let Err(e) = self.leave_group(group, caller, out) {
+                        out.trace(format!("{caller}: leave {group} failed: {e}"));
+                    }
+                }
+                CtxAction::Trace(line) => out.trace(format!("{caller}: {line}")),
+            }
+        }
+    }
+
+    fn issue_reply(
+        &mut self,
+        caller: ProcessId,
+        request: &Message,
+        payload: Message,
+        copies: Vec<Address>,
+        null: bool,
+        out: &mut Outbox,
+    ) {
+        let Some((session, requester)) = reply_target(request) else {
+            out.trace(format!("{caller}: reply to a message without a session"));
+            return;
+        };
+        let mut reply = payload;
+        reply.strip_system_fields();
+        reply.set_sender(caller);
+        reply.set_session(session);
+        reply.set_entry(EntryId::REPLY);
+        reply.mark_reply(null);
+        self.stats.count_multicast(ProtocolKind::Reply);
+        out.send(Packet::new(caller, requester, PacketKind::Reply, reply.clone()));
+        for c in copies {
+            match c {
+                Address::Process(p) => {
+                    out.send(Packet::new(caller, p, PacketKind::Reply, reply.clone()));
+                }
+                Address::Group(g) => {
+                    // Copies to a whole group travel as a normal CBCAST to that group.
+                    let mut copy = reply.clone();
+                    copy.set_group(g);
+                    self.multicast_to_group(caller, g, ProtocolKind::Cbcast, copy, out);
+                }
+            }
+        }
+    }
+
+    // -- Reply collection ----------------------------------------------------------------------
+
+    fn poke_collector(&mut self, session: u64, out: &mut Outbox) {
+        let status = match self.collectors.get_mut(&session) {
+            Some(c) => c.on_tick(self.now),
+            None => return,
+        };
+        self.finish_collector(session, status, out);
+    }
+
+    fn finish_collector(&mut self, session: u64, status: CollectorStatus, out: &mut Outbox) {
+        if let CollectorStatus::Done(outcome) = status {
+            let caller = self
+                .collectors
+                .remove(&session)
+                .map(|c| c.caller)
+                .unwrap_or(protocols_process(self.site));
+            if let Some(cb) = self.callbacks.remove(&session) {
+                self.run_continuation(caller, cb, outcome, out);
+            }
+        }
+    }
+
+    fn fail_collectors_for_process(&mut self, failed: ProcessId, out: &mut Outbox) {
+        let sessions: Vec<u64> = self.collectors.keys().copied().collect();
+        for s in sessions {
+            let status = match self.collectors.get_mut(&s) {
+                Some(c) => c.on_failure(failed),
+                None => continue,
+            };
+            self.finish_collector(s, status, out);
+        }
+    }
+
+    fn fail_collectors_for_site(&mut self, site: SiteId, out: &mut Outbox) {
+        let sessions: Vec<u64> = self.collectors.keys().copied().collect();
+        for s in sessions {
+            let status = match self.collectors.get_mut(&s) {
+                Some(c) => c.on_site_failure(site),
+                None => continue,
+            };
+            self.finish_collector(s, status, out);
+        }
+    }
+
+    fn handle_reply(&mut self, pkt: &Packet, out: &mut Outbox) {
+        let Some(session) = pkt.payload.session() else { return };
+        let Some(sender) = pkt.payload.sender() else { return };
+        let status = match self.collectors.get_mut(&session) {
+            Some(c) => c.on_reply(sender, pkt.payload.clone()),
+            None => return, // Superfluous replies are discarded silently.
+        };
+        self.finish_collector(session, status, out);
+    }
+
+    // -- Failure handling -----------------------------------------------------------------------
+
+    fn handle_site_failure(&mut self, failed_site: SiteId, out: &mut Outbox) {
+        out.trace(format!("{}: site {failed_site} suspected failed", self.site));
+        let groups: Vec<GroupId> = self.endpoints.keys().copied().collect();
+        for g in groups {
+            let failed_members: Vec<ProcessId> = self
+                .endpoints
+                .get(&g)
+                .and_then(|ep| ep.view().cloned())
+                .map(|v| v.members_at(failed_site))
+                .unwrap_or_default();
+            if failed_members.is_empty() {
+                continue;
+            }
+            let mut eouts = Vec::new();
+            if let Some(ep) = self.endpoints.get_mut(&g) {
+                ep.report_failures(self.now, &failed_members, &mut eouts);
+            }
+            self.pump_endpoint_outputs(g, eouts, out);
+        }
+        self.fail_collectors_for_site(failed_site, out);
+    }
+
+    // -- Incoming traffic -----------------------------------------------------------------------
+
+    fn handle_control(&mut self, pkt: &Packet, out: &mut Outbox) {
+        match pkt.payload.get_str(CTRL) {
+            Some("hb") => {}
+            Some("relay") => {
+                let Some(group) = pkt.payload.get_addr("relay-group").and_then(|a| a.as_group())
+                else {
+                    return;
+                };
+                let Some(inner) = pkt.payload.get_msg("relay-payload").cloned() else { return };
+                let protocol = match pkt.payload.get_str("relay-proto") {
+                    Some("ABCAST") => ProtocolKind::Abcast,
+                    Some("GBCAST") => ProtocolKind::Gbcast,
+                    _ => ProtocolKind::Cbcast,
+                };
+                let original_sender = inner.sender().unwrap_or(pkt.src);
+                self.multicast_to_group(original_sender, group, protocol, inner, out);
+            }
+            Some(other) => {
+                out.trace(format!("{}: unknown control message {other:?}", self.site));
+            }
+            None => {}
+        }
+    }
+
+    fn handle_proto(&mut self, pkt: &Packet, out: &mut Outbox) {
+        let Ok((group, decoded)) = ProtoMsg::decode(&pkt.payload) else {
+            out.trace(format!("{}: undecodable protocol message", self.site));
+            return;
+        };
+        // Joins are validated by the protection policy before the protocol layer sees them.
+        if let ProtoMsg::JoinReq { joiner, credentials } = &decoded {
+            if let Some(policy) = self.policies.get(&group) {
+                if let Err(why) = policy.validate_join(credentials.as_deref()) {
+                    out.trace(format!(
+                        "{}: join of {joiner} to {group} refused: {why}",
+                        self.site
+                    ));
+                    return;
+                }
+            }
+        }
+        let ep = self
+            .endpoints
+            .entry(group)
+            .or_insert_with(|| GroupEndpoint::new(group, self.site, self.proto_cfg, self.stats.clone()));
+        let mut eouts = Vec::new();
+        if let Err(e) = ep.on_message(self.now, pkt.src.site, &pkt.payload, &mut eouts) {
+            out.trace(format!("{}: protocol error in {group}: {e}", self.site));
+        }
+        self.pump_endpoint_outputs(group, eouts, out);
+    }
+
+    fn handle_app_packet(&mut self, pkt: &Packet, out: &mut Outbox) {
+        if pkt.payload.is_reply() {
+            self.handle_reply(pkt, out);
+            return;
+        }
+        let Some(entry) = pkt.payload.entry() else { return };
+        self.dispatch_entry(pkt.dst, entry, &pkt.payload, out);
+    }
+}
+
+impl SiteHandler for SiteStack {
+    fn on_start(&mut self, now: SimTime, out: &mut Outbox) {
+        self.now = now;
+        out.set_timer(self.cfg.tick_interval, TICK);
+    }
+
+    fn on_packet(&mut self, now: SimTime, pkt: Packet, out: &mut Outbox) {
+        self.now = now;
+        if pkt.src.site != self.site {
+            // Any traffic from a site proves it is alive.
+            if let Some(verdict) = self.fd.on_heartbeat(pkt.src.site, now) {
+                out.trace(format!("{}: {verdict:?}", self.site));
+            }
+        }
+        if ProtoMsg::is_proto_message(&pkt.payload) {
+            self.handle_proto(&pkt, out);
+        } else if pkt.payload.contains(CTRL) {
+            self.handle_control(&pkt, out);
+        } else {
+            self.handle_app_packet(&pkt, out);
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, token: u64, out: &mut Outbox) {
+        self.now = now;
+        if token != TICK {
+            return;
+        }
+        // Heartbeats to every other site.
+        let mut hb = Message::new();
+        hb.set(CTRL, "hb");
+        for s in self.all_sites.clone() {
+            if s != self.site {
+                out.send(Packet::new(
+                    protocols_process(self.site),
+                    protocols_process(s),
+                    PacketKind::Heartbeat,
+                    hb.clone(),
+                ));
+            }
+        }
+        // Failure detection.
+        for verdict in self.fd.tick(now) {
+            if let vsync_net::fail::Verdict::Suspected(site) = verdict {
+                self.handle_site_failure(site, out);
+            }
+        }
+        // Per-group maintenance.
+        let groups: Vec<GroupId> = self.endpoints.keys().copied().collect();
+        for g in groups {
+            let mut eouts = Vec::new();
+            if let Some(ep) = self.endpoints.get_mut(&g) {
+                ep.on_tick(now, &mut eouts);
+            }
+            self.pump_endpoint_outputs(g, eouts, out);
+        }
+        // RPC deadlines.
+        let sessions: Vec<u64> = self.collectors.keys().copied().collect();
+        for s in sessions {
+            self.poke_collector(s, out);
+        }
+        out.set_timer(self.cfg.tick_interval, TICK);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocols_process_is_local_zero() {
+        let p = protocols_process(SiteId(3));
+        assert_eq!(p.site, SiteId(3));
+        assert_eq!(p.local, 0);
+    }
+}

@@ -1,0 +1,648 @@
+//! [`IsisSystem`]: the harness that assembles a simulated ISIS cluster.
+//!
+//! The system owns the discrete-event [`Engine`], one [`SiteStack`] per site, and exposes the
+//! operations an application developer performs from outside a handler: spawning processes,
+//! creating and joining process groups, issuing group RPCs, injecting failures and running
+//! virtual time.  Examples, integration tests and the benchmark harness are all written
+//! against this type.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vsync_net::{Engine, NetStats, Outbox, ProtocolKind, SharedStats};
+use vsync_proto::{ProtoConfig, View};
+use vsync_util::{
+    Address, Duration, EntryId, GroupId, LatencyProfile, NetParams, ProcessId, Rank, Result,
+    SimTime, SiteId, VsError,
+};
+
+use crate::config::StackConfig;
+use crate::process::{ProcessBuilder, ToolCtx};
+use crate::protection::ProtectionPolicy;
+use crate::rpc::{ReplyWanted, RpcOutcome};
+use crate::stack::SiteStack;
+use vsync_msg::Message;
+
+/// Builder for an [`IsisSystem`].
+pub struct SystemBuilder {
+    num_sites: usize,
+    params: NetParams,
+    profile: LatencyProfile,
+    seed: u64,
+    stack_cfg: Option<StackConfig>,
+    proto_cfg: Option<ProtoConfig>,
+}
+
+impl SystemBuilder {
+    /// Starts building a cluster of `num_sites` sites with the `Modern` latency profile.
+    pub fn new(num_sites: usize) -> Self {
+        SystemBuilder {
+            num_sites,
+            params: NetParams::modern(),
+            profile: LatencyProfile::Modern,
+            seed: 42,
+            stack_cfg: None,
+            proto_cfg: None,
+        }
+    }
+
+    /// Selects a named latency profile (the `Paper1987` profile reproduces Figures 2 and 3).
+    pub fn profile(mut self, profile: LatencyProfile) -> Self {
+        self.profile = profile;
+        self.params = NetParams::for_profile(profile);
+        self
+    }
+
+    /// Overrides the network parameters (loss injection, custom delays, ...).
+    pub fn params(mut self, params: NetParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the deterministic seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the stack configuration.
+    pub fn stack_config(mut self, cfg: StackConfig) -> Self {
+        self.stack_cfg = Some(cfg);
+        self
+    }
+
+    /// Overrides the protocol configuration.
+    pub fn proto_config(mut self, cfg: ProtoConfig) -> Self {
+        self.proto_cfg = Some(cfg);
+        self
+    }
+
+    /// Builds the system: creates the engine and installs one protocols process per site.
+    pub fn build(self) -> IsisSystem {
+        let stack_cfg = self.stack_cfg.unwrap_or_else(|| StackConfig::from_params(&self.params));
+        let proto_cfg = self.proto_cfg.unwrap_or(match self.profile {
+            LatencyProfile::Paper1987 => ProtoConfig::default(),
+            _ => ProtoConfig::fast(),
+        });
+        let mut engine = Engine::new(self.num_sites, self.params, self.seed);
+        let stats = engine.stats();
+        let all_sites: Vec<SiteId> = (0..self.num_sites as u16).map(SiteId).collect();
+        for s in &all_sites {
+            let stack = SiteStack::new(*s, all_sites.clone(), stack_cfg, proto_cfg, stats.clone());
+            engine.install_site(*s, Box::new(stack));
+        }
+        IsisSystem {
+            engine,
+            stats,
+            all_sites,
+            stack_cfg,
+            proto_cfg,
+            next_group: 0,
+            next_local: vec![1; self.num_sites],
+        }
+    }
+}
+
+/// A running (simulated) ISIS cluster.
+pub struct IsisSystem {
+    engine: Engine,
+    stats: SharedStats,
+    all_sites: Vec<SiteId>,
+    stack_cfg: StackConfig,
+    proto_cfg: ProtoConfig,
+    next_group: u64,
+    next_local: Vec<u32>,
+}
+
+impl IsisSystem {
+    /// Starts a builder.
+    pub fn builder(num_sites: usize) -> SystemBuilder {
+        SystemBuilder::new(num_sites)
+    }
+
+    /// Convenience constructor: `num_sites` sites with the given latency profile.
+    pub fn new(num_sites: usize, profile: LatencyProfile) -> Self {
+        SystemBuilder::new(num_sites).profile(profile).build()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// The sites in the cluster.
+    pub fn sites(&self) -> &[SiteId] {
+        &self.all_sites
+    }
+
+    /// Shared statistics counters (multicasts, packets, bytes).
+    pub fn stats(&self) -> NetStats {
+        self.stats.snapshot()
+    }
+
+    /// Resets the statistics counters (used between benchmark phases).
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Trace lines emitted by stacks and handlers so far.
+    pub fn traces(&self) -> Vec<String> {
+        self.engine
+            .traces()
+            .iter()
+            .map(|(t, s)| format!("[{:?}] {s}", t))
+            .collect()
+    }
+
+    /// Runs the simulation for a span of virtual time.
+    pub fn run_for(&mut self, d: Duration) {
+        self.engine.run_for(d);
+    }
+
+    /// Runs the simulation until an absolute virtual time.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.engine.run_until(t);
+    }
+
+    /// Runs the simulation for a number of virtual milliseconds.
+    pub fn run_ms(&mut self, ms: u64) {
+        self.run_for(Duration::from_millis(ms));
+    }
+
+    /// Step used by the polling helpers (`join_and_wait`, `client_call`, ...).  It is capped
+    /// at one millisecond so that latency measurements are not quantised by the (much longer)
+    /// maintenance tick of slow profiles.
+    fn poll_step(&self) -> Duration {
+        self.stack_cfg.tick_interval.min(Duration::from_millis(1))
+    }
+
+    /// Spawns a client process at `site`, configured through a [`ProcessBuilder`] closure.
+    pub fn spawn(&mut self, site: SiteId, configure: impl FnOnce(&mut ProcessBuilder)) -> ProcessId {
+        let local = self.next_local[site.index()];
+        self.next_local[site.index()] += 1;
+        let pid = ProcessId::new(site, local);
+        let mut builder = ProcessBuilder::new(pid);
+        configure(&mut builder);
+        let process = builder.build();
+        self.engine
+            .with_site::<SiteStack, _>(site, |stack, _now, _out| stack.add_process(process))
+            .expect("site is up");
+        pid
+    }
+
+    /// Pre-allocates a group id, so that processes whose tools need to know the id can be
+    /// spawned before the group is actually created (pass the id to
+    /// [`IsisSystem::create_group_with_id`]).
+    pub fn allocate_group_id(&mut self) -> GroupId {
+        self.next_group += 1;
+        GroupId(self.next_group)
+    }
+
+    /// Creates a process group named `name` with `creator` as its only member, and registers
+    /// the name in every site's namespace cache.
+    pub fn create_group(&mut self, name: &str, creator: ProcessId) -> GroupId {
+        self.create_group_with_policy(name, creator, ProtectionPolicy::open())
+    }
+
+    /// Creates a group using a pre-allocated id (see [`IsisSystem::allocate_group_id`]).
+    pub fn create_group_with_id(&mut self, name: &str, gid: GroupId, creator: ProcessId) -> GroupId {
+        self.create_group_inner(name, gid, creator, ProtectionPolicy::open())
+    }
+
+    /// Creates a group with a protection policy (join credentials, trusted senders).
+    pub fn create_group_with_policy(
+        &mut self,
+        name: &str,
+        creator: ProcessId,
+        policy: ProtectionPolicy,
+    ) -> GroupId {
+        let gid = self.allocate_group_id();
+        self.create_group_inner(name, gid, creator, policy)
+    }
+
+    fn create_group_inner(
+        &mut self,
+        name: &str,
+        gid: GroupId,
+        creator: ProcessId,
+        policy: ProtectionPolicy,
+    ) -> GroupId {
+        let creator_site = creator.site;
+        self.engine
+            .with_site::<SiteStack, _>(creator_site, |stack, _now, out| {
+                stack.set_policy(gid, policy.clone());
+                stack.create_group(name, gid, creator, out);
+            })
+            .expect("creator site is up");
+        // The namespace service makes the name visible everywhere.
+        let name = name.to_owned();
+        for s in self.all_sites.clone() {
+            self.engine.with_site::<SiteStack, _>(s, |stack, _now, _out| {
+                stack.register_group(&name, gid, vec![creator_site]);
+                stack.set_policy(gid, policy.clone());
+            });
+        }
+        gid
+    }
+
+    /// `pg_lookup` as seen from a given site's namespace cache.
+    pub fn lookup(&mut self, site: SiteId, name: &str) -> Option<GroupId> {
+        self.engine
+            .with_site::<SiteStack, _>(site, |stack, _now, _out| stack.lookup(name))
+            .flatten()
+    }
+
+    /// Issues a join request for `joiner` and runs the simulation until the join completes.
+    pub fn join_and_wait(
+        &mut self,
+        group: GroupId,
+        joiner: ProcessId,
+        credentials: Option<String>,
+        max_wait: Duration,
+    ) -> Result<()> {
+        let site = joiner.site;
+        let res = self
+            .engine
+            .with_site::<SiteStack, _>(site, |stack, _now, out| {
+                stack.join_group(group, joiner, credentials, out)
+            })
+            .ok_or(VsError::NoSuchProcess(joiner))?;
+        res?;
+        let deadline = self.now() + max_wait;
+        let step = self.poll_step();
+        while self.now() < deadline {
+            self.run_for(step);
+            if self
+                .view_of(site, group)
+                .map(|v| v.contains(joiner))
+                .unwrap_or(false)
+            {
+                return Ok(());
+            }
+        }
+        Err(VsError::Timeout(format!("join of {joiner} to {group}")))
+    }
+
+    /// Asks `member` to leave `group` and waits for the view change to install.
+    pub fn leave_and_wait(
+        &mut self,
+        group: GroupId,
+        member: ProcessId,
+        max_wait: Duration,
+    ) -> Result<()> {
+        let site = member.site;
+        let res = self
+            .engine
+            .with_site::<SiteStack, _>(site, |stack, _now, out| stack.leave_group(group, member, out))
+            .ok_or(VsError::NoSuchProcess(member))?;
+        res?;
+        let deadline = self.now() + max_wait;
+        let step = self.poll_step();
+        while self.now() < deadline {
+            self.run_for(step);
+            let gone = self
+                .view_of(site, group)
+                .map(|v| !v.contains(member))
+                .unwrap_or(true);
+            if gone {
+                return Ok(());
+            }
+        }
+        Err(VsError::Timeout(format!("leave of {member} from {group}")))
+    }
+
+    /// The view a site currently has of a group.
+    pub fn view_of(&mut self, site: SiteId, group: GroupId) -> Option<View> {
+        self.engine
+            .with_site::<SiteStack, _>(site, |stack, _now, _out| stack.view_of(group).cloned())
+            .flatten()
+    }
+
+    /// The rank of a member in the group, as seen from its own site.
+    pub fn rank_of(&mut self, group: GroupId, member: ProcessId) -> Option<Rank> {
+        self.view_of(member.site, group)?.rank_of(member)
+    }
+
+    /// True if the process is currently alive.
+    pub fn process_exists(&mut self, pid: ProcessId) -> bool {
+        self.engine
+            .with_site::<SiteStack, _>(pid.site, |stack, _now, _out| stack.has_process(pid))
+            .unwrap_or(false)
+    }
+
+    /// Fire-and-forget multicast from `caller` (asynchronous: the caller continues at once).
+    /// If the caller's site has crashed the send is silently dropped, matching what a real
+    /// crashed process would (fail to) do.
+    pub fn client_send(
+        &mut self,
+        caller: ProcessId,
+        dest: impl Into<Address>,
+        entry: EntryId,
+        payload: Message,
+        protocol: ProtocolKind,
+    ) {
+        let dest = dest.into();
+        let _ = self
+            .engine
+            .with_site::<SiteStack, _>(caller.site, |stack, _now, out| {
+                stack.issue_call(
+                    caller,
+                    vec![dest],
+                    entry,
+                    payload,
+                    protocol,
+                    ReplyWanted::None,
+                    None,
+                    out,
+                );
+            });
+    }
+
+    /// Group RPC issued from outside a handler: multicasts the request and runs the
+    /// simulation until the reply collection completes (or `max_wait` passes).
+    #[allow(clippy::too_many_arguments)]
+    pub fn client_call(
+        &mut self,
+        caller: ProcessId,
+        dests: Vec<Address>,
+        entry: EntryId,
+        payload: Message,
+        protocol: ProtocolKind,
+        wanted: ReplyWanted,
+        max_wait: Duration,
+    ) -> RpcOutcome {
+        let slot: Rc<RefCell<Option<RpcOutcome>>> = Rc::new(RefCell::new(None));
+        let slot2 = slot.clone();
+        self.engine
+            .with_site::<SiteStack, _>(caller.site, |stack, _now, out| {
+                stack.issue_call(
+                    caller,
+                    dests,
+                    entry,
+                    payload,
+                    protocol,
+                    wanted,
+                    Some(Box::new(move |_ctx: &mut ToolCtx<'_>, outcome: RpcOutcome| {
+                        *slot2.borrow_mut() = Some(outcome);
+                    })),
+                    out,
+                );
+            })
+            .expect("caller site is up");
+        let deadline = self.now() + max_wait;
+        let step = self.poll_step();
+        while slot.borrow().is_none() && self.now() < deadline {
+            self.run_for(step);
+        }
+        let result = slot.borrow_mut().take();
+        result.unwrap_or(RpcOutcome {
+            replies: Vec::new(),
+            responders: Vec::new(),
+            error: Some(VsError::Timeout("client call never completed".into())),
+        })
+    }
+
+    /// Crashes an entire site (all its processes and its protocols process).
+    pub fn kill_site(&mut self, site: SiteId) {
+        self.engine.kill_site(site);
+    }
+
+    /// Schedules a site crash at an absolute virtual time.
+    pub fn schedule_site_crash(&mut self, at: SimTime, site: SiteId) {
+        self.engine.schedule_crash(at, site);
+    }
+
+    /// Recovers a crashed site with a fresh, empty protocols process.  Application state must
+    /// be rebuilt by the application (typically through the recovery-manager tool and logs).
+    pub fn recover_site(&mut self, site: SiteId) {
+        let stack = SiteStack::new(
+            site,
+            self.all_sites.clone(),
+            self.stack_cfg,
+            self.proto_cfg,
+            self.stats.clone(),
+        );
+        self.engine.recover_site(site, Box::new(stack));
+    }
+
+    /// Crashes a single client process, leaving its site up.
+    pub fn kill_process(&mut self, pid: ProcessId) {
+        self.engine
+            .with_site::<SiteStack, _>(pid.site, |stack, _now, out| {
+                stack.crash_local_process(pid, out)
+            });
+    }
+
+    /// True if the site is currently operational.
+    pub fn site_is_up(&self, site: SiteId) -> bool {
+        self.engine.site_is_up(site)
+    }
+
+    /// Runs the simulation until `condition` holds or `max_wait` elapses; returns whether the
+    /// condition was met.
+    pub fn run_until_condition(
+        &mut self,
+        max_wait: Duration,
+        mut condition: impl FnMut(&mut IsisSystem) -> bool,
+    ) -> bool {
+        let deadline = self.now() + max_wait;
+        let step = self.poll_step();
+        loop {
+            if condition(self) {
+                return true;
+            }
+            if self.now() >= deadline {
+                return false;
+            }
+            self.run_for(step);
+        }
+    }
+
+    /// Direct access to a site's stack, for tools and benchmarks that need to reach below the
+    /// system API (e.g. registering namespace entries after a recovery).
+    pub fn with_stack<R>(
+        &mut self,
+        site: SiteId,
+        f: impl FnOnce(&mut SiteStack, SimTime, &mut Outbox) -> R,
+    ) -> Option<R> {
+        self.engine.with_site::<SiteStack, _>(site, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use vsync_msg::Message;
+
+    const QUERY: EntryId = EntryId(10);
+
+    /// Spawns a member process that appends every delivered body to a shared log and replies
+    /// with `reply_value`.
+    fn spawn_member(
+        sys: &mut IsisSystem,
+        site: SiteId,
+        log: Rc<RefCell<Vec<u64>>>,
+        reply_value: u64,
+    ) -> ProcessId {
+        sys.spawn(site, |b| {
+            b.on_entry(QUERY, move |ctx, msg| {
+                log.borrow_mut().push(msg.get_u64("body").unwrap_or(0));
+                ctx.reply(msg, Message::with_body(reply_value));
+            });
+        })
+    }
+
+    fn build_group_of_three() -> (IsisSystem, GroupId, Vec<ProcessId>, Vec<Rc<RefCell<Vec<u64>>>>) {
+        let mut sys = IsisSystem::new(4, LatencyProfile::Modern);
+        let logs: Vec<Rc<RefCell<Vec<u64>>>> =
+            (0..3).map(|_| Rc::new(RefCell::new(Vec::new()))).collect();
+        let members: Vec<ProcessId> = (0..3)
+            .map(|i| spawn_member(&mut sys, SiteId(i as u16), logs[i].clone(), 100 + i as u64))
+            .collect();
+        let gid = sys.create_group("svc", members[0]);
+        for m in &members[1..] {
+            sys.join_and_wait(gid, *m, None, Duration::from_secs(5)).expect("join");
+        }
+        (sys, gid, members, logs)
+    }
+
+    #[test]
+    fn group_formation_and_ranks() {
+        let (mut sys, gid, members, _logs) = build_group_of_three();
+        for (i, m) in members.iter().enumerate() {
+            assert_eq!(sys.rank_of(gid, *m), Some(i), "rank of member {i}");
+        }
+        let v = sys.view_of(SiteId(0), gid).unwrap();
+        assert_eq!(v.members, members);
+        assert_eq!(sys.lookup(SiteId(3), "svc"), Some(gid));
+        assert_eq!(sys.lookup(SiteId(3), "absent"), None);
+    }
+
+    #[test]
+    fn group_rpc_collects_all_replies() {
+        let (mut sys, gid, _members, logs) = build_group_of_three();
+        let client = sys.spawn(SiteId(3), |_| {});
+        let outcome = sys.client_call(
+            client,
+            vec![Address::Group(gid)],
+            QUERY,
+            Message::with_body(7u64),
+            ProtocolKind::Cbcast,
+            ReplyWanted::Count(3),
+            Duration::from_secs(5),
+        );
+        assert!(outcome.is_ok(), "error: {:?}", outcome.error);
+        let mut values: Vec<u64> = outcome
+            .replies
+            .iter()
+            .filter_map(|r| r.get_u64("body"))
+            .collect();
+        values.sort_unstable();
+        assert_eq!(values, vec![100, 101, 102]);
+        // Every member saw the query exactly once.
+        for log in &logs {
+            assert_eq!(log.borrow().as_slice(), &[7]);
+        }
+    }
+
+    #[test]
+    fn asynchronous_cbcast_reaches_all_members() {
+        let (mut sys, gid, members, logs) = build_group_of_three();
+        sys.client_send(
+            members[0],
+            gid,
+            QUERY,
+            Message::with_body(55u64),
+            ProtocolKind::Cbcast,
+        );
+        sys.run_ms(200);
+        for log in &logs {
+            assert_eq!(log.borrow().as_slice(), &[55]);
+        }
+    }
+
+    #[test]
+    fn member_failure_installs_new_view_everywhere() {
+        let (mut sys, gid, members, _logs) = build_group_of_three();
+        sys.kill_site(SiteId(2));
+        let ok = sys.run_until_condition(Duration::from_secs(10), |s| {
+            s.view_of(SiteId(0), gid).map(|v| v.len() == 2).unwrap_or(false)
+                && s.view_of(SiteId(1), gid).map(|v| v.len() == 2).unwrap_or(false)
+        });
+        assert!(ok, "surviving members never installed the two-member view");
+        let v = sys.view_of(SiteId(0), gid).unwrap();
+        assert_eq!(v.members, vec![members[0], members[1]]);
+    }
+
+    #[test]
+    fn rpc_to_a_fully_failed_group_reports_an_error() {
+        let mut sys = IsisSystem::new(3, LatencyProfile::Modern);
+        let member = sys.spawn(SiteId(0), |b| {
+            b.on_entry(QUERY, |ctx, msg| ctx.reply(msg, Message::with_body(1u64)));
+        });
+        let gid = sys.create_group("lonely", member);
+        sys.run_ms(50);
+        sys.kill_site(SiteId(0));
+        sys.run_ms(50);
+        let client = sys.spawn(SiteId(2), |_| {});
+        let outcome = sys.client_call(
+            client,
+            vec![Address::Group(gid)],
+            QUERY,
+            Message::with_body(1u64),
+            ProtocolKind::Cbcast,
+            ReplyWanted::One,
+            Duration::from_secs(3),
+        );
+        assert!(outcome.error.is_some(), "caller must get an error code");
+    }
+
+    #[test]
+    fn protection_policy_rejects_bad_join_credentials() {
+        let mut sys = IsisSystem::new(2, LatencyProfile::Modern);
+        let creator = sys.spawn(SiteId(0), |_| {});
+        let gid = sys.create_group_with_policy(
+            "secure",
+            creator,
+            ProtectionPolicy::open().with_join_credential("sesame"),
+        );
+        let outsider = sys.spawn(SiteId(1), |_| {});
+        let denied = sys.join_and_wait(gid, outsider, Some("wrong".into()), Duration::from_millis(500));
+        assert!(denied.is_err(), "join with bad credentials must not complete");
+        let allowed = sys.join_and_wait(gid, outsider, Some("sesame".into()), Duration::from_secs(5));
+        assert!(allowed.is_ok(), "join with the right credential succeeds: {allowed:?}");
+    }
+
+    #[test]
+    fn kill_process_triggers_failure_handling_without_killing_the_site() {
+        let (mut sys, gid, members, _logs) = build_group_of_three();
+        sys.kill_process(members[1]);
+        let ok = sys.run_until_condition(Duration::from_secs(10), |s| {
+            s.view_of(SiteId(0), gid).map(|v| v.len() == 2).unwrap_or(false)
+        });
+        assert!(ok);
+        assert!(sys.site_is_up(SiteId(1)), "the site itself stays up");
+        assert!(!sys.process_exists(members[1]));
+    }
+
+    #[test]
+    fn views_monitoring_from_handlers() {
+        let mut sys = IsisSystem::new(2, LatencyProfile::Modern);
+        let observed: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        let obs2 = observed.clone();
+        let creator = sys.spawn(SiteId(0), |_| {});
+        let gid = sys.create_group("watched", creator);
+        // Re-spawn a watcher process that monitors the group.
+        let _watcher = sys.spawn(SiteId(0), move |b| {
+            b.on_view_change(gid, move |_ctx, ev| {
+                obs2.borrow_mut().push(ev.view.len());
+            });
+        });
+        let joiner = sys.spawn(SiteId(1), |_| {});
+        sys.join_and_wait(gid, joiner, None, Duration::from_secs(5)).unwrap();
+        sys.run_ms(100);
+        assert!(observed.borrow().contains(&2), "monitor saw the two-member view: {:?}", observed.borrow());
+    }
+}

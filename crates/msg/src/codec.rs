@@ -1,0 +1,317 @@
+//! A compact binary codec for [`Message`].
+//!
+//! The codec is self-contained (no external schema), length-prefixed, and versioned with a
+//! single magic byte.  It is used by the file-backed stable store, by the state-transfer tool
+//! when shipping large blocks over the simulated TCP channel, and by tests that need to check
+//! the wire size model of [`Message::encoded_len`] is honest.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use vsync_util::{Result, VsError};
+
+use crate::message::{Field, Message};
+use crate::value::{decode_address, encode_address, Value};
+
+const MAGIC: u8 = 0xA5;
+
+// Value type tags.
+const TAG_BOOL: u8 = 1;
+const TAG_I64: u8 = 2;
+const TAG_U64: u8 = 3;
+const TAG_F64: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_BYTES: u8 = 6;
+const TAG_ADDR: u8 = 7;
+const TAG_ADDR_LIST: u8 = 8;
+const TAG_U64_LIST: u8 = 9;
+const TAG_MSG: u8 = 10;
+
+/// Encodes a message to bytes.
+pub fn encode(msg: &Message) -> Bytes {
+    let mut buf = BytesMut::with_capacity(msg.encoded_len() + 16);
+    buf.put_u8(MAGIC);
+    encode_into(msg, &mut buf);
+    buf.freeze()
+}
+
+fn encode_into(msg: &Message, buf: &mut BytesMut) {
+    buf.put_u32(msg.field_count() as u32);
+    for field in msg.iter() {
+        encode_field(field, buf);
+    }
+}
+
+fn encode_field(field: &Field, buf: &mut BytesMut) {
+    buf.put_u16(field.name.len() as u16);
+    buf.put_slice(field.name.as_bytes());
+    encode_value(&field.value, buf);
+}
+
+fn encode_value(value: &Value, buf: &mut BytesMut) {
+    match value {
+        Value::Bool(b) => {
+            buf.put_u8(TAG_BOOL);
+            buf.put_u8(u8::from(*b));
+        }
+        Value::I64(v) => {
+            buf.put_u8(TAG_I64);
+            buf.put_i64(*v);
+        }
+        Value::U64(v) => {
+            buf.put_u8(TAG_U64);
+            buf.put_u64(*v);
+        }
+        Value::F64(v) => {
+            buf.put_u8(TAG_F64);
+            buf.put_f64(*v);
+        }
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            buf.put_u32(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            buf.put_u8(TAG_BYTES);
+            buf.put_u32(b.len() as u32);
+            buf.put_slice(b);
+        }
+        Value::Addr(a) => {
+            buf.put_u8(TAG_ADDR);
+            buf.put_u64(encode_address(a));
+        }
+        Value::AddrList(v) => {
+            buf.put_u8(TAG_ADDR_LIST);
+            buf.put_u32(v.len() as u32);
+            for a in v {
+                buf.put_u64(encode_address(a));
+            }
+        }
+        Value::U64List(v) => {
+            buf.put_u8(TAG_U64_LIST);
+            buf.put_u32(v.len() as u32);
+            for x in v {
+                buf.put_u64(*x);
+            }
+        }
+        Value::Msg(m) => {
+            buf.put_u8(TAG_MSG);
+            encode_into(m, buf);
+        }
+    }
+}
+
+/// Decodes a message from bytes produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> Result<Message> {
+    let mut buf = bytes;
+    if buf.remaining() < 1 {
+        return Err(VsError::CodecError("empty buffer".into()));
+    }
+    let magic = buf.get_u8();
+    if magic != MAGIC {
+        return Err(VsError::CodecError(format!(
+            "bad magic byte 0x{magic:02x}, expected 0x{MAGIC:02x}"
+        )));
+    }
+    let msg = decode_message(&mut buf)?;
+    if buf.has_remaining() {
+        return Err(VsError::CodecError(format!(
+            "{} trailing bytes after message",
+            buf.remaining()
+        )));
+    }
+    Ok(msg)
+}
+
+fn need(buf: &&[u8], n: usize, what: &str) -> Result<()> {
+    if buf.remaining() < n {
+        Err(VsError::CodecError(format!(
+            "truncated message: need {n} bytes for {what}, have {}",
+            buf.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+fn decode_message(buf: &mut &[u8]) -> Result<Message> {
+    need(buf, 4, "field count")?;
+    let count = buf.get_u32() as usize;
+    // Sanity bound: a field needs at least 4 bytes, so `count` cannot exceed what remains.
+    if count > buf.remaining() {
+        return Err(VsError::CodecError(format!(
+            "implausible field count {count} with {} bytes remaining",
+            buf.remaining()
+        )));
+    }
+    let mut msg = Message::new();
+    for _ in 0..count {
+        let (name, value) = decode_field(buf)?;
+        msg.set(&name, value);
+    }
+    Ok(msg)
+}
+
+fn decode_field(buf: &mut &[u8]) -> Result<(String, Value)> {
+    need(buf, 2, "field name length")?;
+    let name_len = buf.get_u16() as usize;
+    need(buf, name_len, "field name")?;
+    let name = String::from_utf8(buf[..name_len].to_vec())
+        .map_err(|e| VsError::CodecError(format!("field name is not UTF-8: {e}")))?;
+    buf.advance(name_len);
+    let value = decode_value(buf)?;
+    Ok((name, value))
+}
+
+fn decode_value(buf: &mut &[u8]) -> Result<Value> {
+    need(buf, 1, "value tag")?;
+    let tag = buf.get_u8();
+    let value = match tag {
+        TAG_BOOL => {
+            need(buf, 1, "bool")?;
+            Value::Bool(buf.get_u8() != 0)
+        }
+        TAG_I64 => {
+            need(buf, 8, "i64")?;
+            Value::I64(buf.get_i64())
+        }
+        TAG_U64 => {
+            need(buf, 8, "u64")?;
+            Value::U64(buf.get_u64())
+        }
+        TAG_F64 => {
+            need(buf, 8, "f64")?;
+            Value::F64(buf.get_f64())
+        }
+        TAG_STR => {
+            need(buf, 4, "string length")?;
+            let len = buf.get_u32() as usize;
+            need(buf, len, "string body")?;
+            let s = String::from_utf8(buf[..len].to_vec())
+                .map_err(|e| VsError::CodecError(format!("string is not UTF-8: {e}")))?;
+            buf.advance(len);
+            Value::Str(s)
+        }
+        TAG_BYTES => {
+            need(buf, 4, "bytes length")?;
+            let len = buf.get_u32() as usize;
+            need(buf, len, "bytes body")?;
+            let b = buf[..len].to_vec();
+            buf.advance(len);
+            Value::Bytes(b)
+        }
+        TAG_ADDR => {
+            need(buf, 8, "address")?;
+            Value::Addr(decode_address(buf.get_u64()))
+        }
+        TAG_ADDR_LIST => {
+            need(buf, 4, "address list length")?;
+            let len = buf.get_u32() as usize;
+            need(buf, len * 8, "address list body")?;
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push(decode_address(buf.get_u64()));
+            }
+            Value::AddrList(v)
+        }
+        TAG_U64_LIST => {
+            need(buf, 4, "u64 list length")?;
+            let len = buf.get_u32() as usize;
+            need(buf, len * 8, "u64 list body")?;
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push(buf.get_u64());
+            }
+            Value::U64List(v)
+        }
+        TAG_MSG => Value::Msg(Box::new(decode_message(buf)?)),
+        other => {
+            return Err(VsError::CodecError(format!("unknown value tag {other}")));
+        }
+    };
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsync_util::{Address, GroupId, ProcessId, SiteId};
+
+    fn sample() -> Message {
+        Message::new()
+            .with("flag", true)
+            .with("count", 42u64)
+            .with("delta", -7i64)
+            .with("ratio", 2.5f64)
+            .with("name", "emulsion-service")
+            .with("blob", vec![1u8, 2, 3, 4, 5])
+            .with("caller", ProcessId::new(SiteId(3), 9))
+            .with(
+                "members",
+                vec![
+                    Address::Process(ProcessId::new(SiteId(0), 1)),
+                    Address::Group(GroupId(77)),
+                ],
+            )
+            .with("vt", vec![1u64, 0, 3])
+            .with("nested", Message::with_body("inner"))
+    }
+
+    #[test]
+    fn roundtrip_preserves_all_fields() {
+        let msg = sample();
+        let bytes = encode(&msg);
+        let back = decode(&bytes).expect("decode");
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn empty_message_roundtrip() {
+        let msg = Message::new();
+        assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn encoded_len_is_a_reasonable_size_model() {
+        let msg = sample();
+        let actual = encode(&msg).len();
+        let model = msg.encoded_len();
+        // The model need not be exact, but must be within a small constant factor so that
+        // fragmentation decisions in the simulator are realistic.
+        assert!(model >= actual / 2, "model {model} actual {actual}");
+        assert!(model <= actual * 2, "model {model} actual {actual}");
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode(&sample()).to_vec();
+        bytes[0] = 0x00;
+        assert!(matches!(decode(&bytes), Err(VsError::CodecError(_))));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = encode(&sample()).to_vec();
+        for cut in 1..bytes.len() {
+            let res = decode(&bytes[..cut]);
+            assert!(res.is_err(), "decode of {cut}-byte prefix should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = encode(&sample()).to_vec();
+        bytes.push(0xFF);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        // Hand-craft: magic, 1 field, name "x", bogus tag 200.
+        let mut buf = BytesMut::new();
+        buf.put_u8(MAGIC);
+        buf.put_u32(1);
+        buf.put_u16(1);
+        buf.put_slice(b"x");
+        buf.put_u8(200);
+        assert!(decode(&buf).is_err());
+    }
+}

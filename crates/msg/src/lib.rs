@@ -1,0 +1,20 @@
+//! The ISIS message subsystem (paper Section 4.1).
+//!
+//! "A message is represented as a symbol table containing multiple fields, each having a
+//! name, type, and variable length data.  Fields can be inserted and deleted at will, and
+//! special system fields carry information such as the address of the sender of a message
+//! (this cannot be forged), the session-id number used to match a reply with a pending call,
+//! etc.  A field can even contain another message."
+//!
+//! This crate provides exactly that data structure ([`Message`]), the typed values fields can
+//! hold ([`Value`]), the well-known system field names ([`fields`]), and a compact binary
+//! codec ([`codec`]) used by the transport layer to compute realistic wire sizes and by the
+//! stable-storage tool to persist logged messages.
+
+pub mod codec;
+pub mod fields;
+pub mod message;
+pub mod value;
+
+pub use message::{Field, Message};
+pub use value::Value;

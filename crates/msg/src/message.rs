@@ -1,0 +1,360 @@
+//! The field-structured message type.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use vsync_util::{Address, EntryId, GroupId, ProcessId, VectorClock, VsError};
+
+use crate::fields;
+use crate::value::Value;
+
+/// One named, typed field of a message.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    /// Field name.  Names beginning with `'@'` are reserved for the toolkit.
+    pub name: String,
+    /// Field value.
+    pub value: Value,
+}
+
+/// A message: an ordered symbol table of named, typed fields.
+///
+/// Fields can be inserted and deleted at will; setting an existing name replaces its value.
+/// System fields (names starting with `'@'`) carry toolkit metadata such as the sender
+/// address and the session id; they are managed by the protocol stack and are stripped from
+/// user-supplied messages before transmission so they cannot be forged.
+#[derive(Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    fields: Vec<Field>,
+}
+
+impl Message {
+    /// Creates an empty message.
+    pub fn new() -> Self {
+        Message { fields: Vec::new() }
+    }
+
+    /// Creates a message with a single `body` field, a common pattern in examples and tests.
+    pub fn with_body(value: impl Into<Value>) -> Self {
+        let mut m = Message::new();
+        m.set(fields::BODY, value);
+        m
+    }
+
+    /// Number of fields currently in the message.
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Returns true if the message has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Iterates over all fields in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Field> {
+        self.fields.iter()
+    }
+
+    /// Sets (inserting or replacing) a field.
+    pub fn set(&mut self, name: &str, value: impl Into<Value>) -> &mut Self {
+        let value = value.into();
+        if let Some(f) = self.fields.iter_mut().find(|f| f.name == name) {
+            f.value = value;
+        } else {
+            self.fields.push(Field {
+                name: name.to_owned(),
+                value,
+            });
+        }
+        self
+    }
+
+    /// Builder-style `set`.
+    pub fn with(mut self, name: &str, value: impl Into<Value>) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Removes a field, returning its value if it was present.
+    pub fn remove(&mut self, name: &str) -> Option<Value> {
+        let idx = self.fields.iter().position(|f| f.name == name)?;
+        Some(self.fields.remove(idx).value)
+    }
+
+    /// Returns a reference to a field's value.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|f| f.name == name).map(|f| &f.value)
+    }
+
+    /// Returns true if the field exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Typed accessor: u64.
+    pub fn get_u64(&self, name: &str) -> Option<u64> {
+        self.get(name).and_then(Value::as_u64)
+    }
+
+    /// Typed accessor: i64.
+    pub fn get_i64(&self, name: &str) -> Option<i64> {
+        self.get(name).and_then(Value::as_i64)
+    }
+
+    /// Typed accessor: f64.
+    pub fn get_f64(&self, name: &str) -> Option<f64> {
+        self.get(name).and_then(Value::as_f64)
+    }
+
+    /// Typed accessor: bool.
+    pub fn get_bool(&self, name: &str) -> Option<bool> {
+        self.get(name).and_then(Value::as_bool)
+    }
+
+    /// Typed accessor: string slice.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.get(name).and_then(Value::as_str)
+    }
+
+    /// Typed accessor: byte slice.
+    pub fn get_bytes(&self, name: &str) -> Option<&[u8]> {
+        self.get(name).and_then(Value::as_bytes)
+    }
+
+    /// Typed accessor: address.
+    pub fn get_addr(&self, name: &str) -> Option<Address> {
+        self.get(name).and_then(Value::as_addr)
+    }
+
+    /// Typed accessor: address list.
+    pub fn get_addr_list(&self, name: &str) -> Option<&[Address]> {
+        self.get(name).and_then(Value::as_addr_list)
+    }
+
+    /// Typed accessor: u64 list.
+    pub fn get_u64_list(&self, name: &str) -> Option<&[u64]> {
+        self.get(name).and_then(Value::as_u64_list)
+    }
+
+    /// Typed accessor: nested message.
+    pub fn get_msg(&self, name: &str) -> Option<&Message> {
+        self.get(name).and_then(Value::as_msg)
+    }
+
+    /// Like [`Message::get_u64`] but returns a codec error naming the missing field,
+    /// which is convenient inside protocol handlers.
+    pub fn require_u64(&self, name: &str) -> Result<u64, VsError> {
+        self.get_u64(name)
+            .ok_or_else(|| VsError::CodecError(format!("missing u64 field {name:?}")))
+    }
+
+    /// Required string accessor.
+    pub fn require_str(&self, name: &str) -> Result<&str, VsError> {
+        self.get_str(name)
+            .ok_or_else(|| VsError::CodecError(format!("missing str field {name:?}")))
+    }
+
+    /// Required address accessor.
+    pub fn require_addr(&self, name: &str) -> Result<Address, VsError> {
+        self.get_addr(name)
+            .ok_or_else(|| VsError::CodecError(format!("missing addr field {name:?}")))
+    }
+
+    // --- System field helpers -------------------------------------------------------------
+
+    /// Removes every system (`@`-prefixed) field.  The protocol stack calls this on
+    /// user-supplied messages before adding its own metadata, which is what makes the sender
+    /// address unforgeable.
+    pub fn strip_system_fields(&mut self) {
+        self.fields.retain(|f| !fields::is_system_field(&f.name));
+    }
+
+    /// Sets the (unforgeable) sender address.
+    pub fn set_sender(&mut self, sender: ProcessId) {
+        self.set(fields::SENDER, sender);
+    }
+
+    /// Returns the sender address, if the message has been through the protocol stack.
+    pub fn sender(&self) -> Option<ProcessId> {
+        self.get_addr(fields::SENDER).and_then(|a| a.as_process())
+    }
+
+    /// Sets the destination entry point.
+    pub fn set_entry(&mut self, entry: EntryId) {
+        self.set(fields::ENTRY, entry.0 as u64);
+    }
+
+    /// Returns the destination entry point.
+    pub fn entry(&self) -> Option<EntryId> {
+        self.get_u64(fields::ENTRY).map(|e| EntryId(e as u8))
+    }
+
+    /// Sets the session id used to match replies with pending calls.
+    pub fn set_session(&mut self, session: u64) {
+        self.set(fields::SESSION, session);
+    }
+
+    /// Returns the session id.
+    pub fn session(&self) -> Option<u64> {
+        self.get_u64(fields::SESSION)
+    }
+
+    /// Sets the group the message was addressed to.
+    pub fn set_group(&mut self, group: GroupId) {
+        self.set(fields::GROUP, group);
+    }
+
+    /// Returns the group the message was addressed to.
+    pub fn group(&self) -> Option<GroupId> {
+        self.get_addr(fields::GROUP).and_then(|a| a.as_group())
+    }
+
+    /// Marks the message as a reply (optionally a null reply).
+    pub fn mark_reply(&mut self, null: bool) {
+        self.set(fields::IS_REPLY, true);
+        if null {
+            self.set(fields::NULL_REPLY, true);
+        }
+    }
+
+    /// Returns true if this is a reply message.
+    pub fn is_reply(&self) -> bool {
+        self.get_bool(fields::IS_REPLY).unwrap_or(false)
+    }
+
+    /// Returns true if this is a null reply.
+    pub fn is_null_reply(&self) -> bool {
+        self.get_bool(fields::NULL_REPLY).unwrap_or(false)
+    }
+
+    /// Attaches a vector timestamp (CBCAST metadata).
+    pub fn set_vector_time(&mut self, vt: &VectorClock) {
+        self.set(fields::VECTOR_TIME, vt.entries().to_vec());
+    }
+
+    /// Reads the attached vector timestamp, if any.
+    pub fn vector_time(&self) -> Option<VectorClock> {
+        self.get_u64_list(fields::VECTOR_TIME)
+            .map(|v| VectorClock::from_entries(v.to_vec()))
+    }
+
+    /// Approximate encoded size in bytes.  Used by the transport to charge fragmentation and
+    /// serialization costs without actually serializing on every hop.
+    pub fn encoded_len(&self) -> usize {
+        // Header: field count (4 bytes).
+        4 + self
+            .fields
+            .iter()
+            .map(|f| 1 + 2 + f.name.len() + 4 + f.value.payload_len())
+            .sum::<usize>()
+    }
+}
+
+impl fmt::Debug for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("Message");
+        for field in &self.fields {
+            s.field(&field.name, &field.value);
+        }
+        s.finish()
+    }
+}
+
+impl FromIterator<(String, Value)> for Message {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        let mut m = Message::new();
+        for (name, value) in iter {
+            m.set(&name, value);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsync_util::SiteId;
+
+    #[test]
+    fn set_get_remove() {
+        let mut m = Message::new();
+        m.set("price", 9000u64);
+        m.set("color", "red");
+        assert_eq!(m.field_count(), 2);
+        assert_eq!(m.get_u64("price"), Some(9000));
+        assert_eq!(m.get_str("color"), Some("red"));
+        m.set("price", 500u64);
+        assert_eq!(m.field_count(), 2, "set replaces, not duplicates");
+        assert_eq!(m.get_u64("price"), Some(500));
+        assert_eq!(m.remove("price"), Some(Value::U64(500)));
+        assert!(!m.contains("price"));
+        assert_eq!(m.remove("price"), None);
+    }
+
+    #[test]
+    fn builder_style() {
+        let m = Message::new().with("a", 1u64).with("b", "two");
+        assert_eq!(m.get_u64("a"), Some(1));
+        assert_eq!(m.get_str("b"), Some("two"));
+        let m2 = Message::with_body("hello");
+        assert_eq!(m2.get_str(fields::BODY), Some("hello"));
+    }
+
+    #[test]
+    fn system_field_helpers() {
+        let mut m = Message::with_body(1u64);
+        let sender = ProcessId::new(SiteId(1), 2);
+        m.set_sender(sender);
+        m.set_entry(EntryId(7));
+        m.set_session(99);
+        m.set_group(GroupId(5));
+        m.mark_reply(true);
+        assert_eq!(m.sender(), Some(sender));
+        assert_eq!(m.entry(), Some(EntryId(7)));
+        assert_eq!(m.session(), Some(99));
+        assert_eq!(m.group(), Some(GroupId(5)));
+        assert!(m.is_reply());
+        assert!(m.is_null_reply());
+
+        m.strip_system_fields();
+        assert!(m.sender().is_none());
+        assert!(m.entry().is_none());
+        assert!(!m.is_reply());
+        assert_eq!(m.get_u64(fields::BODY), Some(1), "user fields survive stripping");
+    }
+
+    #[test]
+    fn vector_time_roundtrip() {
+        let mut m = Message::new();
+        let vt = VectorClock::from_entries(vec![3, 1, 4, 1, 5]);
+        m.set_vector_time(&vt);
+        assert_eq!(m.vector_time(), Some(vt));
+    }
+
+    #[test]
+    fn nested_messages() {
+        let inner = Message::with_body("inner");
+        let mut outer = Message::new();
+        outer.set("wrapped", inner.clone());
+        assert_eq!(outer.get_msg("wrapped"), Some(&inner));
+    }
+
+    #[test]
+    fn encoded_len_grows_with_content() {
+        let empty = Message::new();
+        let small = Message::with_body("x");
+        let big = Message::with_body(vec![0u8; 10_000]);
+        assert!(empty.encoded_len() < small.encoded_len());
+        assert!(small.encoded_len() < big.encoded_len());
+        assert!(big.encoded_len() >= 10_000);
+    }
+
+    #[test]
+    fn require_accessors_error_on_missing() {
+        let m = Message::new();
+        assert!(m.require_u64("nope").is_err());
+        assert!(m.require_str("nope").is_err());
+        assert!(m.require_addr("nope").is_err());
+    }
+}

@@ -1,0 +1,506 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns one [`SiteHandler`] per site (the analogue of the paper's per-site
+//! "protocols process" plus the client processes it serves — see Figure 1), a virtual clock,
+//! an event queue, and the [`NetworkModel`].  Handlers are sans-io state machines: they react
+//! to packets and timers by recording actions in an [`Outbox`], and the engine turns those
+//! actions into future events.  Everything is deterministic given the RNG seed, which is what
+//! makes the virtual-synchrony invariants property-testable.
+//!
+//! Site crashes and recoveries are injected through [`Engine::kill_site`] and
+//! [`Engine::recover_site`]; a crashed site silently discards packets and timers, exactly the
+//! fail-stop behaviour the paper assumes (Section 2.1).
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use vsync_util::{Duration, NetParams, SimTime, SiteId};
+
+use crate::model::NetworkModel;
+use crate::packet::Packet;
+use crate::stats::SharedStats;
+
+/// A per-site event handler: the site's protocol stack together with the processes it hosts.
+pub trait SiteHandler: Any {
+    /// Called once when the site starts (or restarts after recovery).
+    fn on_start(&mut self, _now: SimTime, _out: &mut Outbox) {}
+
+    /// Called when a packet addressed to a process on this site arrives.
+    fn on_packet(&mut self, now: SimTime, pkt: Packet, out: &mut Outbox);
+
+    /// Called when a timer set by this site fires.
+    fn on_timer(&mut self, now: SimTime, token: u64, out: &mut Outbox);
+
+    /// Downcasting hook so harnesses can reach their concrete site runtime.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Actions a handler wants the engine to perform.
+#[derive(Default)]
+pub struct Outbox {
+    sends: Vec<Packet>,
+    timers: Vec<(Duration, u64)>,
+    traces: Vec<String>,
+}
+
+impl Outbox {
+    /// Creates an empty outbox.
+    pub fn new() -> Self {
+        Outbox::default()
+    }
+
+    /// Queues a packet for transmission.
+    pub fn send(&mut self, pkt: Packet) {
+        self.sends.push(pkt);
+    }
+
+    /// Requests a timer callback `after` from now, identified by `token`.
+    pub fn set_timer(&mut self, after: Duration, token: u64) {
+        self.timers.push((after, token));
+    }
+
+    /// Records a trace line (collected by the engine, useful in tests and the repro harness).
+    pub fn trace(&mut self, line: impl Into<String>) {
+        self.traces.push(line.into());
+    }
+
+    /// Returns true if no actions were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty() && self.timers.is_empty() && self.traces.is_empty()
+    }
+}
+
+enum EventKind {
+    Packet(Packet),
+    Timer {
+        site: SiteId,
+        token: u64,
+        /// Site epoch at the time the timer was armed; timers belonging to a crashed
+        /// incarnation are silently discarded.
+        epoch: u64,
+    },
+    Crash(SiteId),
+}
+
+struct QueuedEvent {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct SiteSlot {
+    handler: Option<Box<dyn SiteHandler>>,
+    up: bool,
+    /// Incremented on every crash so events belonging to a dead incarnation can be dropped.
+    epoch: u64,
+}
+
+/// The discrete-event simulator.
+pub struct Engine {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<QueuedEvent>,
+    sites: Vec<SiteSlot>,
+    net: NetworkModel,
+    stats: SharedStats,
+    traces: Vec<(SimTime, String)>,
+    events_processed: u64,
+}
+
+impl Engine {
+    /// Creates an engine with `num_sites` empty site slots.
+    pub fn new(num_sites: usize, params: NetParams, seed: u64) -> Self {
+        let stats = SharedStats::new();
+        let net = NetworkModel::new(params, stats.clone(), seed);
+        let sites = (0..num_sites)
+            .map(|_| SiteSlot {
+                handler: None,
+                up: false,
+                epoch: 0,
+            })
+            .collect();
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            sites,
+            net,
+            stats,
+            traces: Vec::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of site slots.
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The shared statistics counters.
+    pub fn stats(&self) -> SharedStats {
+        self.stats.clone()
+    }
+
+    /// Number of events processed so far (useful as a progress/liveness measure in tests).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Trace lines emitted by handlers, with the time they were emitted.
+    pub fn traces(&self) -> &[(SimTime, String)] {
+        &self.traces
+    }
+
+    /// Returns true if the site is currently up.
+    pub fn site_is_up(&self, site: SiteId) -> bool {
+        self.sites
+            .get(site.index())
+            .map(|s| s.up && s.handler.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Installs the handler for a site and marks it up, invoking `on_start`.
+    pub fn install_site(&mut self, site: SiteId, handler: Box<dyn SiteHandler>) {
+        let idx = site.index();
+        assert!(idx < self.sites.len(), "site {site:?} out of range");
+        let epoch = self.sites[idx].epoch;
+        self.sites[idx] = SiteSlot {
+            handler: Some(handler),
+            up: true,
+            epoch,
+        };
+        self.dispatch(site, |h, now, out| h.on_start(now, out));
+    }
+
+    /// Crashes a site immediately: its handler is dropped and all traffic to it is discarded
+    /// until [`Engine::recover_site`] installs a fresh handler.
+    pub fn kill_site(&mut self, site: SiteId) {
+        if let Some(slot) = self.sites.get_mut(site.index()) {
+            slot.up = false;
+            slot.handler = None;
+            slot.epoch += 1;
+        }
+    }
+
+    /// Schedules a site crash at a future time (failure injection for tests and benches).
+    pub fn schedule_crash(&mut self, at: SimTime, site: SiteId) {
+        self.push_event(at, EventKind::Crash(site));
+    }
+
+    /// Recovers a site by installing a fresh handler (typically rebuilt from stable storage).
+    pub fn recover_site(&mut self, site: SiteId, handler: Box<dyn SiteHandler>) {
+        self.install_site(site, handler);
+    }
+
+    /// Gives mutable access to a site's concrete handler, running at the current time, and
+    /// processes whatever actions the call records.  This is how harnesses inject work
+    /// ("client calls the toolkit at time T").
+    ///
+    /// Returns `None` if the site is down or the concrete type does not match.
+    pub fn with_site<H: SiteHandler, R>(
+        &mut self,
+        site: SiteId,
+        f: impl FnOnce(&mut H, SimTime, &mut Outbox) -> R,
+    ) -> Option<R> {
+        let idx = site.index();
+        if idx >= self.sites.len() || !self.sites[idx].up {
+            return None;
+        }
+        let mut handler = self.sites[idx].handler.take()?;
+        let mut out = Outbox::new();
+        let now = self.now;
+        let result = handler
+            .as_any_mut()
+            .downcast_mut::<H>()
+            .map(|h| f(h, now, &mut out));
+        self.sites[idx].handler = Some(handler);
+        self.apply_outbox(site, out);
+        result
+    }
+
+    /// Runs the event loop until the queue is exhausted or virtual time would pass `limit`.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, limit: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > limit {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.now = ev.at.max(self.now);
+            self.process(ev.kind);
+            processed += 1;
+            self.events_processed += 1;
+        }
+        if self.now < limit {
+            self.now = limit;
+        }
+        processed
+    }
+
+    /// Runs for `d` of virtual time from the current instant.
+    pub fn run_for(&mut self, d: Duration) -> u64 {
+        let target = self.now + d;
+        self.run_until(target)
+    }
+
+    /// Runs until no events remain or `limit` is reached, whichever comes first.
+    /// Periodic timers (heartbeats) mean the queue rarely empties, so a limit is mandatory.
+    pub fn run_until_quiescent(&mut self, limit: SimTime) -> u64 {
+        self.run_until(limit)
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        let at = at.max(self.now);
+        self.seq += 1;
+        self.queue.push(QueuedEvent {
+            at,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    fn process(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Packet(pkt) => {
+                let site = pkt.dst.site;
+                if self.site_is_up(site) {
+                    self.dispatch(site, |h, now, out| h.on_packet(now, pkt, out));
+                }
+            }
+            EventKind::Timer { site, token, epoch } => {
+                let current_epoch = self.sites.get(site.index()).map(|s| s.epoch);
+                if self.site_is_up(site) && current_epoch == Some(epoch) {
+                    self.dispatch(site, |h, now, out| h.on_timer(now, token, out));
+                }
+            }
+            EventKind::Crash(site) => {
+                self.kill_site(site);
+            }
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        site: SiteId,
+        f: impl FnOnce(&mut dyn SiteHandler, SimTime, &mut Outbox),
+    ) {
+        let idx = site.index();
+        let Some(mut handler) = self.sites.get_mut(idx).and_then(|s| s.handler.take()) else {
+            return;
+        };
+        let mut out = Outbox::new();
+        f(handler.as_mut(), self.now, &mut out);
+        if let Some(slot) = self.sites.get_mut(idx) {
+            // Only put the handler back if the site was not killed while we held it.
+            if slot.up {
+                slot.handler = Some(handler);
+            }
+        }
+        self.apply_outbox(site, out);
+    }
+
+    fn apply_outbox(&mut self, origin: SiteId, out: Outbox) {
+        for line in out.traces {
+            self.traces.push((self.now, line));
+        }
+        let epoch = self.sites.get(origin.index()).map(|s| s.epoch).unwrap_or(0);
+        for (after, token) in out.timers {
+            let at = self.now + after;
+            self.push_event(
+                at,
+                EventKind::Timer {
+                    site: origin,
+                    token,
+                    epoch,
+                },
+            );
+        }
+        for pkt in out.sends {
+            let plan = self.net.plan_delivery(self.now, &pkt);
+            self.push_event(plan.arrival, EventKind::Packet(pkt));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+    use vsync_msg::Message;
+    use vsync_util::ProcessId;
+
+    /// A site that counts what it sees and echoes every data packet back to its sender.
+    struct Echo {
+        me: SiteId,
+        received: Vec<(SimTime, String)>,
+        timers: Vec<u64>,
+    }
+
+    impl Echo {
+        fn new(me: SiteId) -> Self {
+            Echo {
+                me,
+                received: Vec::new(),
+                timers: Vec::new(),
+            }
+        }
+    }
+
+    impl SiteHandler for Echo {
+        fn on_start(&mut self, _now: SimTime, out: &mut Outbox) {
+            out.set_timer(Duration::from_millis(5), 1);
+        }
+
+        fn on_packet(&mut self, now: SimTime, pkt: Packet, out: &mut Outbox) {
+            let body = pkt.payload.get_str("body").unwrap_or("").to_owned();
+            self.received.push((now, body.clone()));
+            if body == "ping" {
+                let reply = Packet::new(
+                    pkt.dst,
+                    pkt.src,
+                    PacketKind::Reply,
+                    Message::with_body("pong"),
+                );
+                out.send(reply);
+            }
+        }
+
+        fn on_timer(&mut self, _now: SimTime, token: u64, _out: &mut Outbox) {
+            self.timers.push(token);
+            let _ = self.me;
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_site_engine() -> Engine {
+        let mut eng = Engine::new(2, NetParams::paper1987(), 7);
+        eng.install_site(SiteId(0), Box::new(Echo::new(SiteId(0))));
+        eng.install_site(SiteId(1), Box::new(Echo::new(SiteId(1))));
+        eng
+    }
+
+    #[test]
+    fn ping_pong_round_trip_obeys_link_delays() {
+        let mut eng = two_site_engine();
+        let a = ProcessId::new(SiteId(0), 0);
+        let b = ProcessId::new(SiteId(1), 0);
+        eng.with_site::<Echo, _>(SiteId(0), |_h, _now, out| {
+            out.send(Packet::new(a, b, PacketKind::Data, Message::with_body("ping")));
+        });
+        eng.run_until(SimTime(200_000));
+        // Site 1 saw the ping, site 0 saw the pong.
+        let pong_time = eng
+            .with_site::<Echo, _>(SiteId(0), |h, _now, _out| h.received.clone())
+            .unwrap();
+        let ping_time = eng
+            .with_site::<Echo, _>(SiteId(1), |h, _now, _out| h.received.clone())
+            .unwrap();
+        assert_eq!(ping_time.len(), 1);
+        assert_eq!(pong_time.len(), 1);
+        assert_eq!(ping_time[0].1, "ping");
+        assert_eq!(pong_time[0].1, "pong");
+        // Each inter-site hop costs at least 16 ms in the 1987 profile.
+        assert!(ping_time[0].0.as_millis_f64() >= 16.0);
+        assert!(pong_time[0].0.as_millis_f64() >= 32.0);
+    }
+
+    #[test]
+    fn timers_fire_and_on_start_runs() {
+        let mut eng = two_site_engine();
+        eng.run_until(SimTime(100_000));
+        let timers = eng
+            .with_site::<Echo, _>(SiteId(0), |h, _now, _out| h.timers.clone())
+            .unwrap();
+        assert_eq!(timers, vec![1]);
+    }
+
+    #[test]
+    fn crashed_sites_drop_traffic() {
+        let mut eng = two_site_engine();
+        let a = ProcessId::new(SiteId(0), 0);
+        let b = ProcessId::new(SiteId(1), 0);
+        eng.kill_site(SiteId(1));
+        eng.with_site::<Echo, _>(SiteId(0), |_h, _now, out| {
+            out.send(Packet::new(a, b, PacketKind::Data, Message::with_body("ping")));
+        });
+        eng.run_until(SimTime(1_000_000));
+        assert!(!eng.site_is_up(SiteId(1)));
+        // No pong ever came back.
+        let got = eng
+            .with_site::<Echo, _>(SiteId(0), |h, _now, _out| h.received.len())
+            .unwrap();
+        assert_eq!(got, 0);
+    }
+
+    #[test]
+    fn recovery_installs_a_fresh_handler() {
+        let mut eng = two_site_engine();
+        eng.kill_site(SiteId(1));
+        assert!(!eng.site_is_up(SiteId(1)));
+        eng.recover_site(SiteId(1), Box::new(Echo::new(SiteId(1))));
+        assert!(eng.site_is_up(SiteId(1)));
+        // The fresh handler re-armed its start timer.
+        eng.run_until(SimTime(50_000));
+        let timers = eng
+            .with_site::<Echo, _>(SiteId(1), |h, _now, _out| h.timers.clone())
+            .unwrap();
+        assert_eq!(timers, vec![1]);
+    }
+
+    #[test]
+    fn scheduled_crash_takes_effect_at_the_right_time() {
+        let mut eng = two_site_engine();
+        eng.schedule_crash(SimTime(10_000), SiteId(1));
+        assert!(eng.site_is_up(SiteId(1)));
+        eng.run_until(SimTime(20_000));
+        assert!(!eng.site_is_up(SiteId(1)));
+    }
+
+    #[test]
+    fn with_site_on_down_or_missing_site_returns_none() {
+        let mut eng = Engine::new(1, NetParams::instant(), 0);
+        assert!(eng.with_site::<Echo, _>(SiteId(0), |_h, _n, _o| ()).is_none());
+        eng.install_site(SiteId(0), Box::new(Echo::new(SiteId(0))));
+        assert!(eng.with_site::<Echo, _>(SiteId(0), |_h, _n, _o| ()).is_some());
+        eng.kill_site(SiteId(0));
+        assert!(eng.with_site::<Echo, _>(SiteId(0), |_h, _n, _o| ()).is_none());
+    }
+
+    #[test]
+    fn virtual_time_is_monotonic_and_respects_limits() {
+        let mut eng = two_site_engine();
+        assert_eq!(eng.now(), SimTime::ZERO);
+        eng.run_until(SimTime(1_000));
+        assert_eq!(eng.now(), SimTime(1_000));
+        eng.run_for(Duration::from_millis(2));
+        assert_eq!(eng.now(), SimTime(3_000));
+    }
+}

@@ -1,0 +1,29 @@
+//! The network substrate for the vsync reproduction of ISIS.
+//!
+//! The paper measured ISIS on four SUN 3/50 workstations on a 10 Mbit Ethernet; we substitute
+//! a **deterministic discrete-event simulated LAN** whose latency model uses exactly the
+//! constants the paper reports (10 ms intra-site hop, 16 ms inter-site packet, 4 KiB
+//! fragmentation — Section 7, Figure 3), plus configurable packet loss recovered by
+//! retransmission (the paper's system "tolerates message loss, but not partitioning").
+//!
+//! The crate provides:
+//!
+//! * [`packet`] — the inter-process datagram exchanged between sites.
+//! * [`stats`] — counters used to regenerate Table 1 (multicasts per toolkit routine) and the
+//!   message-count aspects of Figure 3.
+//! * [`model`] — the latency / loss / fragmentation model.
+//! * [`engine`] — the discrete-event simulator: virtual clock, per-site handlers, timers,
+//!   crash and recovery injection.
+//! * [`fail`] — the heartbeat failure detector with adaptive timeouts (paper Section 3.7).
+
+pub mod engine;
+pub mod fail;
+pub mod model;
+pub mod packet;
+pub mod stats;
+
+pub use engine::{Engine, Outbox, SiteHandler};
+pub use fail::FailureDetector;
+pub use model::NetworkModel;
+pub use packet::{MsgId, Packet, PacketKind};
+pub use stats::{NetStats, ProtocolKind, SharedStats};

@@ -1,0 +1,414 @@
+//! ABCAST: totally ordered atomic multicast via two-phase priority agreement.
+//!
+//! "A commonly occurring situation involves a number of concurrently executing processes that
+//! communicate with a shared distributed resource, whose internal state is sensitive to the
+//! order in which requests arrive ...  This ordering requirement corresponds to the primitive
+//! we call ABCAST, which delivers messages atomically and in the same order everywhere"
+//! (paper Section 3.1).
+//!
+//! The protocol is the ISIS two-phase priority scheme:
+//!
+//! 1. the initiator multicasts the message; every destination places it on a holdback queue
+//!    tagged *undeliverable* with a locally proposed priority, and returns the proposal;
+//! 2. the initiator picks the maximum proposal (ties broken by proposer site) and multicasts
+//!    the final priority; destinations mark the message *deliverable* and deliver queued
+//!    messages in priority order as soon as no undeliverable message could precede them.
+//!
+//! If the initiator fails before completing phase two, the view-change flush finalises the
+//! ordering on its behalf using the maximum of the proposals the survivors reported.
+
+use std::collections::BTreeMap;
+
+use vsync_msg::Message;
+use vsync_net::MsgId;
+use vsync_util::{ProcessId, SiteId};
+
+/// A totally ordered message ready for delivery to the local members.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReadyAb {
+    /// Unique id of the multicast.
+    pub id: MsgId,
+    /// Application-level sender.
+    pub sender: ProcessId,
+    /// Final priority assigned to the message.
+    pub priority: u64,
+    /// Application payload.
+    pub payload: Message,
+}
+
+/// A message in the ABCAST holdback queue.
+#[derive(Clone, Debug)]
+struct PendingAb {
+    sender: ProcessId,
+    payload: Message,
+    /// Priority proposed locally (phase one).
+    proposed: u64,
+    /// Final priority plus tie-break site, once phase two completes.
+    decided: Option<(u64, SiteId)>,
+}
+
+/// Proposals being collected by the initiator of an ABCAST.
+#[derive(Clone, Debug)]
+struct Collecting {
+    awaiting: Vec<SiteId>,
+    max_seen: u64,
+    max_site: SiteId,
+}
+
+/// Per-view ABCAST state of one group endpoint.
+#[derive(Clone, Debug, Default)]
+pub struct AbcastState {
+    /// Logical priority clock; proposals are strictly increasing locally.
+    priority_clock: u64,
+    /// Messages received (phase one) and not yet delivered.
+    pending: BTreeMap<MsgId, PendingAb>,
+    /// Messages this endpoint initiated and is still collecting proposals for.
+    collecting: BTreeMap<MsgId, Collecting>,
+}
+
+impl AbcastState {
+    /// Creates empty state.
+    pub fn new() -> Self {
+        AbcastState::default()
+    }
+
+    /// Resets the state for a new view.
+    pub fn reset(&mut self) {
+        self.priority_clock = 0;
+        self.pending.clear();
+        self.collecting.clear();
+    }
+
+    /// Number of messages still waiting for ordering or delivery.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn next_priority(&mut self) -> u64 {
+        self.priority_clock += 1;
+        self.priority_clock
+    }
+
+    /// Phase one at the initiator: registers the outgoing message, records the initiator's
+    /// own proposal, and lists the peer sites whose proposals are awaited.
+    ///
+    /// Returns `true` if the message is already fully ordered (single-site group).
+    pub fn initiate(
+        &mut self,
+        id: MsgId,
+        sender: ProcessId,
+        payload: Message,
+        my_site: SiteId,
+        peer_sites: Vec<SiteId>,
+    ) -> bool {
+        let my_proposal = self.next_priority();
+        self.pending.insert(
+            id,
+            PendingAb {
+                sender,
+                payload,
+                proposed: my_proposal,
+                decided: None,
+            },
+        );
+        if peer_sites.is_empty() {
+            // Nobody else to ask: our proposal is final.
+            self.decide(id, my_proposal, my_site);
+            true
+        } else {
+            self.collecting.insert(
+                id,
+                Collecting {
+                    awaiting: peer_sites,
+                    max_seen: my_proposal,
+                    max_site: my_site,
+                },
+            );
+            false
+        }
+    }
+
+    /// Phase one at a destination: stores the message and returns the priority to propose.
+    /// Duplicate deliveries of the same id return the previously proposed priority.
+    pub fn on_data(&mut self, id: MsgId, sender: ProcessId, payload: Message) -> u64 {
+        if let Some(p) = self.pending.get(&id) {
+            return p.proposed;
+        }
+        let proposed = self.next_priority();
+        self.pending.insert(
+            id,
+            PendingAb {
+                sender,
+                payload,
+                proposed,
+                decided: None,
+            },
+        );
+        proposed
+    }
+
+    /// Phase two input at the initiator: records a proposal from `from_site`.
+    ///
+    /// Returns `Some((final_priority, tiebreak_site))` once every awaited site has answered;
+    /// the caller must then multicast the decision (and apply it locally via
+    /// [`AbcastState::decide`]).
+    pub fn on_proposal(
+        &mut self,
+        id: MsgId,
+        from_site: SiteId,
+        proposed: u64,
+    ) -> Option<(u64, SiteId)> {
+        let c = self.collecting.get_mut(&id)?;
+        c.awaiting.retain(|s| *s != from_site);
+        if proposed > c.max_seen || (proposed == c.max_seen && from_site > c.max_site) {
+            c.max_seen = proposed;
+            c.max_site = from_site;
+        }
+        if c.awaiting.is_empty() {
+            let decision = (c.max_seen, c.max_site);
+            self.collecting.remove(&id);
+            Some(decision)
+        } else {
+            None
+        }
+    }
+
+    /// A peer site is no longer awaited (it failed); returns a decision if that completes the
+    /// collection for any message.  Used when a view change races with an ongoing ABCAST.
+    pub fn forget_site(&mut self, site: SiteId) -> Vec<(MsgId, u64, SiteId)> {
+        let mut decisions = Vec::new();
+        let ids: Vec<MsgId> = self.collecting.keys().copied().collect();
+        for id in ids {
+            if let Some(c) = self.collecting.get_mut(&id) {
+                c.awaiting.retain(|s| *s != site);
+                if c.awaiting.is_empty() {
+                    decisions.push((id, c.max_seen, c.max_site));
+                    self.collecting.remove(&id);
+                }
+            }
+        }
+        decisions
+    }
+
+    /// Phase two at a destination (or locally at the initiator): fixes the final priority.
+    pub fn decide(&mut self, id: MsgId, final_priority: u64, tiebreak_site: SiteId) {
+        if let Some(p) = self.pending.get_mut(&id) {
+            p.decided = Some((final_priority, tiebreak_site));
+        }
+        // The priority clock must never run behind a decided priority, otherwise a later
+        // proposal could be ordered before an already-delivered message.
+        if final_priority > self.priority_clock {
+            self.priority_clock = final_priority;
+        }
+    }
+
+    /// Returns true if the message is known but not yet delivered.
+    pub fn is_pending(&self, id: &MsgId) -> bool {
+        self.pending.contains_key(id)
+    }
+
+    /// The proposals this endpoint has outstanding, as `(id, proposed_priority)` pairs.
+    /// Reported in flush acks so the coordinator can finalise orphaned ABCASTs.
+    pub fn pending_proposals(&self) -> Vec<(MsgId, u64)> {
+        self.pending
+            .iter()
+            .filter(|(_, p)| p.decided.is_none())
+            .map(|(id, p)| (*id, p.proposed))
+            .collect()
+    }
+
+    /// Delivers every message whose final priority is known and cannot be preceded by any
+    /// still-undecided message.  Delivery order is `(priority, message id)`, identical at
+    /// every member.
+    pub fn drain(&mut self) -> Vec<ReadyAb> {
+        let mut out = Vec::new();
+        loop {
+            // Find the minimum key over all pending messages, using the proposed priority for
+            // undecided messages (their final priority can only be >= the proposal).
+            let min_key = self
+                .pending
+                .iter()
+                .map(|(id, p)| {
+                    let prio = p.decided.map(|(f, _)| f).unwrap_or(p.proposed);
+                    (prio, *id)
+                })
+                .min();
+            let Some((_, min_id)) = min_key else { break };
+            let decided = self.pending.get(&min_id).and_then(|p| p.decided);
+            match decided {
+                Some((prio, _site)) => {
+                    let p = self.pending.remove(&min_id).expect("pending entry");
+                    out.push(ReadyAb {
+                        id: min_id,
+                        sender: p.sender,
+                        priority: prio,
+                        payload: p.payload,
+                    });
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Force-delivers everything still pending (used at the flush cut after the coordinator
+    /// has assigned final priorities to every orphaned message).
+    pub fn force_drain(&mut self) -> Vec<ReadyAb> {
+        let mut rest: Vec<(MsgId, PendingAb)> = std::mem::take(&mut self.pending).into_iter().collect();
+        rest.sort_by_key(|(id, p)| (p.decided.map(|(f, _)| f).unwrap_or(p.proposed), *id));
+        rest.into_iter()
+            .map(|(id, p)| ReadyAb {
+                id,
+                sender: p.sender,
+                priority: p.decided.map(|(f, _)| f).unwrap_or(p.proposed),
+                payload: p.payload,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(site: u16) -> ProcessId {
+        ProcessId::new(SiteId(site), 1)
+    }
+
+    fn id(site: u16, seq: u64) -> MsgId {
+        MsgId::new(SiteId(site), seq)
+    }
+
+    #[test]
+    fn single_site_group_orders_immediately() {
+        let mut ab = AbcastState::new();
+        let done = ab.initiate(id(0, 1), pid(0), Message::with_body(1u64), SiteId(0), vec![]);
+        assert!(done);
+        let delivered = ab.drain();
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].id, id(0, 1));
+    }
+
+    #[test]
+    fn two_phase_flow_delivers_after_all_proposals() {
+        let mut ab = AbcastState::new();
+        let done = ab.initiate(
+            id(0, 1),
+            pid(0),
+            Message::with_body(1u64),
+            SiteId(0),
+            vec![SiteId(1), SiteId(2)],
+        );
+        assert!(!done);
+        assert!(ab.drain().is_empty(), "not deliverable before the decision");
+        assert!(ab.on_proposal(id(0, 1), SiteId(1), 5).is_none());
+        let decision = ab.on_proposal(id(0, 1), SiteId(2), 3).expect("all proposals in");
+        assert_eq!(decision.0, 5, "final priority is the maximum proposal");
+        ab.decide(id(0, 1), decision.0, decision.1);
+        let delivered = ab.drain();
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].priority, 5);
+    }
+
+    #[test]
+    fn destinations_deliver_in_final_priority_order() {
+        // Two concurrent ABCASTs seen by one destination in the "wrong" order.
+        let mut ab = AbcastState::new();
+        let p1 = ab.on_data(id(1, 1), pid(1), Message::with_body("first"));
+        let p2 = ab.on_data(id(2, 1), pid(2), Message::with_body("second"));
+        assert!(p2 > p1);
+        // The second message's final priority is lower than the first's: it must deliver first.
+        ab.decide(id(2, 1), p2, SiteId(2));
+        // Not deliverable yet: message 1 is still undecided with a lower proposal.
+        assert!(ab.drain().is_empty());
+        ab.decide(id(1, 1), p2 + 3, SiteId(1));
+        let delivered = ab.drain();
+        assert_eq!(delivered.len(), 2);
+        assert_eq!(delivered[0].id, id(2, 1));
+        assert_eq!(delivered[1].id, id(1, 1));
+    }
+
+    #[test]
+    fn duplicate_data_returns_same_proposal() {
+        let mut ab = AbcastState::new();
+        let p1 = ab.on_data(id(1, 1), pid(1), Message::with_body(1u64));
+        let p2 = ab.on_data(id(1, 1), pid(1), Message::with_body(1u64));
+        assert_eq!(p1, p2);
+        assert_eq!(ab.pending_len(), 1);
+    }
+
+    #[test]
+    fn priority_clock_never_runs_behind_decisions() {
+        let mut ab = AbcastState::new();
+        ab.on_data(id(1, 1), pid(1), Message::with_body(1u64));
+        ab.decide(id(1, 1), 100, SiteId(1));
+        let _ = ab.drain();
+        // A new proposal must exceed the decided priority, otherwise total order could break.
+        let p = ab.on_data(id(2, 1), pid(2), Message::with_body(2u64));
+        assert!(p > 100);
+    }
+
+    #[test]
+    fn forget_site_completes_collection() {
+        let mut ab = AbcastState::new();
+        ab.initiate(
+            id(0, 1),
+            pid(0),
+            Message::with_body(1u64),
+            SiteId(0),
+            vec![SiteId(1), SiteId(2)],
+        );
+        ab.on_proposal(id(0, 1), SiteId(1), 9);
+        let decisions = ab.forget_site(SiteId(2));
+        assert_eq!(decisions.len(), 1);
+        assert_eq!(decisions[0].1, 9);
+    }
+
+    #[test]
+    fn pending_proposals_report_only_undecided_messages() {
+        let mut ab = AbcastState::new();
+        ab.on_data(id(1, 1), pid(1), Message::with_body(1u64));
+        ab.on_data(id(2, 1), pid(2), Message::with_body(2u64));
+        ab.decide(id(1, 1), 50, SiteId(1));
+        let pending = ab.pending_proposals();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].0, id(2, 1));
+    }
+
+    #[test]
+    fn force_drain_orders_by_best_known_priority() {
+        let mut ab = AbcastState::new();
+        ab.on_data(id(1, 1), pid(1), Message::with_body(1u64));
+        ab.on_data(id(2, 1), pid(2), Message::with_body(2u64));
+        ab.decide(id(2, 1), 1_000, SiteId(2));
+        let drained = ab.force_drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].id, id(1, 1), "undecided low proposal first");
+        assert_eq!(drained[1].id, id(2, 1));
+        assert_eq!(ab.pending_len(), 0);
+    }
+
+    #[test]
+    fn total_order_is_identical_across_simulated_destinations() {
+        // Simulate three destinations receiving two concurrent ABCASTs in different orders,
+        // then applying the same decisions: the delivery order must be identical.
+        let decisions = [(id(1, 1), 7u64, SiteId(1)), (id(2, 1), 7u64, SiteId(2))];
+        let mut orders = Vec::new();
+        for arrival in [
+            vec![(id(1, 1), pid(1)), (id(2, 1), pid(2))],
+            vec![(id(2, 1), pid(2)), (id(1, 1), pid(1))],
+        ] {
+            let mut ab = AbcastState::new();
+            for (mid, sender) in arrival {
+                ab.on_data(mid, sender, Message::with_body(mid.seq));
+            }
+            for (mid, prio, site) in decisions {
+                ab.decide(mid, prio, site);
+            }
+            let order: Vec<MsgId> = ab.drain().into_iter().map(|r| r.id).collect();
+            orders.push(order);
+        }
+        assert_eq!(orders[0], orders[1]);
+        assert_eq!(orders[0].len(), 2);
+    }
+}

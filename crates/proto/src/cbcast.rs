@@ -1,0 +1,227 @@
+//! CBCAST: causally ordered multicast.
+//!
+//! "Lamport observed that in a distributed system, the ordering of events is meaningful only
+//! when information could have flowed from one to the other ...  CBCAST guarantees that if
+//! any invocations of CBCAST are potentially causally related, the corresponding messages are
+//! delivered everywhere in the order of invocation" (paper Section 3.1).
+//!
+//! The implementation is the classic vector-timestamp scheme: the sending endpoint increments
+//! its own component and stamps the message; a receiver holds the message back until the
+//! timestamp shows that every causally earlier message has already been delivered.  Messages
+//! that are not causally related may be delivered in different orders at different sites —
+//! that freedom is exactly what makes CBCAST cheap enough to use asynchronously.
+
+use vsync_msg::Message;
+use vsync_net::MsgId;
+use vsync_util::{ProcessId, Rank, VectorClock};
+
+/// A causally ordered message ready for delivery to the local members.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReadyCb {
+    /// Unique id of the multicast.
+    pub id: MsgId,
+    /// Application-level sender.
+    pub sender: ProcessId,
+    /// Rank of the sending endpoint in the view.
+    pub sender_rank: Rank,
+    /// Vector timestamp of the message.
+    pub vt: VectorClock,
+    /// Application payload.
+    pub payload: Message,
+}
+
+/// A message waiting in the holdback queue for its causal predecessors.
+#[derive(Clone, Debug)]
+struct HeldCb {
+    ready: ReadyCb,
+}
+
+/// Per-view CBCAST state of one group endpoint.
+#[derive(Clone, Debug, Default)]
+pub struct CbcastState {
+    delivered_vt: VectorClock,
+    holdback: Vec<HeldCb>,
+}
+
+impl CbcastState {
+    /// Creates state for a view with `width` members.
+    pub fn new(width: usize) -> Self {
+        CbcastState {
+            delivered_vt: VectorClock::zero(width),
+            holdback: Vec::new(),
+        }
+    }
+
+    /// Resets the state for a new view of `width` members (the flush protocol guarantees
+    /// nothing from the previous view is still undelivered).
+    pub fn reset(&mut self, width: usize) {
+        self.delivered_vt = VectorClock::zero(width);
+        self.holdback.clear();
+    }
+
+    /// Vector timestamp of everything delivered so far.
+    pub fn delivered_vt(&self) -> &VectorClock {
+        &self.delivered_vt
+    }
+
+    /// Number of messages parked in the holdback queue.
+    pub fn holdback_len(&self) -> usize {
+        self.holdback.len()
+    }
+
+    /// Prepares to send a new CBCAST from the local member at `my_rank`: advances the local
+    /// clock and returns the timestamp to stamp on the message.  The caller must deliver the
+    /// message locally right away (the local copy trivially satisfies the delivery rule).
+    pub fn stamp_send(&mut self, my_rank: Rank) -> VectorClock {
+        self.delivered_vt.increment(my_rank);
+        self.delivered_vt.clone()
+    }
+
+    /// Handles an incoming CBCAST.  Returns every message (possibly including this one and
+    /// previously held ones) that has become deliverable, in causal order.
+    pub fn receive(&mut self, msg: ReadyCb) -> Vec<ReadyCb> {
+        self.holdback.push(HeldCb { ready: msg });
+        self.drain()
+    }
+
+    /// Delivers every message whose causal predecessors have been delivered.
+    pub fn drain(&mut self) -> Vec<ReadyCb> {
+        let mut delivered = Vec::new();
+        loop {
+            let idx = self.holdback.iter().position(|h| {
+                self.delivered_vt
+                    .deliverable_from(h.ready.sender_rank, &h.ready.vt)
+            });
+            match idx {
+                Some(i) => {
+                    let h = self.holdback.remove(i);
+                    self.delivered_vt.merge(&h.ready.vt);
+                    delivered.push(h.ready);
+                }
+                None => break,
+            }
+        }
+        delivered
+    }
+
+    /// Delivers everything still held back, in a deterministic order, ignoring unsatisfiable
+    /// causal dependencies.  Used at the flush cut when a dependency vanished with a failed
+    /// sender that nobody else heard from.
+    pub fn force_drain(&mut self) -> Vec<ReadyCb> {
+        let mut rest: Vec<ReadyCb> = self.holdback.drain(..).map(|h| h.ready).collect();
+        rest.sort_by(|a, b| {
+            (a.sender_rank, a.vt.get(a.sender_rank), a.id)
+                .cmp(&(b.sender_rank, b.vt.get(b.sender_rank), b.id))
+        });
+        for r in &rest {
+            self.delivered_vt.merge(&r.vt);
+        }
+        rest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsync_util::SiteId;
+
+    fn mk(id_seq: u64, sender_rank: Rank, vt: Vec<u64>) -> ReadyCb {
+        ReadyCb {
+            id: MsgId::new(SiteId(sender_rank as u16), id_seq),
+            sender: ProcessId::new(SiteId(sender_rank as u16), 1),
+            sender_rank,
+            vt: VectorClock::from_entries(vt),
+            payload: Message::with_body(id_seq),
+        }
+    }
+
+    #[test]
+    fn stamp_send_increments_own_component() {
+        let mut cb = CbcastState::new(3);
+        let vt1 = cb.stamp_send(1);
+        assert_eq!(vt1.entries(), &[0, 1, 0]);
+        let vt2 = cb.stamp_send(1);
+        assert_eq!(vt2.entries(), &[0, 2, 0]);
+    }
+
+    #[test]
+    fn in_order_messages_deliver_immediately() {
+        let mut cb = CbcastState::new(2);
+        let d1 = cb.receive(mk(1, 0, vec![1, 0]));
+        assert_eq!(d1.len(), 1);
+        let d2 = cb.receive(mk(2, 0, vec![2, 0]));
+        assert_eq!(d2.len(), 1);
+        assert_eq!(cb.delivered_vt().entries(), &[2, 0]);
+    }
+
+    #[test]
+    fn causally_dependent_message_waits_for_its_predecessor() {
+        let mut cb = CbcastState::new(2);
+        // Rank 1 sent a message after seeing rank 0's first message; it arrives first.
+        let dependent = mk(10, 1, vec![1, 1]);
+        assert!(cb.receive(dependent.clone()).is_empty());
+        assert_eq!(cb.holdback_len(), 1);
+        // The predecessor arrives: both become deliverable, predecessor first.
+        let predecessor = mk(1, 0, vec![1, 0]);
+        let delivered = cb.receive(predecessor.clone());
+        assert_eq!(delivered.len(), 2);
+        assert_eq!(delivered[0].id, predecessor.id);
+        assert_eq!(delivered[1].id, dependent.id);
+    }
+
+    #[test]
+    fn fifo_from_a_single_sender_is_preserved() {
+        let mut cb = CbcastState::new(2);
+        // Second message from rank 0 arrives before the first.
+        assert!(cb.receive(mk(2, 0, vec![2, 0])).is_empty());
+        let delivered = cb.receive(mk(1, 0, vec![1, 0]));
+        assert_eq!(delivered.len(), 2);
+        assert_eq!(delivered[0].vt.get(0), 1);
+        assert_eq!(delivered[1].vt.get(0), 2);
+    }
+
+    #[test]
+    fn concurrent_messages_deliver_in_any_order_without_blocking() {
+        let mut cb = CbcastState::new(3);
+        let a = mk(1, 0, vec![1, 0, 0]);
+        let b = mk(2, 1, vec![0, 1, 0]);
+        assert_eq!(cb.receive(b).len(), 1);
+        assert_eq!(cb.receive(a).len(), 1);
+    }
+
+    #[test]
+    fn own_sends_interleave_with_receives() {
+        let mut cb = CbcastState::new(2);
+        // We are rank 0; we send one message.
+        let vt = cb.stamp_send(0);
+        assert_eq!(vt.entries(), &[1, 0]);
+        // Rank 1 replies causally after ours: deliverable immediately.
+        let reply = mk(5, 1, vec![1, 1]);
+        assert_eq!(cb.receive(reply).len(), 1);
+    }
+
+    #[test]
+    fn force_drain_releases_stuck_messages_in_deterministic_order() {
+        let mut cb = CbcastState::new(3);
+        // Both messages depend on a rank-2 message nobody will ever get.
+        let a = mk(3, 0, vec![1, 0, 1]);
+        let b = mk(4, 1, vec![0, 1, 1]);
+        assert!(cb.receive(b.clone()).is_empty());
+        assert!(cb.receive(a.clone()).is_empty());
+        let drained = cb.force_drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].id, a.id, "lower sender rank first");
+        assert_eq!(drained[1].id, b.id);
+        assert_eq!(cb.holdback_len(), 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut cb = CbcastState::new(2);
+        cb.stamp_send(0);
+        cb.receive(mk(9, 1, vec![5, 5]));
+        cb.reset(4);
+        assert_eq!(cb.delivered_vt().entries(), &[0, 0, 0, 0]);
+        assert_eq!(cb.holdback_len(), 0);
+    }
+}

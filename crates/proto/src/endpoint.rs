@@ -1,0 +1,993 @@
+//! The per-(site, group) protocol endpoint.
+//!
+//! In the ISIS architecture (paper Figure 1) every site runs a *protocols process* that
+//! "implements the multicast primitives, handles process group addressing and does all
+//! inter-site communication", keeping one block of ordering state per process group with
+//! members at that site.  [`GroupEndpoint`] is that block of state: it composes the CBCAST
+//! and ABCAST machines, the stability tracker, and the flush protocol that implements GBCAST
+//! and virtually synchronous view changes.
+//!
+//! The endpoint is sans-io: every public method appends [`EndpointOutput`] actions to a
+//! caller-supplied vector.  The hosting protocol stack (in `vsync-core`) owns one endpoint
+//! per group and turns the outputs into packets and application deliveries.
+
+use std::collections::BTreeSet;
+
+use vsync_msg::Message;
+use vsync_net::{MsgId, PacketKind, ProtocolKind, SharedStats};
+use vsync_util::{Duration, GroupId, ProcessId, Rank, Result, SimTime, SiteId, VsError};
+
+use crate::abcast::AbcastState;
+use crate::cbcast::{CbcastState, ReadyCb};
+use crate::config::ProtoConfig;
+use crate::flush::{stored_msg_id, FlushCoordinator, FlushParticipant, FlushRole};
+use crate::messages::{ProtoMsg, StoredMsg};
+use crate::output::{Delivery, EndpointOutput, ViewEvent};
+use crate::stability::StabilityTracker;
+use crate::view::View;
+
+/// A multicast buffered while a flush is in progress; it is re-issued in the next view.
+#[derive(Clone, Debug)]
+enum BufferedSend {
+    Cb { sender: ProcessId, payload: Message },
+    Ab { sender: ProcessId, payload: Message },
+}
+
+/// Protocol endpoint for one group at one site.
+pub struct GroupEndpoint {
+    group: GroupId,
+    site: SiteId,
+    cfg: ProtoConfig,
+    stats: SharedStats,
+    view: Option<View>,
+    next_msg_seq: u64,
+    flush_attempt: u64,
+    cb: CbcastState,
+    ab: AbcastState,
+    stab: StabilityTracker,
+    delivered: BTreeSet<MsgId>,
+    flush: Option<FlushRole>,
+    /// Membership changes queued at (or forwarded to) the acting coordinator.
+    pending_joins: Vec<ProcessId>,
+    pending_leaves: Vec<ProcessId>,
+    /// Members this site believes have failed (cleared when a view excluding them installs).
+    suspected: BTreeSet<ProcessId>,
+    /// User GBCAST payloads queued for the next cut (only at the coordinator's site).
+    pending_gbcasts: Vec<Message>,
+    /// Application multicasts issued while a flush was in progress.
+    buffered_sends: Vec<BufferedSend>,
+    /// Protocol messages that belong to a view we have not installed yet.
+    future_msgs: Vec<(SiteId, Message)>,
+    last_gossip: SimTime,
+}
+
+impl GroupEndpoint {
+    /// Creates an endpoint with no view installed (a site about to create or join the group).
+    pub fn new(group: GroupId, site: SiteId, cfg: ProtoConfig, stats: SharedStats) -> Self {
+        GroupEndpoint {
+            group,
+            site,
+            cfg,
+            stats,
+            view: None,
+            next_msg_seq: 0,
+            flush_attempt: 0,
+            cb: CbcastState::new(0),
+            ab: AbcastState::new(),
+            stab: StabilityTracker::new(site, vec![site]),
+            delivered: BTreeSet::new(),
+            flush: None,
+            pending_joins: Vec::new(),
+            pending_leaves: Vec::new(),
+            suspected: BTreeSet::new(),
+            pending_gbcasts: Vec::new(),
+            buffered_sends: Vec::new(),
+            future_msgs: Vec::new(),
+            last_gossip: SimTime::ZERO,
+        }
+    }
+
+    /// The group this endpoint serves.
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// The site this endpoint runs on.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// The currently installed view, if any.
+    pub fn view(&self) -> Option<&View> {
+        self.view.as_ref()
+    }
+
+    /// Members of the current view hosted at this site.
+    pub fn local_members(&self) -> Vec<ProcessId> {
+        self.view
+            .as_ref()
+            .map(|v| v.members_at(self.site))
+            .unwrap_or_default()
+    }
+
+    /// True while a flush (view change / GBCAST) is in progress at this endpoint.
+    pub fn is_flushing(&self) -> bool {
+        self.flush.is_some()
+    }
+
+    /// Creates the group: installs the founding view with `creator` as the only member.
+    /// `creator` must live at this site.
+    pub fn create(&mut self, creator: ProcessId, out: &mut Vec<EndpointOutput>) {
+        debug_assert_eq!(creator.site, self.site);
+        let view = View::founding(self.group, creator);
+        self.install_view(view.clone());
+        out.push(EndpointOutput::ViewChange(ViewEvent {
+            view,
+            gbcasts: Vec::new(),
+        }));
+    }
+
+    // -- Application-facing multicast operations --------------------------------------------
+
+    /// Issues a CBCAST from a local member (or on behalf of a relayed external caller).
+    pub fn cbcast(
+        &mut self,
+        _now: SimTime,
+        sender: ProcessId,
+        payload: Message,
+        out: &mut Vec<EndpointOutput>,
+    ) -> Result<MsgId> {
+        let Some(view) = self.view.clone() else {
+            return Err(VsError::NotAMember(self.group));
+        };
+        self.stats.count_multicast(ProtocolKind::Cbcast);
+        if self.flush.is_some() {
+            self.buffered_sends.push(BufferedSend::Cb { sender, payload });
+            // The id is assigned when the buffered send is re-issued; report a provisional id.
+            return Ok(MsgId::new(self.site, u64::MAX));
+        }
+        let rank = self.rank_for_sender(&view, sender)?;
+        let id = self.alloc_msg_id();
+        let vt = self.cb.stamp_send(rank);
+        let wire = ProtoMsg::CbData {
+            id,
+            sender,
+            sender_rank: rank as u64,
+            view_seq: view.seq(),
+            vt: vt.clone(),
+            payload: payload.clone(),
+        }
+        .encode(self.group);
+        self.stab.record_local(
+            id,
+            StoredMsg {
+                wire: wire.clone(),
+                ab_priority: None,
+            },
+        );
+        self.send_to_peer_sites(&view, PacketKind::Data, wire, out);
+        // Deliver locally right away: the caller "can pretend that the message was delivered
+        // to its destinations at the moment the CBCAST was issued" (Section 3.4).
+        self.delivered.insert(id);
+        self.emit_delivery(id, ProtocolKind::Cbcast, payload, out);
+        Ok(id)
+    }
+
+    /// Issues an ABCAST from a local member (or on behalf of a relayed external caller).
+    pub fn abcast(
+        &mut self,
+        _now: SimTime,
+        sender: ProcessId,
+        payload: Message,
+        out: &mut Vec<EndpointOutput>,
+    ) -> Result<MsgId> {
+        let Some(view) = self.view.clone() else {
+            return Err(VsError::NotAMember(self.group));
+        };
+        self.stats.count_multicast(ProtocolKind::Abcast);
+        if self.flush.is_some() {
+            self.buffered_sends.push(BufferedSend::Ab { sender, payload });
+            return Ok(MsgId::new(self.site, u64::MAX));
+        }
+        let id = self.alloc_msg_id();
+        let peer_sites: Vec<SiteId> = view
+            .member_sites()
+            .into_iter()
+            .filter(|s| *s != self.site)
+            .collect();
+        let wire = ProtoMsg::AbData {
+            id,
+            sender,
+            view_seq: view.seq(),
+            payload: payload.clone(),
+        }
+        .encode(self.group);
+        self.stab.record_local(
+            id,
+            StoredMsg {
+                wire: wire.clone(),
+                ab_priority: None,
+            },
+        );
+        let ordered = self.ab.initiate(id, sender, payload, self.site, peer_sites);
+        self.send_to_peer_sites(&view, PacketKind::Data, wire, out);
+        if ordered {
+            self.drain_abcasts(out);
+        }
+        Ok(id)
+    }
+
+    /// Issues a GBCAST: the payload is delivered at the next virtual-synchrony cut, ordered
+    /// consistently with respect to every other event.
+    pub fn gbcast(
+        &mut self,
+        now: SimTime,
+        sender: ProcessId,
+        payload: Message,
+        out: &mut Vec<EndpointOutput>,
+    ) -> Result<()> {
+        let Some(view) = self.view.clone() else {
+            return Err(VsError::NotAMember(self.group));
+        };
+        let Some(coord) = self.acting_coordinator() else {
+            return Err(VsError::NoCoordinator(self.group));
+        };
+        if coord.site == self.site {
+            self.pending_gbcasts.push(payload);
+            self.start_flush_if_needed(now, out);
+        } else {
+            let wire = ProtoMsg::GbcastReq { sender, payload }.encode(self.group);
+            self.send_to_site(coord.site, PacketKind::Flush, wire, out);
+            let _ = view;
+        }
+        Ok(())
+    }
+
+    // -- Membership operations ---------------------------------------------------------------
+
+    /// Submits a join request for `joiner`.  Called on the site the joiner contacted; it is
+    /// forwarded to the acting coordinator if that is elsewhere.
+    pub fn submit_join(
+        &mut self,
+        now: SimTime,
+        joiner: ProcessId,
+        credentials: Option<String>,
+        out: &mut Vec<EndpointOutput>,
+    ) -> Result<()> {
+        let Some(coord) = self.acting_coordinator() else {
+            return Err(VsError::NoCoordinator(self.group));
+        };
+        if coord.site == self.site {
+            if !self.pending_joins.contains(&joiner) {
+                self.pending_joins.push(joiner);
+            }
+            self.start_flush_if_needed(now, out);
+        } else {
+            let wire = ProtoMsg::JoinReq { joiner, credentials }.encode(self.group);
+            self.send_to_site(coord.site, PacketKind::Flush, wire, out);
+        }
+        Ok(())
+    }
+
+    /// Submits a voluntary leave for `member`.
+    pub fn submit_leave(
+        &mut self,
+        now: SimTime,
+        member: ProcessId,
+        out: &mut Vec<EndpointOutput>,
+    ) -> Result<()> {
+        let Some(coord) = self.acting_coordinator() else {
+            return Err(VsError::NoCoordinator(self.group));
+        };
+        if coord.site == self.site {
+            if !self.pending_leaves.contains(&member) {
+                self.pending_leaves.push(member);
+            }
+            self.start_flush_if_needed(now, out);
+        } else {
+            let wire = ProtoMsg::LeaveReq { member }.encode(self.group);
+            self.send_to_site(coord.site, PacketKind::Flush, wire, out);
+        }
+        Ok(())
+    }
+
+    /// Reports that `failed` processes are believed to have crashed.  Called on every member
+    /// site by the failure-detection layer; the site hosting the oldest surviving member
+    /// initiates the view change.
+    pub fn report_failures(
+        &mut self,
+        now: SimTime,
+        failed: &[ProcessId],
+        out: &mut Vec<EndpointOutput>,
+    ) {
+        let Some(view) = self.view.clone() else { return };
+        let mut newly = false;
+        for f in failed {
+            if view.contains(*f) && self.suspected.insert(*f) {
+                newly = true;
+            }
+        }
+        if !newly {
+            return;
+        }
+        // Fully failed sites will never answer ABCAST proposals or flush requests.
+        let failed_sites: Vec<SiteId> = view
+            .member_sites()
+            .into_iter()
+            .filter(|s| view.members_at(*s).iter().all(|m| self.suspected.contains(m)))
+            .collect();
+        for fs in &failed_sites {
+            for (id, final_prio, tiebreak) in self.ab.forget_site(*fs) {
+                self.finish_abcast_order(id, final_prio, tiebreak, &view, out);
+            }
+        }
+        // If the flush we were part of was being run by a now-failed member, forget it so the
+        // next coordinator (possibly us) can take over.
+        let initiator_failed = match &self.flush {
+            Some(FlushRole::Participant(p)) => self.suspected.contains(&p.initiator),
+            _ => false,
+        };
+        if initiator_failed {
+            self.flush = None;
+            self.flush_attempt += 1;
+        }
+        if let Some(FlushRole::Coordinator(c)) = &mut self.flush {
+            let mut complete = false;
+            for fs in &failed_sites {
+                if c.forget_site(*fs) {
+                    complete = true;
+                }
+            }
+            if complete {
+                self.complete_flush(now, out);
+                return;
+            }
+        }
+        self.start_flush_if_needed(now, out);
+    }
+
+    // -- Protocol message handling ------------------------------------------------------------
+
+    /// Handles a protocol message from the endpoint at `from_site`.
+    pub fn on_message(
+        &mut self,
+        now: SimTime,
+        from_site: SiteId,
+        wire: &Message,
+        out: &mut Vec<EndpointOutput>,
+    ) -> Result<()> {
+        let (group, msg) = ProtoMsg::decode(wire)?;
+        if group != self.group {
+            return Err(VsError::Internal(format!(
+                "message for {group} routed to endpoint of {}",
+                self.group
+            )));
+        }
+        match msg {
+            ProtoMsg::CbData { view_seq, .. } | ProtoMsg::AbData { view_seq, .. } => {
+                match self.view_position(view_seq) {
+                    ViewPosition::Current => self.handle_data(now, msg, out),
+                    ViewPosition::Future => {
+                        self.future_msgs.push((from_site, wire.clone()));
+                    }
+                    ViewPosition::Past => {}
+                }
+            }
+            ProtoMsg::AbPropose {
+                id,
+                view_seq,
+                proposed,
+                proposer_site,
+            } => {
+                if self.view_position(view_seq) == ViewPosition::Current {
+                    if let Some((final_prio, tiebreak)) =
+                        self.ab.on_proposal(id, proposer_site, proposed)
+                    {
+                        let view = self.view.clone().expect("view exists");
+                        self.finish_abcast_order(id, final_prio, tiebreak, &view, out);
+                    }
+                } else if self.view_position(view_seq) == ViewPosition::Future {
+                    self.future_msgs.push((from_site, wire.clone()));
+                }
+            }
+            ProtoMsg::AbOrder {
+                id,
+                view_seq,
+                final_priority,
+                tiebreak_site,
+            } => match self.view_position(view_seq) {
+                ViewPosition::Current => {
+                    self.ab.decide(id, final_priority, tiebreak_site);
+                    self.stab.set_ab_priority(id, final_priority);
+                    self.drain_abcasts(out);
+                }
+                ViewPosition::Future => self.future_msgs.push((from_site, wire.clone())),
+                ViewPosition::Past => {}
+            },
+            ProtoMsg::JoinReq { joiner, credentials } => {
+                self.submit_join(now, joiner, credentials, out)?;
+            }
+            ProtoMsg::LeaveReq { member } => {
+                self.submit_leave(now, member, out)?;
+            }
+            ProtoMsg::FailReport { failed } => {
+                self.report_failures(now, &failed, out);
+            }
+            ProtoMsg::GbcastReq { sender, payload } => {
+                self.gbcast(now, sender, payload, out)?;
+            }
+            ProtoMsg::FlushReq {
+                target_seq,
+                initiator,
+                attempt,
+            } => {
+                self.handle_flush_req(now, target_seq, initiator, attempt, out);
+            }
+            ProtoMsg::FlushAck {
+                target_seq,
+                from_site,
+                stored,
+            } => {
+                self.handle_flush_ack(now, target_seq, from_site, stored, out);
+            }
+            ProtoMsg::FlushCommit {
+                target_seq,
+                view,
+                deliver,
+                gbcasts,
+            } => {
+                self.apply_commit(now, target_seq, view, deliver, gbcasts, out);
+            }
+            ProtoMsg::Stability {
+                view_seq,
+                from_site,
+                ids,
+            } => {
+                if self.view_position(view_seq) == ViewPosition::Current {
+                    self.stab.on_gossip(from_site, &ids);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Periodic maintenance: stability gossip and flush-timeout recovery.
+    pub fn on_tick(&mut self, now: SimTime, out: &mut Vec<EndpointOutput>) {
+        let Some(view) = self.view.clone() else { return };
+        // Stability gossip.
+        if now.saturating_since(self.last_gossip) >= self.cfg.stability_interval {
+            self.last_gossip = now;
+            let ids = self.stab.local_ids();
+            if !ids.is_empty() && view.member_sites().len() > 1 {
+                let wire = ProtoMsg::Stability {
+                    view_seq: view.seq(),
+                    from_site: self.site,
+                    ids,
+                }
+                .encode(self.group);
+                self.send_to_peer_sites(&view, PacketKind::Stability, wire, out);
+            }
+        }
+        // Flush watchdog.
+        let stalled = self
+            .flush
+            .as_ref()
+            .map(|f| now.saturating_since(f.started_at()) > self.cfg.flush_timeout)
+            .unwrap_or(false);
+        if stalled {
+            match self.flush.take() {
+                Some(FlushRole::Coordinator(mut c)) => {
+                    // Re-send the request to laggard sites.
+                    c.started_at = now;
+                    let req = ProtoMsg::FlushReq {
+                        target_seq: c.target_seq,
+                        initiator: self.acting_coordinator().unwrap_or_else(|| {
+                            ProcessId::new(self.site, 0)
+                        }),
+                        attempt: c.attempt,
+                    }
+                    .encode(self.group);
+                    for s in c.awaiting.iter().copied().collect::<Vec<_>>() {
+                        self.send_to_site(s, PacketKind::Flush, req.clone(), out);
+                    }
+                    self.flush = Some(FlushRole::Coordinator(c));
+                }
+                Some(FlushRole::Participant(p)) => {
+                    // The coordinator went quiet: treat it as failed and let the next oldest
+                    // surviving member (possibly hosted here) take over.
+                    self.suspected.insert(p.initiator);
+                    self.flush_attempt = p.attempt + 1;
+                    self.start_flush_if_needed(now, out);
+                }
+                None => {}
+            }
+        }
+    }
+
+    // -- Internal helpers ----------------------------------------------------------------------
+
+    fn alloc_msg_id(&mut self) -> MsgId {
+        self.next_msg_seq += 1;
+        MsgId::new(self.site, self.next_msg_seq)
+    }
+
+    fn rank_for_sender(&self, view: &View, sender: ProcessId) -> Result<Rank> {
+        if let Some(r) = view.rank_of(sender) {
+            return Ok(r);
+        }
+        // Relayed external caller: stamp with the oldest local member's rank.
+        view.members_at(self.site)
+            .first()
+            .and_then(|m| view.rank_of(*m))
+            .ok_or(VsError::NotAMember(self.group))
+    }
+
+    fn acting_coordinator(&self) -> Option<ProcessId> {
+        self.view
+            .as_ref()?
+            .members
+            .iter()
+            .copied()
+            .find(|m| !self.suspected.contains(m))
+    }
+
+    fn view_position(&self, view_seq: u64) -> ViewPosition {
+        match &self.view {
+            None => ViewPosition::Future,
+            Some(v) => {
+                if view_seq == v.seq() {
+                    ViewPosition::Current
+                } else if view_seq < v.seq() {
+                    ViewPosition::Past
+                } else {
+                    ViewPosition::Future
+                }
+            }
+        }
+    }
+
+    fn send_to_site(
+        &self,
+        dst_site: SiteId,
+        kind: PacketKind,
+        msg: Message,
+        out: &mut Vec<EndpointOutput>,
+    ) {
+        out.push(EndpointOutput::Send { dst_site, kind, msg });
+    }
+
+    fn send_to_peer_sites(
+        &self,
+        view: &View,
+        kind: PacketKind,
+        msg: Message,
+        out: &mut Vec<EndpointOutput>,
+    ) {
+        for s in view.member_sites() {
+            if s != self.site {
+                self.send_to_site(s, kind, msg.clone(), out);
+            }
+        }
+    }
+
+    fn emit_delivery(
+        &mut self,
+        id: MsgId,
+        protocol: ProtocolKind,
+        payload: Message,
+        out: &mut Vec<EndpointOutput>,
+    ) {
+        let view_seq = self.view.as_ref().map(|v| v.seq()).unwrap_or(0);
+        out.push(EndpointOutput::Deliver(Delivery {
+            group: self.group,
+            msg_id: id,
+            view_seq,
+            protocol,
+            payload,
+        }));
+    }
+
+    fn handle_data(&mut self, _now: SimTime, msg: ProtoMsg, out: &mut Vec<EndpointOutput>) {
+        match msg {
+            ProtoMsg::CbData {
+                id,
+                sender,
+                sender_rank,
+                vt,
+                payload,
+                ..
+            } => {
+                if self.delivered.contains(&id) {
+                    return;
+                }
+                let wire_copy = ProtoMsg::CbData {
+                    id,
+                    sender,
+                    sender_rank,
+                    view_seq: self.view.as_ref().map(|v| v.seq()).unwrap_or(0),
+                    vt: vt.clone(),
+                    payload: payload.clone(),
+                }
+                .encode(self.group);
+                self.stab.record_local(
+                    id,
+                    StoredMsg {
+                        wire: wire_copy,
+                        ab_priority: None,
+                    },
+                );
+                let ready = self.cb.receive(ReadyCb {
+                    id,
+                    sender,
+                    sender_rank: sender_rank as Rank,
+                    vt,
+                    payload,
+                });
+                for r in ready {
+                    if self.delivered.insert(r.id) {
+                        self.emit_delivery(r.id, ProtocolKind::Cbcast, r.payload, out);
+                    }
+                }
+            }
+            ProtoMsg::AbData {
+                id,
+                sender,
+                payload,
+                view_seq,
+            } => {
+                if self.delivered.contains(&id) {
+                    return;
+                }
+                let proposed = self.ab.on_data(id, sender, payload.clone());
+                let wire_copy = ProtoMsg::AbData {
+                    id,
+                    sender,
+                    view_seq,
+                    payload,
+                }
+                .encode(self.group);
+                self.stab.record_local(
+                    id,
+                    StoredMsg {
+                        wire: wire_copy,
+                        ab_priority: Some(proposed),
+                    },
+                );
+                let propose = ProtoMsg::AbPropose {
+                    id,
+                    view_seq,
+                    proposed,
+                    proposer_site: self.site,
+                }
+                .encode(self.group);
+                self.send_to_site(id.origin, PacketKind::Proposal, propose, out);
+            }
+            _ => unreachable!("handle_data only receives data messages"),
+        }
+    }
+
+    fn finish_abcast_order(
+        &mut self,
+        id: MsgId,
+        final_priority: u64,
+        tiebreak: SiteId,
+        view: &View,
+        out: &mut Vec<EndpointOutput>,
+    ) {
+        self.ab.decide(id, final_priority, tiebreak);
+        self.stab.set_ab_priority(id, final_priority);
+        let order = ProtoMsg::AbOrder {
+            id,
+            view_seq: view.seq(),
+            final_priority,
+            tiebreak_site: tiebreak,
+        }
+        .encode(self.group);
+        self.send_to_peer_sites(view, PacketKind::SetOrder, order, out);
+        self.drain_abcasts(out);
+    }
+
+    fn drain_abcasts(&mut self, out: &mut Vec<EndpointOutput>) {
+        for r in self.ab.drain() {
+            if self.delivered.insert(r.id) {
+                self.emit_delivery(r.id, ProtocolKind::Abcast, r.payload, out);
+            }
+        }
+    }
+
+    fn start_flush_if_needed(&mut self, now: SimTime, out: &mut Vec<EndpointOutput>) {
+        if self.flush.is_some() {
+            return;
+        }
+        let Some(view) = self.view.clone() else { return };
+        let has_changes = !self.pending_joins.is_empty()
+            || !self.pending_leaves.is_empty()
+            || !self.suspected.is_empty()
+            || !self.pending_gbcasts.is_empty();
+        if !has_changes {
+            return;
+        }
+        let Some(coord) = self.acting_coordinator() else { return };
+        if coord.site != self.site {
+            return;
+        }
+        self.stats.count_multicast(ProtocolKind::Gbcast);
+        let target_seq = view.seq() + 1;
+        let awaiting: BTreeSet<SiteId> = view
+            .member_sites()
+            .into_iter()
+            .filter(|s| *s != self.site)
+            .filter(|s| view.members_at(*s).iter().any(|m| !self.suspected.contains(m)))
+            .collect();
+        let coordinator = FlushCoordinator::new(target_seq, self.flush_attempt, awaiting.clone(), now);
+        self.flush = Some(FlushRole::Coordinator(coordinator));
+        let req = ProtoMsg::FlushReq {
+            target_seq,
+            initiator: coord,
+            attempt: self.flush_attempt,
+        }
+        .encode(self.group);
+        for s in &awaiting {
+            self.send_to_site(*s, PacketKind::Flush, req.clone(), out);
+        }
+        if awaiting.is_empty() {
+            self.complete_flush(now, out);
+        }
+    }
+
+    fn handle_flush_req(
+        &mut self,
+        now: SimTime,
+        target_seq: u64,
+        initiator: ProcessId,
+        attempt: u64,
+        out: &mut Vec<EndpointOutput>,
+    ) {
+        let Some(view) = self.view.clone() else { return };
+        if target_seq != view.seq() + 1 {
+            return;
+        }
+        // If we believed ourselves coordinator but an older member is also flushing, defer to
+        // it (lower rank wins); otherwise ignore the request and let ours proceed.
+        if let Some(FlushRole::Coordinator(_)) = &self.flush {
+            let my_rank = self
+                .acting_coordinator()
+                .and_then(|c| view.rank_of(c))
+                .unwrap_or(usize::MAX);
+            let their_rank = view.rank_of(initiator).unwrap_or(usize::MAX);
+            if my_rank <= their_rank {
+                return;
+            }
+        }
+        self.flush = Some(FlushRole::Participant(FlushParticipant {
+            target_seq,
+            initiator,
+            attempt,
+            started_at: now,
+        }));
+        // Report everything we have received in this view that might not be everywhere,
+        // overlaying our outstanding ABCAST proposals.
+        let mut stored = self.stab.unstable();
+        let proposals = self.ab.pending_proposals();
+        for s in &mut stored {
+            if let Ok(id) = stored_msg_id(s) {
+                if let Some((_, p)) = proposals.iter().find(|(pid, _)| *pid == id) {
+                    s.ab_priority = Some(s.ab_priority.unwrap_or(0).max(*p));
+                }
+            }
+        }
+        let ack = ProtoMsg::FlushAck {
+            target_seq,
+            from_site: self.site,
+            stored,
+        }
+        .encode(self.group);
+        self.send_to_site(initiator.site, PacketKind::Flush, ack, out);
+    }
+
+    fn handle_flush_ack(
+        &mut self,
+        now: SimTime,
+        target_seq: u64,
+        from_site: SiteId,
+        stored: Vec<StoredMsg>,
+        out: &mut Vec<EndpointOutput>,
+    ) {
+        let complete = match &mut self.flush {
+            Some(FlushRole::Coordinator(c)) if c.target_seq == target_seq => {
+                c.absorb_ack(from_site, stored)
+            }
+            _ => false,
+        };
+        if complete {
+            self.complete_flush(now, out);
+        }
+    }
+
+    fn complete_flush(&mut self, now: SimTime, out: &mut Vec<EndpointOutput>) {
+        let Some(FlushRole::Coordinator(mut c)) = self.flush.take() else {
+            return;
+        };
+        let Some(view) = self.view.clone() else { return };
+        // Merge our own unstable messages and pending proposals into the union.
+        let mut own = self.stab.unstable();
+        let proposals = self.ab.pending_proposals();
+        for s in &mut own {
+            if let Ok(id) = stored_msg_id(s) {
+                if let Some((_, p)) = proposals.iter().find(|(pid, _)| *pid == id) {
+                    s.ab_priority = Some(s.ab_priority.unwrap_or(0).max(*p));
+                }
+            }
+        }
+        c.merge(own);
+        // Build the new view.
+        let departed: Vec<ProcessId> = self
+            .suspected
+            .iter()
+            .copied()
+            .chain(self.pending_leaves.iter().copied())
+            .collect();
+        let joined: Vec<ProcessId> = self.pending_joins.clone();
+        let new_view = view.successor(&departed, &joined);
+        let deliver = c.deliver_set();
+        let gbcasts = std::mem::take(&mut self.pending_gbcasts);
+        self.pending_joins.clear();
+        self.pending_leaves.clear();
+        // Send the commit to every site that was in the old view or is in the new one.
+        let mut dst_sites: Vec<SiteId> = view.member_sites();
+        for s in new_view.member_sites() {
+            if !dst_sites.contains(&s) {
+                dst_sites.push(s);
+            }
+        }
+        let commit = ProtoMsg::FlushCommit {
+            target_seq: new_view.seq(),
+            view: new_view.clone(),
+            deliver: deliver.clone(),
+            gbcasts: gbcasts.clone(),
+        }
+        .encode(self.group);
+        for s in dst_sites {
+            if s != self.site {
+                self.send_to_site(s, PacketKind::Flush, commit.clone(), out);
+            }
+        }
+        self.apply_commit(now, new_view.seq(), new_view, deliver, gbcasts, out);
+    }
+
+    fn apply_commit(
+        &mut self,
+        now: SimTime,
+        target_seq: u64,
+        new_view: View,
+        deliver: Vec<StoredMsg>,
+        gbcasts: Vec<Message>,
+        out: &mut Vec<EndpointOutput>,
+    ) {
+        if let Some(v) = &self.view {
+            if target_seq <= v.seq() {
+                return;
+            }
+        }
+        // Deliver the agreed cut: everything in the set that we have not delivered yet.
+        for stored in deliver {
+            let Ok((_, proto)) = ProtoMsg::decode(&stored.wire) else { continue };
+            match proto {
+                ProtoMsg::CbData {
+                    id,
+                    sender,
+                    sender_rank,
+                    vt,
+                    payload,
+                    ..
+                } => {
+                    if self.delivered.contains(&id) {
+                        continue;
+                    }
+                    let ready = self.cb.receive(ReadyCb {
+                        id,
+                        sender,
+                        sender_rank: sender_rank as Rank,
+                        vt,
+                        payload,
+                    });
+                    for r in ready {
+                        if self.delivered.insert(r.id) {
+                            self.emit_delivery(r.id, ProtocolKind::Cbcast, r.payload, out);
+                        }
+                    }
+                }
+                ProtoMsg::AbData {
+                    id, sender, payload, ..
+                } => {
+                    if self.delivered.contains(&id) {
+                        continue;
+                    }
+                    self.ab.on_data(id, sender, payload);
+                    let prio = stored.ab_priority.unwrap_or(u64::MAX / 2);
+                    self.ab.decide(id, prio, id.origin);
+                }
+                _ => {}
+            }
+        }
+        self.drain_abcasts(out);
+        // Anything still stuck had dependencies that vanished with their sender; deliver in a
+        // deterministic order so every survivor sees the same thing.
+        for r in self.cb.force_drain() {
+            if self.delivered.insert(r.id) {
+                self.emit_delivery(r.id, ProtocolKind::Cbcast, r.payload, out);
+            }
+        }
+        for r in self.ab.force_drain() {
+            if self.delivered.insert(r.id) {
+                self.emit_delivery(r.id, ProtocolKind::Abcast, r.payload, out);
+            }
+        }
+        // The cut is complete: install the view and deliver the view event plus any GBCASTs.
+        out.push(EndpointOutput::ViewChange(ViewEvent {
+            view: new_view.clone(),
+            gbcasts,
+        }));
+        self.install_view(new_view.clone());
+        // Any membership change reported during the flush that the new view did not cover
+        // must trigger another round.
+        self.suspected.retain(|p| new_view.contains(*p));
+        let pending_restart = !self.suspected.is_empty()
+            || !self.pending_joins.is_empty()
+            || !self.pending_leaves.is_empty()
+            || !self.pending_gbcasts.is_empty();
+        // Re-issue multicasts buffered while the flush was running.
+        let buffered = std::mem::take(&mut self.buffered_sends);
+        for b in buffered {
+            match b {
+                BufferedSend::Cb { sender, payload } => {
+                    let _ = self.cbcast(now, sender, payload, out);
+                }
+                BufferedSend::Ab { sender, payload } => {
+                    let _ = self.abcast(now, sender, payload, out);
+                }
+            }
+        }
+        // Process protocol messages that were waiting for this view.
+        let future = std::mem::take(&mut self.future_msgs);
+        for (from_site, wire) in future {
+            let _ = self.on_message(now, from_site, &wire, out);
+        }
+        if pending_restart {
+            self.start_flush_if_needed(now, out);
+        }
+    }
+
+    fn install_view(&mut self, view: View) {
+        let width = view.len();
+        let member_sites = view.member_sites();
+        self.cb.reset(width);
+        self.ab.reset();
+        self.stab.reset(member_sites);
+        self.delivered.clear();
+        self.flush = None;
+        self.flush_attempt = 0;
+        self.view = Some(view);
+    }
+
+    /// Test/diagnostic helper: number of messages delivered in the current view.
+    pub fn delivered_count(&self) -> usize {
+        self.delivered.len()
+    }
+
+    /// Returns a tick interval hint for the hosting stack.
+    pub fn tick_interval(&self) -> Duration {
+        self.cfg.stability_interval
+    }
+}
+
+/// Where an incoming message's view sits relative to the installed one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ViewPosition {
+    Past,
+    Current,
+    Future,
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,452 @@
+//! Protocol-level tests for the group endpoint, driven by a small in-memory cluster harness
+//! that routes endpoint outputs between sites without the full simulator.  The harness keeps
+//! per-(source, destination) FIFO channels (like the real transport) but lets tests choose
+//! adversarial interleavings *across* sources, which is where ordering protocols earn their
+//! keep.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use vsync_msg::Message;
+use vsync_net::{ProtocolKind, SharedStats};
+use vsync_util::{GroupId, ProcessId, SimTime, SiteId};
+
+use super::GroupEndpoint;
+use crate::config::ProtoConfig;
+use crate::output::{Delivery, EndpointOutput, ViewEvent};
+
+const GROUP: GroupId = GroupId(1);
+
+fn member(site: u16) -> ProcessId {
+    ProcessId::new(SiteId(site), 1)
+}
+
+struct Cluster {
+    endpoints: BTreeMap<SiteId, GroupEndpoint>,
+    /// FIFO channel per (destination, source).
+    channels: BTreeMap<(SiteId, SiteId), VecDeque<Message>>,
+    deliveries: BTreeMap<SiteId, Vec<Delivery>>,
+    views: BTreeMap<SiteId, Vec<ViewEvent>>,
+    now: SimTime,
+    stats: SharedStats,
+}
+
+impl Cluster {
+    fn new(num_sites: u16) -> Self {
+        let stats = SharedStats::new();
+        let mut endpoints = BTreeMap::new();
+        for s in 0..num_sites {
+            endpoints.insert(
+                SiteId(s),
+                GroupEndpoint::new(GROUP, SiteId(s), ProtoConfig::fast(), stats.clone()),
+            );
+        }
+        Cluster {
+            endpoints,
+            channels: BTreeMap::new(),
+            deliveries: BTreeMap::new(),
+            views: BTreeMap::new(),
+            now: SimTime::ZERO,
+            stats,
+        }
+    }
+
+    /// Runs `f` against one endpoint and routes everything it produced.
+    fn exec<R>(
+        &mut self,
+        site: SiteId,
+        f: impl FnOnce(&mut GroupEndpoint, SimTime, &mut Vec<EndpointOutput>) -> R,
+    ) -> R {
+        let mut out = Vec::new();
+        let now = self.now;
+        let ep = self.endpoints.get_mut(&site).expect("endpoint exists");
+        let r = f(ep, now, &mut out);
+        self.route(site, out);
+        r
+    }
+
+    fn route(&mut self, from: SiteId, outputs: Vec<EndpointOutput>) {
+        for o in outputs {
+            match o {
+                EndpointOutput::Send { dst_site, msg, .. } => {
+                    self.channels.entry((dst_site, from)).or_default().push_back(msg);
+                }
+                EndpointOutput::Deliver(d) => {
+                    self.deliveries.entry(from).or_default().push(d);
+                }
+                EndpointOutput::ViewChange(v) => {
+                    self.views.entry(from).or_default().push(v);
+                }
+            }
+        }
+    }
+
+    /// Delivers queued messages until quiescent.  `reverse_sources` picks the adversarial
+    /// interleaving: channels from higher-numbered sites are serviced first.
+    fn pump(&mut self, reverse_sources: bool) {
+        loop {
+            let mut keys: Vec<(SiteId, SiteId)> = self
+                .channels
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(k, _)| *k)
+                .collect();
+            if keys.is_empty() {
+                break;
+            }
+            keys.sort_by_key(|(dst, src)| (*dst, if reverse_sources { u16::MAX - src.0 } else { src.0 }));
+            for key in keys {
+                // Deliver one message per channel per round to interleave sources.
+                let Some(msg) = self.channels.get_mut(&key).and_then(|q| q.pop_front()) else {
+                    continue;
+                };
+                let (dst, src) = key;
+                if !self.endpoints.contains_key(&dst) {
+                    continue; // site is "down"
+                }
+                self.now = SimTime(self.now.0 + 1_000);
+                self.exec(dst, |ep, now, out| {
+                    ep.on_message(now, src, &msg, out).expect("protocol message handled");
+                });
+            }
+        }
+    }
+
+    /// Discards everything queued on the channel from `src` to `dst` (simulated loss of all
+    /// in-flight traffic when a sender crashes).
+    fn drop_channel(&mut self, dst: SiteId, src: SiteId) {
+        self.channels.remove(&(dst, src));
+    }
+
+    /// Removes a site entirely (crash): its endpoint vanishes, queued traffic to it is lost.
+    fn crash_site(&mut self, site: SiteId) {
+        self.endpoints.remove(&site);
+        self.channels.retain(|(dst, _), _| *dst != site);
+    }
+
+    fn tick_all(&mut self) {
+        self.now = SimTime(self.now.0 + 50_000);
+        let sites: Vec<SiteId> = self.endpoints.keys().copied().collect();
+        for s in sites {
+            self.exec(s, |ep, now, out| ep.on_tick(now, out));
+        }
+    }
+
+    fn delivered_bodies(&self, site: SiteId) -> Vec<u64> {
+        self.deliveries
+            .get(&site)
+            .map(|ds| ds.iter().filter_map(|d| d.payload.get_u64("body")).collect())
+            .unwrap_or_default()
+    }
+
+    fn latest_view(&self, site: SiteId) -> Option<&ViewEvent> {
+        self.views.get(&site).and_then(|v| v.last())
+    }
+
+    /// Builds a three-member group spanning sites 0, 1, 2 (member i at site i).
+    fn build_three_member_group() -> Cluster {
+        let mut c = Cluster::new(3);
+        c.exec(SiteId(0), |ep, _now, out| ep.create(member(0), out));
+        c.exec(SiteId(0), |ep, now, out| {
+            ep.submit_join(now, member(1), None, out).unwrap();
+        });
+        c.pump(false);
+        c.exec(SiteId(0), |ep, now, out| {
+            ep.submit_join(now, member(2), None, out).unwrap();
+        });
+        c.pump(false);
+        c
+    }
+}
+
+#[test]
+fn create_and_join_produce_identical_ranked_views() {
+    let c = Cluster::build_three_member_group();
+    for s in [0u16, 1, 2] {
+        let view = c
+            .endpoints
+            .get(&SiteId(s))
+            .and_then(|e| e.view())
+            .expect("view installed");
+        assert_eq!(view.seq(), 3, "site {s}");
+        assert_eq!(view.members, vec![member(0), member(1), member(2)]);
+    }
+    // Each member's rank reflects join order (decreasing age).
+    let v = c.endpoints[&SiteId(2)].view().unwrap();
+    assert_eq!(v.rank_of(member(0)), Some(0));
+    assert_eq!(v.rank_of(member(1)), Some(1));
+    assert_eq!(v.rank_of(member(2)), Some(2));
+}
+
+#[test]
+fn every_member_sees_the_same_sequence_of_views() {
+    let c = Cluster::build_three_member_group();
+    // Site 0 saw the founding view plus two joins; 1 and 2 saw the views from when they joined.
+    let seqs = |s: u16| -> Vec<u64> {
+        c.views
+            .get(&SiteId(s))
+            .map(|vs| vs.iter().map(|v| v.view.seq()).collect())
+            .unwrap_or_default()
+    };
+    assert_eq!(seqs(0), vec![1, 2, 3]);
+    assert_eq!(seqs(1), vec![2, 3]);
+    assert_eq!(seqs(2), vec![3]);
+}
+
+#[test]
+fn cbcast_reaches_every_member_exactly_once() {
+    let mut c = Cluster::build_three_member_group();
+    for i in 0..5u64 {
+        c.exec(SiteId(0), |ep, now, out| {
+            ep.cbcast(now, member(0), Message::with_body(i), out).unwrap();
+        });
+    }
+    c.pump(false);
+    for s in [0u16, 1, 2] {
+        assert_eq!(c.delivered_bodies(SiteId(s)), vec![0, 1, 2, 3, 4], "site {s}");
+    }
+}
+
+#[test]
+fn cbcast_preserves_causality_under_adversarial_interleaving() {
+    let mut c = Cluster::build_three_member_group();
+    // Member 0 multicasts m1.
+    c.exec(SiteId(0), |ep, now, out| {
+        ep.cbcast(now, member(0), Message::with_body(1u64), out).unwrap();
+    });
+    // Deliver m1 at site 1 only (site 2's channel stays queued).
+    // Then member 1, having seen m1, multicasts m2 (causally after m1).
+    // Site 2 services the channel from site 1 first (reverse order), receiving m2 before m1.
+    let m1_for_site1 = self_channel_take(&mut c, SiteId(1), SiteId(0));
+    c.exec(SiteId(1), |ep, now, out| {
+        ep.on_message(now, SiteId(0), &m1_for_site1, out).unwrap();
+    });
+    c.exec(SiteId(1), |ep, now, out| {
+        ep.cbcast(now, member(1), Message::with_body(2u64), out).unwrap();
+    });
+    c.pump(true);
+    // Causal order must hold at every member: 1 before 2.
+    for s in [0u16, 1, 2] {
+        let bodies = c.delivered_bodies(SiteId(s));
+        let pos1 = bodies.iter().position(|b| *b == 1).expect("m1 delivered");
+        let pos2 = bodies.iter().position(|b| *b == 2).expect("m2 delivered");
+        assert!(pos1 < pos2, "site {s} delivered m2 before its causal predecessor m1");
+    }
+}
+
+/// Takes the single queued message on channel (dst, src).
+fn self_channel_take(c: &mut Cluster, dst: SiteId, src: SiteId) -> Message {
+    c.channels
+        .get_mut(&(dst, src))
+        .and_then(|q| q.pop_front())
+        .expect("message queued")
+}
+
+#[test]
+fn abcast_orders_concurrent_messages_identically_everywhere() {
+    let mut c = Cluster::build_three_member_group();
+    // Three members issue ABCASTs concurrently.
+    for s in [0u16, 1, 2] {
+        c.exec(SiteId(s), |ep, now, out| {
+            ep.abcast(now, member(s), Message::with_body(100 + s as u64), out).unwrap();
+        });
+    }
+    c.pump(true);
+    let order0 = c.delivered_bodies(SiteId(0));
+    assert_eq!(order0.len(), 3);
+    for s in [1u16, 2] {
+        assert_eq!(c.delivered_bodies(SiteId(s)), order0, "total order differs at site {s}");
+    }
+}
+
+#[test]
+fn abcast_and_cbcast_mix_delivers_everything() {
+    let mut c = Cluster::build_three_member_group();
+    c.exec(SiteId(1), |ep, now, out| {
+        ep.cbcast(now, member(1), Message::with_body(1u64), out).unwrap();
+    });
+    c.exec(SiteId(2), |ep, now, out| {
+        ep.abcast(now, member(2), Message::with_body(2u64), out).unwrap();
+    });
+    c.exec(SiteId(0), |ep, now, out| {
+        ep.cbcast(now, member(0), Message::with_body(3u64), out).unwrap();
+    });
+    c.pump(false);
+    for s in [0u16, 1, 2] {
+        let mut bodies = c.delivered_bodies(SiteId(s));
+        bodies.sort_unstable();
+        assert_eq!(bodies, vec![1, 2, 3], "site {s}");
+    }
+}
+
+#[test]
+fn gbcast_payload_is_delivered_with_a_view_event_at_every_member() {
+    let mut c = Cluster::build_three_member_group();
+    c.stats.reset();
+    c.exec(SiteId(2), |ep, now, out| {
+        ep.gbcast(now, member(2), Message::with_body(77u64), out).unwrap();
+    });
+    c.pump(false);
+    for s in [0u16, 1, 2] {
+        let ve = c.latest_view(SiteId(s)).expect("view event");
+        assert_eq!(ve.gbcasts.len(), 1, "site {s}");
+        assert_eq!(ve.gbcasts[0].get_u64("body"), Some(77));
+        assert_eq!(ve.view.members.len(), 3, "membership unchanged by a user GBCAST");
+    }
+    // The GBCAST was counted once.
+    assert_eq!(c.stats.snapshot().multicasts_of(ProtocolKind::Gbcast), 1);
+}
+
+#[test]
+fn voluntary_leave_installs_a_smaller_view_everywhere() {
+    let mut c = Cluster::build_three_member_group();
+    c.exec(SiteId(1), |ep, now, out| {
+        ep.submit_leave(now, member(1), out).unwrap();
+    });
+    c.pump(false);
+    for s in [0u16, 2] {
+        let v = c.endpoints[&SiteId(s)].view().unwrap();
+        assert_eq!(v.members, vec![member(0), member(2)]);
+        assert_eq!(v.seq(), 4);
+    }
+    // The departed member's site also learned about the new view (so the leaver can stop).
+    let v1 = c.latest_view(SiteId(1)).unwrap();
+    assert_eq!(v1.view.departed, vec![member(1)]);
+}
+
+#[test]
+fn virtual_synchrony_failed_senders_message_is_redistributed_at_the_cut() {
+    let mut c = Cluster::build_three_member_group();
+    // Member 0 multicasts; the copy reaches site 1 but the copy to site 2 is lost when the
+    // sender's site crashes.
+    c.exec(SiteId(0), |ep, now, out| {
+        ep.cbcast(now, member(0), Message::with_body(42u64), out).unwrap();
+    });
+    let m_for_1 = self_channel_take(&mut c, SiteId(1), SiteId(0));
+    c.exec(SiteId(1), |ep, now, out| {
+        ep.on_message(now, SiteId(0), &m_for_1, out).unwrap();
+    });
+    c.drop_channel(SiteId(2), SiteId(0));
+    c.crash_site(SiteId(0));
+    assert_eq!(c.delivered_bodies(SiteId(1)), vec![42]);
+    assert_eq!(c.delivered_bodies(SiteId(2)), Vec::<u64>::new());
+    // Survivors learn of the failure.
+    for s in [1u16, 2] {
+        c.exec(SiteId(s), |ep, now, out| {
+            ep.report_failures(now, &[member(0)], out);
+        });
+    }
+    c.pump(false);
+    // Both survivors installed the two-member view AND both delivered message 42 before it:
+    // the defining guarantee of virtual synchrony.
+    for s in [1u16, 2] {
+        let v = c.endpoints[&SiteId(s)].view().unwrap();
+        assert_eq!(v.members, vec![member(1), member(2)], "site {s}");
+        assert_eq!(c.delivered_bodies(SiteId(s)), vec![42], "site {s} missed the pre-cut message");
+    }
+}
+
+#[test]
+fn abcast_orphaned_by_sender_failure_is_finalized_by_the_flush() {
+    let mut c = Cluster::build_three_member_group();
+    // Member 0 initiates an ABCAST; phase one reaches both peers, but site 0 crashes before
+    // sending the final order.
+    c.exec(SiteId(0), |ep, now, out| {
+        ep.abcast(now, member(0), Message::with_body(7u64), out).unwrap();
+    });
+    // Deliver phase one at sites 1 and 2; their proposals go back to a dead site.
+    let d1 = self_channel_take(&mut c, SiteId(1), SiteId(0));
+    let d2 = self_channel_take(&mut c, SiteId(2), SiteId(0));
+    c.exec(SiteId(1), |ep, now, out| {
+        ep.on_message(now, SiteId(0), &d1, out).unwrap();
+    });
+    c.exec(SiteId(2), |ep, now, out| {
+        ep.on_message(now, SiteId(0), &d2, out).unwrap();
+    });
+    c.crash_site(SiteId(0));
+    assert!(c.delivered_bodies(SiteId(1)).is_empty(), "not deliverable before ordering");
+    for s in [1u16, 2] {
+        c.exec(SiteId(s), |ep, now, out| {
+            ep.report_failures(now, &[member(0)], out);
+        });
+    }
+    c.pump(false);
+    for s in [1u16, 2] {
+        assert_eq!(c.delivered_bodies(SiteId(s)), vec![7], "site {s}");
+        assert_eq!(c.endpoints[&SiteId(s)].view().unwrap().members.len(), 2);
+    }
+}
+
+#[test]
+fn multicasts_issued_during_a_flush_are_delivered_in_the_next_view() {
+    let mut c = Cluster::build_three_member_group();
+    // Start a join (flush) but do not pump yet; the coordinator is now flushing.
+    c.exec(SiteId(0), |ep, now, out| {
+        ep.submit_join(now, ProcessId::new(SiteId(0), 9), None, out).unwrap();
+    });
+    assert!(c.endpoints[&SiteId(0)].is_flushing());
+    // A multicast issued at the flushing site is buffered, not lost.
+    c.exec(SiteId(0), |ep, now, out| {
+        ep.cbcast(now, member(0), Message::with_body(5u64), out).unwrap();
+    });
+    c.pump(false);
+    for s in [0u16, 1, 2] {
+        assert_eq!(c.delivered_bodies(SiteId(s)), vec![5], "site {s}");
+        assert_eq!(c.endpoints[&SiteId(s)].view().unwrap().members.len(), 4);
+    }
+}
+
+#[test]
+fn stability_gossip_shrinks_the_unstable_set() {
+    let mut c = Cluster::build_three_member_group();
+    c.exec(SiteId(0), |ep, now, out| {
+        ep.cbcast(now, member(0), Message::with_body(1u64), out).unwrap();
+    });
+    c.pump(false);
+    // Before gossip the copies are held as potentially unstable somewhere.
+    // After a couple of gossip rounds everyone knows everyone has the message.
+    c.tick_all();
+    c.pump(false);
+    c.tick_all();
+    c.pump(false);
+    for s in [0u16, 1, 2] {
+        let ep = &c.endpoints[&SiteId(s)];
+        assert_eq!(ep.local_members().len(), 1);
+    }
+    // Trigger a view change; its commit must not need to redistribute the stable message.
+    c.exec(SiteId(0), |ep, now, out| {
+        ep.submit_join(now, ProcessId::new(SiteId(1), 9), None, out).unwrap();
+    });
+    c.pump(false);
+    // The newly joined member must NOT receive a stale copy of message 1.
+    let site1_bodies = c.delivered_bodies(SiteId(1));
+    assert_eq!(site1_bodies.iter().filter(|b| **b == 1).count(), 1, "no duplicate deliveries");
+}
+
+#[test]
+fn operations_without_a_view_fail_cleanly() {
+    let stats = SharedStats::new();
+    let mut ep = GroupEndpoint::new(GROUP, SiteId(0), ProtoConfig::fast(), stats);
+    let mut out = Vec::new();
+    assert!(ep.cbcast(SimTime::ZERO, member(0), Message::new(), &mut out).is_err());
+    assert!(ep.abcast(SimTime::ZERO, member(0), Message::new(), &mut out).is_err());
+    assert!(ep.gbcast(SimTime::ZERO, member(0), Message::new(), &mut out).is_err());
+    assert!(ep.view().is_none());
+    assert!(ep.local_members().is_empty());
+}
+
+#[test]
+fn multicast_counters_reflect_primitive_usage() {
+    let mut c = Cluster::build_three_member_group();
+    c.stats.reset();
+    c.exec(SiteId(0), |ep, now, out| {
+        ep.cbcast(now, member(0), Message::with_body(1u64), out).unwrap();
+    });
+    c.exec(SiteId(1), |ep, now, out| {
+        ep.abcast(now, member(1), Message::with_body(2u64), out).unwrap();
+    });
+    c.pump(false);
+    let snap = c.stats.snapshot();
+    assert_eq!(snap.multicasts_of(ProtocolKind::Cbcast), 1);
+    assert_eq!(snap.multicasts_of(ProtocolKind::Abcast), 1);
+    assert_eq!(snap.multicasts_of(ProtocolKind::Gbcast), 0);
+}

@@ -1,0 +1,257 @@
+//! The flush protocol that implements GBCAST and view changes.
+//!
+//! Virtual synchrony requires that "the delivery of an atomic multicast is always completed
+//! before a group that forms part of its destinations is allowed to take on a new member"
+//! (paper Section 2.4), and symmetrically that every surviving member observes the same set
+//! of messages before a member is removed.  The flush achieves this:
+//!
+//! 1. the group coordinator (the site hosting the oldest surviving member) sends `FlushReq`
+//!    to every member site;
+//! 2. each site answers `FlushAck` with every message it has received in the current view
+//!    that is not yet known stable (including its own sends), together with its outstanding
+//!    ABCAST priority proposals;
+//! 3. the coordinator merges the reports — taking the maximum proposal as the final priority
+//!    of any ABCAST whose initiator did not finish phase two — and multicasts `FlushCommit`
+//!    carrying the agreed message set, the new view, and any user GBCAST payloads;
+//! 4. every member delivers whatever it is missing from the agreed set, then delivers the
+//!    view-change event, then resumes normal operation in the new view.
+//!
+//! This module holds the bookkeeping for both roles; the driving logic lives in
+//! [`crate::endpoint::GroupEndpoint`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use vsync_net::MsgId;
+use vsync_util::{ProcessId, Result, SimTime, SiteId, VsError};
+
+use crate::messages::{ProtoMsg, StoredMsg};
+
+/// Extracts the message id out of a stored (wire-form) data message.
+pub fn stored_msg_id(stored: &StoredMsg) -> Result<MsgId> {
+    let (_, proto) = ProtoMsg::decode(&stored.wire)?;
+    match proto {
+        ProtoMsg::CbData { id, .. } | ProtoMsg::AbData { id, .. } => Ok(id),
+        other => Err(VsError::Internal(format!(
+            "stored message is not a data message: {}",
+            other.type_tag()
+        ))),
+    }
+}
+
+/// Coordinator-side state of an in-progress flush.
+#[derive(Clone, Debug)]
+pub struct FlushCoordinator {
+    /// Sequence number of the view this flush installs.
+    pub target_seq: u64,
+    /// Takeover attempt counter.
+    pub attempt: u64,
+    /// Sites whose acks are still awaited.
+    pub awaiting: BTreeSet<SiteId>,
+    /// Union of unstable messages reported so far, keyed by message id.
+    pub collected: BTreeMap<MsgId, StoredMsg>,
+    /// When the flush started (for timeout-based retry).
+    pub started_at: SimTime,
+}
+
+impl FlushCoordinator {
+    /// Creates coordinator state awaiting acks from `awaiting`.
+    pub fn new(
+        target_seq: u64,
+        attempt: u64,
+        awaiting: BTreeSet<SiteId>,
+        started_at: SimTime,
+    ) -> Self {
+        FlushCoordinator {
+            target_seq,
+            attempt,
+            awaiting,
+            collected: BTreeMap::new(),
+            started_at,
+        }
+    }
+
+    /// Merges one site's reported unstable messages into the union.
+    pub fn merge(&mut self, stored: Vec<StoredMsg>) {
+        for s in stored {
+            let Ok(id) = stored_msg_id(&s) else { continue };
+            match self.collected.get_mut(&id) {
+                Some(existing) => {
+                    // Keep the highest priority proposal seen; the maximum becomes the final
+                    // ABCAST order when the initiator is gone.
+                    existing.ab_priority = match (existing.ab_priority, s.ab_priority) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        (a, b) => a.or(b),
+                    };
+                }
+                None => {
+                    self.collected.insert(id, s);
+                }
+            }
+        }
+    }
+
+    /// Records an ack from `site` (merging its report); returns true when every awaited site
+    /// has answered.
+    pub fn absorb_ack(&mut self, site: SiteId, stored: Vec<StoredMsg>) -> bool {
+        self.merge(stored);
+        self.awaiting.remove(&site);
+        self.awaiting.is_empty()
+    }
+
+    /// Drops a site from the awaited set (it failed mid-flush); returns true if the flush is
+    /// now complete.
+    pub fn forget_site(&mut self, site: SiteId) -> bool {
+        self.awaiting.remove(&site);
+        self.awaiting.is_empty()
+    }
+
+    /// The agreed message set, in a deterministic order.
+    pub fn deliver_set(&self) -> Vec<StoredMsg> {
+        self.collected.values().cloned().collect()
+    }
+}
+
+/// Participant-side state of an in-progress flush.
+#[derive(Clone, Debug)]
+pub struct FlushParticipant {
+    /// Sequence number of the view being installed.
+    pub target_seq: u64,
+    /// The member coordinating this flush.
+    pub initiator: ProcessId,
+    /// Takeover attempt counter.
+    pub attempt: u64,
+    /// When we acked (for timeout-based takeover).
+    pub started_at: SimTime,
+}
+
+/// Which role this endpoint plays in the current flush, if any.
+#[derive(Clone, Debug)]
+pub enum FlushRole {
+    /// This endpoint's site hosts the flush coordinator.
+    Coordinator(FlushCoordinator),
+    /// This endpoint acked a flush and is waiting for the commit.
+    Participant(FlushParticipant),
+}
+
+impl FlushRole {
+    /// The target view sequence number of the flush.
+    pub fn target_seq(&self) -> u64 {
+        match self {
+            FlushRole::Coordinator(c) => c.target_seq,
+            FlushRole::Participant(p) => p.target_seq,
+        }
+    }
+
+    /// When this flush started locally.
+    pub fn started_at(&self) -> SimTime {
+        match self {
+            FlushRole::Coordinator(c) => c.started_at,
+            FlushRole::Participant(p) => p.started_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsync_msg::Message;
+    use vsync_util::{GroupId, VectorClock};
+
+    fn cb_stored(origin: u16, seq: u64, body: u64) -> StoredMsg {
+        StoredMsg {
+            wire: ProtoMsg::CbData {
+                id: MsgId::new(SiteId(origin), seq),
+                sender: ProcessId::new(SiteId(origin), 1),
+                sender_rank: 0,
+                view_seq: 1,
+                vt: VectorClock::from_entries(vec![seq]),
+                payload: Message::with_body(body),
+            }
+            .encode(GroupId(1)),
+            ab_priority: None,
+        }
+    }
+
+    fn ab_stored(origin: u16, seq: u64, proposal: u64) -> StoredMsg {
+        StoredMsg {
+            wire: ProtoMsg::AbData {
+                id: MsgId::new(SiteId(origin), seq),
+                sender: ProcessId::new(SiteId(origin), 1),
+                view_seq: 1,
+                payload: Message::with_body(seq),
+            }
+            .encode(GroupId(1)),
+            ab_priority: Some(proposal),
+        }
+    }
+
+    #[test]
+    fn stored_msg_id_extraction() {
+        assert_eq!(stored_msg_id(&cb_stored(2, 9, 1)).unwrap(), MsgId::new(SiteId(2), 9));
+        assert_eq!(stored_msg_id(&ab_stored(1, 3, 7)).unwrap(), MsgId::new(SiteId(1), 3));
+        let bogus = StoredMsg {
+            wire: ProtoMsg::LeaveReq {
+                member: ProcessId::new(SiteId(0), 1),
+            }
+            .encode(GroupId(1)),
+            ab_priority: None,
+        };
+        assert!(stored_msg_id(&bogus).is_err());
+    }
+
+    #[test]
+    fn acks_complete_when_every_site_answers() {
+        let mut c = FlushCoordinator::new(
+            2,
+            0,
+            [SiteId(1), SiteId(2)].into_iter().collect(),
+            SimTime::ZERO,
+        );
+        assert!(!c.absorb_ack(SiteId(1), vec![cb_stored(1, 1, 10)]));
+        assert!(c.absorb_ack(SiteId(2), vec![cb_stored(1, 1, 10), cb_stored(2, 1, 20)]));
+        let set = c.deliver_set();
+        assert_eq!(set.len(), 2, "duplicates are merged by id");
+    }
+
+    #[test]
+    fn ab_priorities_take_the_maximum_across_reports() {
+        let mut c = FlushCoordinator::new(2, 0, [SiteId(1)].into_iter().collect(), SimTime::ZERO);
+        c.merge(vec![ab_stored(0, 1, 4)]);
+        c.merge(vec![ab_stored(0, 1, 9)]);
+        c.merge(vec![ab_stored(0, 1, 2)]);
+        let set = c.deliver_set();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set[0].ab_priority, Some(9));
+    }
+
+    #[test]
+    fn forgetting_a_failed_site_can_complete_the_flush() {
+        let mut c = FlushCoordinator::new(
+            3,
+            1,
+            [SiteId(1), SiteId(2)].into_iter().collect(),
+            SimTime::ZERO,
+        );
+        assert!(!c.forget_site(SiteId(1)));
+        assert!(c.forget_site(SiteId(2)));
+    }
+
+    #[test]
+    fn role_accessors() {
+        let c = FlushRole::Coordinator(FlushCoordinator::new(
+            5,
+            0,
+            BTreeSet::new(),
+            SimTime(123),
+        ));
+        assert_eq!(c.target_seq(), 5);
+        assert_eq!(c.started_at(), SimTime(123));
+        let p = FlushRole::Participant(FlushParticipant {
+            target_seq: 6,
+            initiator: ProcessId::new(SiteId(0), 1),
+            attempt: 2,
+            started_at: SimTime(9),
+        });
+        assert_eq!(p.target_seq(), 6);
+    }
+}

@@ -1,0 +1,611 @@
+//! Wire format of the protocol messages exchanged between group endpoints.
+//!
+//! Every protocol message is carried inside a regular ISIS [`Message`] so the transport layer
+//! (and the statistics that drive Table 1 / Figure 3) see realistic field-structured
+//! payloads.  [`ProtoMsg`] is the typed view of those messages; `encode`/`decode` convert
+//! between the two.
+
+use vsync_msg::Message;
+use vsync_net::MsgId;
+use vsync_util::{Address, GroupId, ProcessId, Result, SiteId, VectorClock, VsError};
+
+use crate::view::View;
+
+/// A multicast message held by an endpoint (received but not yet known stable), in the form
+/// it travels inside flush reports and commits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredMsg {
+    /// The original data-bearing protocol message (`CbData` or `AbData`), re-encoded.
+    pub wire: Message,
+    /// For ABCAST messages: the priority this endpoint proposed (in an ack) or the final
+    /// priority decided by the flush coordinator (in a commit).
+    pub ab_priority: Option<u64>,
+}
+
+/// Typed protocol messages exchanged between the group endpoints of different sites.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProtoMsg {
+    /// CBCAST data message.
+    CbData {
+        /// Unique id of the multicast.
+        id: MsgId,
+        /// The application-level sender.
+        sender: ProcessId,
+        /// Rank of the sender's endpoint in the view the message was sent in.
+        sender_rank: u64,
+        /// View sequence number the message was sent in.
+        view_seq: u64,
+        /// Vector timestamp governing causal delivery.
+        vt: VectorClock,
+        /// Application payload.
+        payload: Message,
+    },
+    /// ABCAST phase one: the data-bearing transmission.
+    AbData {
+        /// Unique id of the multicast.
+        id: MsgId,
+        /// The application-level sender.
+        sender: ProcessId,
+        /// View sequence number the message was sent in.
+        view_seq: u64,
+        /// Application payload.
+        payload: Message,
+    },
+    /// ABCAST phase one response: a destination proposes a priority.
+    AbPropose {
+        /// The multicast being ordered.
+        id: MsgId,
+        /// View sequence number.
+        view_seq: u64,
+        /// The proposed priority.
+        proposed: u64,
+        /// Site making the proposal (tie-break component).
+        proposer_site: SiteId,
+    },
+    /// ABCAST phase two: the initiator announces the final priority.
+    AbOrder {
+        /// The multicast being ordered.
+        id: MsgId,
+        /// View sequence number.
+        view_seq: u64,
+        /// Final (maximum) priority.
+        final_priority: u64,
+        /// Tie-break site carried with the final priority.
+        tiebreak_site: SiteId,
+    },
+    /// Request, sent to the group coordinator's site, to add a member.
+    JoinReq {
+        /// The process asking to join.
+        joiner: ProcessId,
+        /// Credentials checked by the protection tool before the join is admitted.
+        credentials: Option<String>,
+    },
+    /// Request, sent to the group coordinator's site, to remove a member voluntarily.
+    LeaveReq {
+        /// The departing member.
+        member: ProcessId,
+    },
+    /// Report, sent to the group coordinator's site, that members are believed failed.
+    FailReport {
+        /// The failed members.
+        failed: Vec<ProcessId>,
+    },
+    /// A user-level GBCAST forwarded to the coordinator to be delivered at the next cut.
+    GbcastReq {
+        /// The application-level sender.
+        sender: ProcessId,
+        /// Payload to deliver, everywhere, at the same point relative to all other events.
+        payload: Message,
+    },
+    /// Flush phase one: the coordinator asks every member site for its unstable state.
+    FlushReq {
+        /// Sequence number of the view this flush will install.
+        target_seq: u64,
+        /// The member coordinating the flush.
+        initiator: ProcessId,
+        /// Retry counter (a takeover after a coordinator failure bumps it).
+        attempt: u64,
+    },
+    /// Flush phase two: a member site reports its unstable messages and pending proposals.
+    FlushAck {
+        /// Sequence number of the view being installed.
+        target_seq: u64,
+        /// The reporting site.
+        from_site: SiteId,
+        /// Messages received in the current view that are not known stable.
+        stored: Vec<StoredMsg>,
+    },
+    /// Flush phase three: the coordinator distributes the agreed cut and the new view.
+    FlushCommit {
+        /// Sequence number of the view being installed.
+        target_seq: u64,
+        /// The new view.
+        view: View,
+        /// Messages every member must deliver (if it has not already) before the view event.
+        deliver: Vec<StoredMsg>,
+        /// User GBCAST payloads delivered at the cut, in this exact order.
+        gbcasts: Vec<Message>,
+    },
+    /// Stability gossip: the ids this site has received in the current view.
+    Stability {
+        /// View sequence number the ids belong to.
+        view_seq: u64,
+        /// The reporting site.
+        from_site: SiteId,
+        /// Ids of messages received at that site.
+        ids: Vec<MsgId>,
+    },
+}
+
+const TYPE_FIELD: &str = "@g-type";
+const GROUP_FIELD: &str = "@g-group";
+
+fn put_msg_id(msg: &mut Message, prefix: &str, id: MsgId) {
+    msg.set(&format!("{prefix}origin"), id.origin.0 as u64);
+    msg.set(&format!("{prefix}seq"), id.seq);
+}
+
+fn get_msg_id(msg: &Message, prefix: &str) -> Result<MsgId> {
+    let origin = msg.require_u64(&format!("{prefix}origin"))?;
+    let seq = msg.require_u64(&format!("{prefix}seq"))?;
+    Ok(MsgId::new(SiteId(origin as u16), seq))
+}
+
+fn put_process(msg: &mut Message, name: &str, p: ProcessId) {
+    msg.set(name, p);
+}
+
+fn get_process(msg: &Message, name: &str) -> Result<ProcessId> {
+    msg.require_addr(name)?
+        .as_process()
+        .ok_or_else(|| VsError::CodecError(format!("field {name:?} is not a process address")))
+}
+
+fn pack_msg_list(items: &[Message]) -> Message {
+    let mut list = Message::new();
+    list.set("n", items.len() as u64);
+    for (i, item) in items.iter().enumerate() {
+        list.set(&format!("i{i}"), item.clone());
+    }
+    list
+}
+
+fn unpack_msg_list(list: &Message) -> Result<Vec<Message>> {
+    let n = list.require_u64("n")? as usize;
+    let mut items = Vec::with_capacity(n);
+    for i in 0..n {
+        let item = list
+            .get_msg(&format!("i{i}"))
+            .ok_or_else(|| VsError::CodecError(format!("missing list item i{i}")))?;
+        items.push(item.clone());
+    }
+    Ok(items)
+}
+
+fn pack_stored(stored: &[StoredMsg]) -> Message {
+    let items: Vec<Message> = stored
+        .iter()
+        .map(|s| {
+            let mut m = Message::new();
+            m.set("wire", s.wire.clone());
+            if let Some(p) = s.ab_priority {
+                m.set("abp", p);
+            }
+            m
+        })
+        .collect();
+    pack_msg_list(&items)
+}
+
+fn unpack_stored(list: &Message) -> Result<Vec<StoredMsg>> {
+    unpack_msg_list(list)?
+        .into_iter()
+        .map(|m| {
+            let wire = m
+                .get_msg("wire")
+                .ok_or_else(|| VsError::CodecError("stored message missing wire".into()))?
+                .clone();
+            Ok(StoredMsg {
+                wire,
+                ab_priority: m.get_u64("abp"),
+            })
+        })
+        .collect()
+}
+
+fn pack_ids(ids: &[MsgId]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(ids.len() * 2);
+    for id in ids {
+        out.push(id.origin.0 as u64);
+        out.push(id.seq);
+    }
+    out
+}
+
+fn unpack_ids(raw: &[u64]) -> Vec<MsgId> {
+    raw.chunks_exact(2)
+        .map(|c| MsgId::new(SiteId(c[0] as u16), c[1]))
+        .collect()
+}
+
+impl ProtoMsg {
+    /// Human-readable tag used on the wire and in traces.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            ProtoMsg::CbData { .. } => "cb-data",
+            ProtoMsg::AbData { .. } => "ab-data",
+            ProtoMsg::AbPropose { .. } => "ab-propose",
+            ProtoMsg::AbOrder { .. } => "ab-order",
+            ProtoMsg::JoinReq { .. } => "join-req",
+            ProtoMsg::LeaveReq { .. } => "leave-req",
+            ProtoMsg::FailReport { .. } => "fail-report",
+            ProtoMsg::GbcastReq { .. } => "gbcast-req",
+            ProtoMsg::FlushReq { .. } => "flush-req",
+            ProtoMsg::FlushAck { .. } => "flush-ack",
+            ProtoMsg::FlushCommit { .. } => "flush-commit",
+            ProtoMsg::Stability { .. } => "stability",
+        }
+    }
+
+    /// Encodes the protocol message, tagging it with the group it belongs to.
+    pub fn encode(&self, group: GroupId) -> Message {
+        let mut m = Message::new();
+        m.set(TYPE_FIELD, self.type_tag());
+        m.set(GROUP_FIELD, group);
+        match self {
+            ProtoMsg::CbData {
+                id,
+                sender,
+                sender_rank,
+                view_seq,
+                vt,
+                payload,
+            } => {
+                put_msg_id(&mut m, "id-", *id);
+                put_process(&mut m, "sender", *sender);
+                m.set("sender-rank", *sender_rank);
+                m.set("view-seq", *view_seq);
+                m.set("vt", vt.entries().to_vec());
+                m.set("payload", payload.clone());
+            }
+            ProtoMsg::AbData {
+                id,
+                sender,
+                view_seq,
+                payload,
+            } => {
+                put_msg_id(&mut m, "id-", *id);
+                put_process(&mut m, "sender", *sender);
+                m.set("view-seq", *view_seq);
+                m.set("payload", payload.clone());
+            }
+            ProtoMsg::AbPropose {
+                id,
+                view_seq,
+                proposed,
+                proposer_site,
+            } => {
+                put_msg_id(&mut m, "id-", *id);
+                m.set("view-seq", *view_seq);
+                m.set("proposed", *proposed);
+                m.set("proposer-site", proposer_site.0 as u64);
+            }
+            ProtoMsg::AbOrder {
+                id,
+                view_seq,
+                final_priority,
+                tiebreak_site,
+            } => {
+                put_msg_id(&mut m, "id-", *id);
+                m.set("view-seq", *view_seq);
+                m.set("final", *final_priority);
+                m.set("tiebreak-site", tiebreak_site.0 as u64);
+            }
+            ProtoMsg::JoinReq { joiner, credentials } => {
+                put_process(&mut m, "joiner", *joiner);
+                if let Some(c) = credentials {
+                    m.set("credentials", c.as_str());
+                }
+            }
+            ProtoMsg::LeaveReq { member } => {
+                put_process(&mut m, "member", *member);
+            }
+            ProtoMsg::FailReport { failed } => {
+                m.set(
+                    "failed",
+                    failed.iter().map(|p| Address::Process(*p)).collect::<Vec<_>>(),
+                );
+            }
+            ProtoMsg::GbcastReq { sender, payload } => {
+                put_process(&mut m, "sender", *sender);
+                m.set("payload", payload.clone());
+            }
+            ProtoMsg::FlushReq {
+                target_seq,
+                initiator,
+                attempt,
+            } => {
+                m.set("target-seq", *target_seq);
+                put_process(&mut m, "initiator", *initiator);
+                m.set("attempt", *attempt);
+            }
+            ProtoMsg::FlushAck {
+                target_seq,
+                from_site,
+                stored,
+            } => {
+                m.set("target-seq", *target_seq);
+                m.set("from-site", from_site.0 as u64);
+                m.set("stored", pack_stored(stored));
+            }
+            ProtoMsg::FlushCommit {
+                target_seq,
+                view,
+                deliver,
+                gbcasts,
+            } => {
+                m.set("target-seq", *target_seq);
+                view.encode_into(&mut m, "view-");
+                m.set("deliver", pack_stored(deliver));
+                m.set("gbcasts", pack_msg_list(gbcasts));
+            }
+            ProtoMsg::Stability {
+                view_seq,
+                from_site,
+                ids,
+            } => {
+                m.set("view-seq", *view_seq);
+                m.set("from-site", from_site.0 as u64);
+                m.set("ids", pack_ids(ids));
+            }
+        }
+        m
+    }
+
+    /// Decodes a protocol message, returning the group it belongs to alongside the message.
+    pub fn decode(m: &Message) -> Result<(GroupId, ProtoMsg)> {
+        let group = m
+            .get_addr(GROUP_FIELD)
+            .and_then(|a| a.as_group())
+            .ok_or_else(|| VsError::CodecError("missing @g-group field".into()))?;
+        let tag = m.require_str(TYPE_FIELD)?;
+        let payload_of = |m: &Message| -> Result<Message> {
+            m.get_msg("payload")
+                .cloned()
+                .ok_or_else(|| VsError::CodecError("missing payload".into()))
+        };
+        let msg = match tag {
+            "cb-data" => ProtoMsg::CbData {
+                id: get_msg_id(m, "id-")?,
+                sender: get_process(m, "sender")?,
+                sender_rank: m.require_u64("sender-rank")?,
+                view_seq: m.require_u64("view-seq")?,
+                vt: VectorClock::from_entries(
+                    m.get_u64_list("vt").unwrap_or_default().to_vec(),
+                ),
+                payload: payload_of(m)?,
+            },
+            "ab-data" => ProtoMsg::AbData {
+                id: get_msg_id(m, "id-")?,
+                sender: get_process(m, "sender")?,
+                view_seq: m.require_u64("view-seq")?,
+                payload: payload_of(m)?,
+            },
+            "ab-propose" => ProtoMsg::AbPropose {
+                id: get_msg_id(m, "id-")?,
+                view_seq: m.require_u64("view-seq")?,
+                proposed: m.require_u64("proposed")?,
+                proposer_site: SiteId(m.require_u64("proposer-site")? as u16),
+            },
+            "ab-order" => ProtoMsg::AbOrder {
+                id: get_msg_id(m, "id-")?,
+                view_seq: m.require_u64("view-seq")?,
+                final_priority: m.require_u64("final")?,
+                tiebreak_site: SiteId(m.require_u64("tiebreak-site")? as u16),
+            },
+            "join-req" => ProtoMsg::JoinReq {
+                joiner: get_process(m, "joiner")?,
+                credentials: m.get_str("credentials").map(str::to_owned),
+            },
+            "leave-req" => ProtoMsg::LeaveReq {
+                member: get_process(m, "member")?,
+            },
+            "fail-report" => ProtoMsg::FailReport {
+                failed: m
+                    .get_addr_list("failed")
+                    .unwrap_or_default()
+                    .iter()
+                    .filter_map(|a| a.as_process())
+                    .collect(),
+            },
+            "gbcast-req" => ProtoMsg::GbcastReq {
+                sender: get_process(m, "sender")?,
+                payload: payload_of(m)?,
+            },
+            "flush-req" => ProtoMsg::FlushReq {
+                target_seq: m.require_u64("target-seq")?,
+                initiator: get_process(m, "initiator")?,
+                attempt: m.require_u64("attempt")?,
+            },
+            "flush-ack" => ProtoMsg::FlushAck {
+                target_seq: m.require_u64("target-seq")?,
+                from_site: SiteId(m.require_u64("from-site")? as u16),
+                stored: unpack_stored(
+                    m.get_msg("stored")
+                        .ok_or_else(|| VsError::CodecError("missing stored".into()))?,
+                )?,
+            },
+            "flush-commit" => ProtoMsg::FlushCommit {
+                target_seq: m.require_u64("target-seq")?,
+                view: View::decode_from(m, "view-")
+                    .ok_or_else(|| VsError::CodecError("missing view".into()))?,
+                deliver: unpack_stored(
+                    m.get_msg("deliver")
+                        .ok_or_else(|| VsError::CodecError("missing deliver".into()))?,
+                )?,
+                gbcasts: unpack_msg_list(
+                    m.get_msg("gbcasts")
+                        .ok_or_else(|| VsError::CodecError("missing gbcasts".into()))?,
+                )?,
+            },
+            "stability" => ProtoMsg::Stability {
+                view_seq: m.require_u64("view-seq")?,
+                from_site: SiteId(m.require_u64("from-site")? as u16),
+                ids: unpack_ids(m.get_u64_list("ids").unwrap_or_default()),
+            },
+            other => {
+                return Err(VsError::CodecError(format!(
+                    "unknown protocol message type {other:?}"
+                )))
+            }
+        };
+        Ok((group, msg))
+    }
+
+    /// Returns true if the encoded form of `m` looks like a protocol message.
+    pub fn is_proto_message(m: &Message) -> bool {
+        m.contains(TYPE_FIELD) && m.contains(GROUP_FIELD)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsync_util::GroupId;
+
+    fn p(site: u16, local: u32) -> ProcessId {
+        ProcessId::new(SiteId(site), local)
+    }
+
+    fn roundtrip(msg: ProtoMsg) {
+        let g = GroupId(42);
+        let wire = msg.encode(g);
+        assert!(ProtoMsg::is_proto_message(&wire));
+        let (g2, back) = ProtoMsg::decode(&wire).expect("decode");
+        assert_eq!(g2, g);
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn cb_data_roundtrip() {
+        roundtrip(ProtoMsg::CbData {
+            id: MsgId::new(SiteId(1), 7),
+            sender: p(1, 3),
+            sender_rank: 2,
+            view_seq: 5,
+            vt: VectorClock::from_entries(vec![1, 0, 3]),
+            payload: Message::with_body("hello").with("price", 9000u64),
+        });
+    }
+
+    #[test]
+    fn ab_messages_roundtrip() {
+        roundtrip(ProtoMsg::AbData {
+            id: MsgId::new(SiteId(0), 1),
+            sender: p(0, 1),
+            view_seq: 1,
+            payload: Message::with_body(5u64),
+        });
+        roundtrip(ProtoMsg::AbPropose {
+            id: MsgId::new(SiteId(0), 1),
+            view_seq: 1,
+            proposed: 17,
+            proposer_site: SiteId(3),
+        });
+        roundtrip(ProtoMsg::AbOrder {
+            id: MsgId::new(SiteId(0), 1),
+            view_seq: 1,
+            final_priority: 21,
+            tiebreak_site: SiteId(2),
+        });
+    }
+
+    #[test]
+    fn membership_messages_roundtrip() {
+        roundtrip(ProtoMsg::JoinReq {
+            joiner: p(2, 1),
+            credentials: Some("let-me-in".into()),
+        });
+        roundtrip(ProtoMsg::JoinReq {
+            joiner: p(2, 1),
+            credentials: None,
+        });
+        roundtrip(ProtoMsg::LeaveReq { member: p(1, 1) });
+        roundtrip(ProtoMsg::FailReport {
+            failed: vec![p(1, 1), p(1, 2)],
+        });
+        roundtrip(ProtoMsg::GbcastReq {
+            sender: p(0, 2),
+            payload: Message::with_body("config-update"),
+        });
+    }
+
+    #[test]
+    fn flush_messages_roundtrip() {
+        let stored = vec![
+            StoredMsg {
+                wire: ProtoMsg::CbData {
+                    id: MsgId::new(SiteId(1), 9),
+                    sender: p(1, 1),
+                    sender_rank: 1,
+                    view_seq: 3,
+                    vt: VectorClock::from_entries(vec![0, 1]),
+                    payload: Message::with_body("update"),
+                }
+                .encode(GroupId(42)),
+                ab_priority: None,
+            },
+            StoredMsg {
+                wire: ProtoMsg::AbData {
+                    id: MsgId::new(SiteId(0), 4),
+                    sender: p(0, 1),
+                    view_seq: 3,
+                    payload: Message::with_body("queue-op"),
+                }
+                .encode(GroupId(42)),
+                ab_priority: Some(12),
+            },
+        ];
+        roundtrip(ProtoMsg::FlushReq {
+            target_seq: 4,
+            initiator: p(0, 1),
+            attempt: 0,
+        });
+        roundtrip(ProtoMsg::FlushAck {
+            target_seq: 4,
+            from_site: SiteId(1),
+            stored: stored.clone(),
+        });
+        let view = View::founding(GroupId(42), p(0, 1)).successor(&[], &[p(1, 1)]);
+        roundtrip(ProtoMsg::FlushCommit {
+            target_seq: 4,
+            view,
+            deliver: stored,
+            gbcasts: vec![Message::with_body("cfg")],
+        });
+    }
+
+    #[test]
+    fn stability_roundtrip() {
+        roundtrip(ProtoMsg::Stability {
+            view_seq: 2,
+            from_site: SiteId(3),
+            ids: vec![MsgId::new(SiteId(0), 1), MsgId::new(SiteId(2), 8)],
+        });
+        roundtrip(ProtoMsg::Stability {
+            view_seq: 2,
+            from_site: SiteId(3),
+            ids: vec![],
+        });
+    }
+
+    #[test]
+    fn decode_rejects_non_protocol_messages() {
+        assert!(!ProtoMsg::is_proto_message(&Message::with_body(1u64)));
+        assert!(ProtoMsg::decode(&Message::with_body(1u64)).is_err());
+        let mut m = Message::new();
+        m.set(TYPE_FIELD, "bogus");
+        m.set(GROUP_FIELD, GroupId(1));
+        assert!(ProtoMsg::decode(&m).is_err());
+    }
+}

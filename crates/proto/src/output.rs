@@ -1,0 +1,93 @@
+//! Actions produced by a [`crate::endpoint::GroupEndpoint`].
+//!
+//! The endpoint is sans-io: it never sends packets or sets timers itself.  Every call that
+//! advances the protocol appends [`EndpointOutput`] values to a caller-provided vector, and
+//! the hosting protocol stack (in `vsync-core`) turns them into packets addressed to the peer
+//! site's protocols process, application deliveries, or view-change notifications.
+
+use vsync_msg::Message;
+use vsync_net::{MsgId, PacketKind, ProtocolKind};
+use vsync_util::{GroupId, SiteId};
+
+use crate::view::View;
+
+/// An application-level message ready to be handed to the local members of a group.
+#[derive(Clone, Debug)]
+pub struct Delivery {
+    /// The group the message was addressed to.
+    pub group: GroupId,
+    /// Unique id of the multicast.
+    pub msg_id: MsgId,
+    /// Sequence number of the view in which the message is delivered.
+    pub view_seq: u64,
+    /// The primitive that carried the message.
+    pub protocol: ProtocolKind,
+    /// The payload, including the unforgeable `@sender` and routing fields set by the
+    /// sending stack.
+    pub payload: Message,
+}
+
+/// A view change (or user GBCAST) delivered at the virtual-synchrony cut point.
+#[derive(Clone, Debug)]
+pub struct ViewEvent {
+    /// The newly installed view.
+    pub view: View,
+    /// User GBCAST payloads delivered together with the view event, in a fixed order that is
+    /// identical at every member.
+    pub gbcasts: Vec<Message>,
+}
+
+/// One action requested by a group endpoint.
+#[derive(Clone, Debug)]
+pub enum EndpointOutput {
+    /// Send a protocol message to the group endpoint at another site.
+    Send {
+        /// Destination site (its protocols process).
+        dst_site: SiteId,
+        /// Packet classification for statistics and the Figure 3 breakdown.
+        kind: PacketKind,
+        /// The protocol message.
+        msg: Message,
+    },
+    /// Deliver an application message to the local members of the group.
+    Deliver(Delivery),
+    /// Deliver a view change / GBCAST event to the local members of the group.
+    ViewChange(ViewEvent),
+}
+
+impl EndpointOutput {
+    /// Convenience predicate used by tests.
+    pub fn is_delivery(&self) -> bool {
+        matches!(self, EndpointOutput::Deliver(_))
+    }
+
+    /// Convenience predicate used by tests.
+    pub fn is_view_change(&self) -> bool {
+        matches!(self, EndpointOutput::ViewChange(_))
+    }
+
+    /// Convenience predicate used by tests.
+    pub fn is_send(&self) -> bool {
+        matches!(self, EndpointOutput::Send { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsync_util::GroupId;
+
+    #[test]
+    fn predicates() {
+        let d = EndpointOutput::Deliver(Delivery {
+            group: GroupId(1),
+            msg_id: MsgId::new(SiteId(0), 1),
+            view_seq: 1,
+            protocol: ProtocolKind::Cbcast,
+            payload: Message::new(),
+        });
+        assert!(d.is_delivery());
+        assert!(!d.is_send());
+        assert!(!d.is_view_change());
+    }
+}

@@ -1,0 +1,182 @@
+//! Message stability tracking.
+//!
+//! A message is *stable* once every member site of the group is known to have received it.
+//! Stability matters for two reasons: stable messages can be garbage-collected from the
+//! endpoint's buffers, and — more importantly — they never need to be redistributed by a
+//! view-change flush, which keeps flush acks small.  Sites learn about each other's receipts
+//! through periodic gossip of received-message ids.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use vsync_net::MsgId;
+use vsync_util::SiteId;
+
+use crate::messages::StoredMsg;
+
+/// Tracks which multicasts this site has received in the current view and which of them are
+/// known to have reached every member site.
+#[derive(Clone, Debug)]
+pub struct StabilityTracker {
+    /// Sites whose acknowledgement is required for stability (all member sites).
+    member_sites: Vec<SiteId>,
+    /// This endpoint's own site.
+    my_site: SiteId,
+    /// Messages received here and not yet known stable, with the copies needed for flush.
+    held: BTreeMap<MsgId, StoredMsg>,
+    /// Per-message set of sites known to have received it.
+    acked_by: BTreeMap<MsgId, BTreeSet<SiteId>>,
+}
+
+impl StabilityTracker {
+    /// Creates a tracker for a view spanning `member_sites`.
+    pub fn new(my_site: SiteId, member_sites: Vec<SiteId>) -> Self {
+        StabilityTracker {
+            member_sites,
+            my_site,
+            held: BTreeMap::new(),
+            acked_by: BTreeMap::new(),
+        }
+    }
+
+    /// Resets for a new view.
+    pub fn reset(&mut self, member_sites: Vec<SiteId>) {
+        self.member_sites = member_sites;
+        self.held.clear();
+        self.acked_by.clear();
+    }
+
+    /// Number of messages currently held as potentially unstable.
+    pub fn held_len(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Records that this site received (and is buffering a copy of) a message.
+    pub fn record_local(&mut self, id: MsgId, copy: StoredMsg) {
+        self.held.entry(id).or_insert(copy);
+        self.acked_by.entry(id).or_default().insert(self.my_site);
+        self.collect(id);
+    }
+
+    /// Updates the flush-relevant ABCAST priority attached to a held copy (e.g. once the
+    /// final order is known).
+    pub fn set_ab_priority(&mut self, id: MsgId, priority: u64) {
+        if let Some(copy) = self.held.get_mut(&id) {
+            copy.ab_priority = Some(priority);
+        }
+    }
+
+    /// Ids of messages this site has received (sent in stability gossip).
+    pub fn local_ids(&self) -> Vec<MsgId> {
+        self.held.keys().copied().collect()
+    }
+
+    /// Processes a gossip message from `from_site`; returns ids that became stable.
+    pub fn on_gossip(&mut self, from_site: SiteId, ids: &[MsgId]) -> Vec<MsgId> {
+        let mut stabilized = Vec::new();
+        for id in ids {
+            self.acked_by.entry(*id).or_default().insert(from_site);
+            if self.collect(*id) {
+                stabilized.push(*id);
+            }
+        }
+        stabilized
+    }
+
+    /// Returns copies of every message still considered unstable, for a flush ack.
+    pub fn unstable(&self) -> Vec<StoredMsg> {
+        self.held.values().cloned().collect()
+    }
+
+    /// Returns true if the id was held here and has already been garbage-collected as stable.
+    pub fn is_stable(&self, id: &MsgId) -> bool {
+        !self.held.contains_key(id) && !self.acked_by.contains_key(id)
+    }
+
+    fn collect(&mut self, id: MsgId) -> bool {
+        let Some(acks) = self.acked_by.get(&id) else {
+            return false;
+        };
+        let all = self.member_sites.iter().all(|s| acks.contains(s));
+        if all && self.held.contains_key(&id) {
+            self.held.remove(&id);
+            self.acked_by.remove(&id);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsync_msg::Message;
+
+    fn copy(n: u64) -> StoredMsg {
+        StoredMsg {
+            wire: Message::with_body(n),
+            ab_priority: None,
+        }
+    }
+
+    fn id(site: u16, seq: u64) -> MsgId {
+        MsgId::new(SiteId(site), seq)
+    }
+
+    #[test]
+    fn single_site_groups_stabilize_immediately() {
+        let mut t = StabilityTracker::new(SiteId(0), vec![SiteId(0)]);
+        t.record_local(id(0, 1), copy(1));
+        assert_eq!(t.held_len(), 0, "own ack suffices when we are the only member site");
+    }
+
+    #[test]
+    fn stability_requires_every_member_site() {
+        let mut t = StabilityTracker::new(SiteId(0), vec![SiteId(0), SiteId(1), SiteId(2)]);
+        t.record_local(id(0, 1), copy(1));
+        assert_eq!(t.held_len(), 1);
+        assert!(t.on_gossip(SiteId(1), &[id(0, 1)]).is_empty());
+        let stable = t.on_gossip(SiteId(2), &[id(0, 1)]);
+        assert_eq!(stable, vec![id(0, 1)]);
+        assert_eq!(t.held_len(), 0);
+        assert!(t.is_stable(&id(0, 1)));
+    }
+
+    #[test]
+    fn unstable_copies_are_reported_for_flush() {
+        let mut t = StabilityTracker::new(SiteId(0), vec![SiteId(0), SiteId(1)]);
+        t.record_local(id(0, 1), copy(1));
+        t.record_local(id(1, 5), copy(2));
+        t.on_gossip(SiteId(1), &[id(0, 1)]);
+        let unstable = t.unstable();
+        assert_eq!(unstable.len(), 1);
+        assert_eq!(unstable[0].wire.get_u64("body"), Some(2));
+    }
+
+    #[test]
+    fn ab_priority_updates_are_carried_in_copies() {
+        let mut t = StabilityTracker::new(SiteId(0), vec![SiteId(0), SiteId(1)]);
+        t.record_local(id(0, 1), copy(1));
+        t.set_ab_priority(id(0, 1), 42);
+        assert_eq!(t.unstable()[0].ab_priority, Some(42));
+    }
+
+    #[test]
+    fn gossip_about_unknown_messages_is_remembered() {
+        // A remote site may ack a message we have not received yet; when our copy arrives the
+        // earlier ack still counts.
+        let mut t = StabilityTracker::new(SiteId(0), vec![SiteId(0), SiteId(1)]);
+        t.on_gossip(SiteId(1), &[id(1, 1)]);
+        t.record_local(id(1, 1), copy(3));
+        assert_eq!(t.held_len(), 0, "stable as soon as our copy arrives");
+    }
+
+    #[test]
+    fn reset_drops_view_scoped_state() {
+        let mut t = StabilityTracker::new(SiteId(0), vec![SiteId(0), SiteId(1)]);
+        t.record_local(id(0, 1), copy(1));
+        t.reset(vec![SiteId(0)]);
+        assert_eq!(t.held_len(), 0);
+        assert!(t.local_ids().is_empty());
+    }
+}

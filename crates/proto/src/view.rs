@@ -1,0 +1,228 @@
+//! Group membership views.
+//!
+//! A view is the membership of a process group at a point in its history.  "The membership
+//! list is sorted in order of decreasing age, providing a natural ranking on the members, and
+//! one that is the same at all members" (paper Section 3.2).  Because view changes are
+//! delivered as virtually synchronous events, every member observes the same sequence of
+//! views and can use its rank in the current view as the basis of deterministic, local
+//! decisions — no extra agreement protocol required.
+
+use serde::{Deserialize, Serialize};
+use vsync_msg::Message;
+use vsync_util::{Address, GroupId, ProcessId, Rank, SiteId, ViewId};
+
+/// A group membership view.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct View {
+    /// Identity of the view (group plus sequence number).
+    pub id: ViewId,
+    /// Members in order of decreasing age: index = rank, rank 0 is the oldest member.
+    pub members: Vec<ProcessId>,
+    /// Members added relative to the previous view (empty for the founding view).
+    pub joined: Vec<ProcessId>,
+    /// Members that departed (left or failed) relative to the previous view.
+    pub departed: Vec<ProcessId>,
+}
+
+impl View {
+    /// Creates the founding view of a group with a single creator member.
+    pub fn founding(group: GroupId, creator: ProcessId) -> Self {
+        View {
+            id: ViewId::initial(group),
+            members: vec![creator],
+            joined: vec![creator],
+            departed: Vec::new(),
+        }
+    }
+
+    /// The group this view belongs to.
+    pub fn group(&self) -> GroupId {
+        self.id.group
+    }
+
+    /// The view sequence number.
+    pub fn seq(&self) -> u64 {
+        self.id.seq
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the view has no members (a group that everyone has left).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Rank of a member (0 = oldest), or `None` if not a member.
+    pub fn rank_of(&self, p: ProcessId) -> Option<Rank> {
+        self.members.iter().position(|m| *m == p)
+    }
+
+    /// True if `p` is a member of this view.
+    pub fn contains(&self, p: ProcessId) -> bool {
+        self.rank_of(p).is_some()
+    }
+
+    /// The oldest member, which acts as the group coordinator for view changes.
+    pub fn coordinator(&self) -> Option<ProcessId> {
+        self.members.first().copied()
+    }
+
+    /// The distinct sites hosting members, in rank order (oldest member's site first).
+    pub fn member_sites(&self) -> Vec<SiteId> {
+        let mut sites = Vec::new();
+        for m in &self.members {
+            if !sites.contains(&m.site) {
+                sites.push(m.site);
+            }
+        }
+        sites
+    }
+
+    /// Members hosted at `site`.
+    pub fn members_at(&self, site: SiteId) -> Vec<ProcessId> {
+        self.members.iter().copied().filter(|m| m.site == site).collect()
+    }
+
+    /// Builds the successor view after applying departures and additions.
+    ///
+    /// Departed members are removed; joiners are appended at the end (they are the youngest),
+    /// preserving the decreasing-age order of everyone else.
+    pub fn successor(&self, departed: &[ProcessId], joined: &[ProcessId]) -> View {
+        let mut members: Vec<ProcessId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|m| !departed.contains(m))
+            .collect();
+        let mut actually_joined = Vec::new();
+        for j in joined {
+            if !members.contains(j) {
+                members.push(*j);
+                actually_joined.push(*j);
+            }
+        }
+        View {
+            id: self.id.next(),
+            members,
+            joined: actually_joined,
+            departed: departed
+                .iter()
+                .copied()
+                .filter(|d| self.contains(*d))
+                .collect(),
+        }
+    }
+
+    /// Serialises the view into message fields (prefixed with `prefix`) for the wire.
+    pub fn encode_into(&self, msg: &mut Message, prefix: &str) {
+        msg.set(&format!("{prefix}group"), self.id.group);
+        msg.set(&format!("{prefix}seq"), self.id.seq);
+        msg.set(
+            &format!("{prefix}members"),
+            self.members.iter().map(|m| Address::Process(*m)).collect::<Vec<_>>(),
+        );
+        msg.set(
+            &format!("{prefix}joined"),
+            self.joined.iter().map(|m| Address::Process(*m)).collect::<Vec<_>>(),
+        );
+        msg.set(
+            &format!("{prefix}departed"),
+            self.departed.iter().map(|m| Address::Process(*m)).collect::<Vec<_>>(),
+        );
+    }
+
+    /// Parses a view previously written by [`View::encode_into`].
+    pub fn decode_from(msg: &Message, prefix: &str) -> Option<View> {
+        let group = msg.get_addr(&format!("{prefix}group"))?.as_group()?;
+        let seq = msg.get_u64(&format!("{prefix}seq"))?;
+        let decode_list = |name: &str| -> Vec<ProcessId> {
+            msg.get_addr_list(name)
+                .map(|l| l.iter().filter_map(|a| a.as_process()).collect())
+                .unwrap_or_default()
+        };
+        Some(View {
+            id: ViewId { group, seq },
+            members: decode_list(&format!("{prefix}members")),
+            joined: decode_list(&format!("{prefix}joined")),
+            departed: decode_list(&format!("{prefix}departed")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsync_util::SiteId;
+
+    fn p(site: u16, local: u32) -> ProcessId {
+        ProcessId::new(SiteId(site), local)
+    }
+
+    #[test]
+    fn founding_view_has_one_member_at_rank_zero() {
+        let v = View::founding(GroupId(1), p(0, 1));
+        assert_eq!(v.seq(), 1);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.rank_of(p(0, 1)), Some(0));
+        assert_eq!(v.coordinator(), Some(p(0, 1)));
+        assert_eq!(v.joined, vec![p(0, 1)]);
+    }
+
+    #[test]
+    fn successor_appends_joiners_as_youngest() {
+        let v1 = View::founding(GroupId(1), p(0, 1));
+        let v2 = v1.successor(&[], &[p(1, 1)]);
+        let v3 = v2.successor(&[], &[p(2, 1)]);
+        assert_eq!(v3.members, vec![p(0, 1), p(1, 1), p(2, 1)]);
+        assert_eq!(v3.seq(), 3);
+        assert_eq!(v3.rank_of(p(2, 1)), Some(2));
+        assert_eq!(v3.joined, vec![p(2, 1)]);
+    }
+
+    #[test]
+    fn successor_removes_departed_and_promotes_survivors() {
+        let v = View::founding(GroupId(1), p(0, 1))
+            .successor(&[], &[p(1, 1)])
+            .successor(&[], &[p(2, 1)]);
+        let after = v.successor(&[p(0, 1)], &[]);
+        assert_eq!(after.members, vec![p(1, 1), p(2, 1)]);
+        assert_eq!(after.coordinator(), Some(p(1, 1)));
+        assert_eq!(after.departed, vec![p(0, 1)]);
+        // Departures of non-members are ignored.
+        let again = after.successor(&[p(9, 9)], &[]);
+        assert!(again.departed.is_empty());
+        assert_eq!(again.members.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_joins_are_ignored() {
+        let v = View::founding(GroupId(1), p(0, 1));
+        let v2 = v.successor(&[], &[p(0, 1), p(1, 1)]);
+        assert_eq!(v2.members, vec![p(0, 1), p(1, 1)]);
+        assert_eq!(v2.joined, vec![p(1, 1)]);
+    }
+
+    #[test]
+    fn member_sites_deduplicate_in_rank_order() {
+        let v = View::founding(GroupId(1), p(2, 1))
+            .successor(&[], &[p(0, 1)])
+            .successor(&[], &[p(2, 2)])
+            .successor(&[], &[p(1, 1)]);
+        assert_eq!(v.member_sites(), vec![SiteId(2), SiteId(0), SiteId(1)]);
+        assert_eq!(v.members_at(SiteId(2)), vec![p(2, 1), p(2, 2)]);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let v = View::founding(GroupId(7), p(0, 1))
+            .successor(&[], &[p(1, 1)])
+            .successor(&[p(0, 1)], &[p(2, 1)]);
+        let mut m = Message::new();
+        v.encode_into(&mut m, "v-");
+        let back = View::decode_from(&m, "v-").expect("decode");
+        assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,136 @@
+//! The news service (paper Section 3.9).
+//!
+//! "This service allows processes to enroll in a system-wide news facility.  Each subscriber
+//! receives a copy of any messages having a 'subject' for which it has enrolled in the order
+//! they were posted.  Although modeled after net-news, the news service is an active entity
+//! that informs processes immediately on learning of an event about which they have expressed
+//! interest."
+//!
+//! Subscribers are members of a news process group; postings travel by ABCAST so every
+//! subscriber sees postings for a subject in the same (posting) order.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use vsync_core::{EntryId, GroupId, Message, ProcessBuilder, ProtocolKind, ToolCtx};
+
+/// Callback invoked when a posting for a subscribed subject arrives.
+pub type NewsHandler = Box<dyn FnMut(&mut ToolCtx<'_>, &Message)>;
+
+struct Inner {
+    group: GroupId,
+    entry: EntryId,
+    subscriptions: BTreeMap<String, Vec<NewsHandler>>,
+    history: BTreeMap<String, Vec<Message>>,
+    posts_seen: u64,
+}
+
+/// The news service handle for one subscriber process.
+#[derive(Clone)]
+pub struct NewsService {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl NewsService {
+    /// Creates the news tool bound to the news group.
+    pub fn new(group: GroupId, entry: EntryId) -> Self {
+        NewsService {
+            inner: Rc::new(RefCell::new(Inner {
+                group,
+                entry,
+                subscriptions: BTreeMap::new(),
+                history: BTreeMap::new(),
+                posts_seen: 0,
+            })),
+        }
+    }
+
+    /// Binds the posting-delivery handler.
+    pub fn attach(&self, builder: &mut ProcessBuilder) {
+        let inner = self.inner.clone();
+        let entry = self.inner.borrow().entry;
+        builder.on_entry(entry, move |ctx, msg| {
+            let Some(subject) = msg.get_str("news-subject").map(str::to_owned) else { return };
+            {
+                let mut state = inner.borrow_mut();
+                state.posts_seen += 1;
+                state.history.entry(subject.clone()).or_default().push(msg.clone());
+            }
+            // Run handlers outside the borrow so they can use the context freely.
+            let mut handlers = inner.borrow_mut().subscriptions.remove(&subject);
+            if let Some(hs) = handlers.as_mut() {
+                for h in hs.iter_mut() {
+                    h(ctx, msg);
+                }
+            }
+            if let Some(hs) = handlers {
+                inner.borrow_mut().subscriptions.entry(subject).or_default().extend(hs);
+            }
+        });
+    }
+
+    /// Enrolls for a subject.
+    pub fn subscribe(
+        &self,
+        subject: &str,
+        handler: impl FnMut(&mut ToolCtx<'_>, &Message) + 'static,
+    ) {
+        self.inner
+            .borrow_mut()
+            .subscriptions
+            .entry(subject.to_owned())
+            .or_default()
+            .push(Box::new(handler));
+    }
+
+    /// Posts a message under a subject (Table 1: "1 async CBCAST or ABCAST"; ABCAST here so
+    /// all subscribers observe the same posting order).
+    pub fn post(&self, ctx: &mut ToolCtx<'_>, subject: &str, mut body: Message) {
+        let (group, entry) = {
+            let state = self.inner.borrow();
+            (state.group, state.entry)
+        };
+        body.set("news-subject", subject);
+        ctx.send(group, entry, body, ProtocolKind::Abcast);
+    }
+
+    /// Postings seen so far for a subject, in posting order.
+    pub fn history(&self, subject: &str) -> Vec<Message> {
+        self.inner
+            .borrow()
+            .history
+            .get(subject)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Total postings observed by this subscriber (any subject).
+    pub fn posts_seen(&self) -> u64 {
+        self.inner.borrow().posts_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscriptions_are_per_subject() {
+        let news = NewsService::new(GroupId(1), EntryId(30));
+        news.subscribe("alarms", |_ctx, _m| {});
+        news.subscribe("alarms", |_ctx, _m| {});
+        news.subscribe("status", |_ctx, _m| {});
+        let inner = news.inner.borrow();
+        assert_eq!(inner.subscriptions.get("alarms").map(Vec::len), Some(2));
+        assert_eq!(inner.subscriptions.get("status").map(Vec::len), Some(1));
+        assert!(inner.subscriptions.get("other").is_none());
+    }
+
+    #[test]
+    fn history_starts_empty() {
+        let news = NewsService::new(GroupId(1), EntryId(30));
+        assert!(news.history("alarms").is_empty());
+        assert_eq!(news.posts_seen(), 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! The recovery manager (paper Section 3.8).
+//!
+//! "This tool will restart processes after they fail, or if a site recovers.  The recovery
+//! manager runs an algorithm similar to the one in [Skeen] to distinguish the total failure
+//! of a process group from the partial failure of a member, and will advise the recovering
+//! process either to restart the group (if it was one of the last to fail) or to wait for it
+//! to restart elsewhere and then rejoin."
+//!
+//! Each registered member logs every view it observes to stable storage.  On recovery the
+//! manager first checks whether the group is currently operational (then the answer is simply
+//! *rejoin*); otherwise it consults the last logged view: a process that appears in it was
+//! among the last to fail and may safely restart the group from its checkpoint and log, while
+//! one that does not must wait for a last-to-fail member to restart the group first.
+
+use std::rc::Rc;
+
+use vsync_core::{Address, GroupId, Message, ProcessBuilder, ProcessId, View};
+use vsync_util::Result;
+
+use crate::stable::StableStore;
+
+/// The advice given to a recovering process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryAdvice {
+    /// The group is still operational somewhere: rejoin it (state transfer will catch us up).
+    Rejoin,
+    /// The whole group failed and we were among the last to fail: restart it from our
+    /// checkpoint and log.
+    Restart,
+    /// The whole group failed but someone else failed after us: wait for that member (which
+    /// has a more recent state) to restart the group, then rejoin.
+    WaitForRestart,
+}
+
+/// The recovery manager for one service (process group) at one site.
+#[derive(Clone)]
+pub struct RecoveryManager {
+    store: Rc<dyn StableStore>,
+    service: String,
+}
+
+impl RecoveryManager {
+    /// Creates a manager that records state for `service` in `store`.
+    pub fn new(store: Rc<dyn StableStore>, service: &str) -> Self {
+        RecoveryManager {
+            store,
+            service: service.to_owned(),
+        }
+    }
+
+    fn key(&self) -> String {
+        format!("recovery-{}", self.service)
+    }
+
+    /// Records a view observed by a member (normally called from the attached monitor).
+    pub fn record_view(&self, view: &View) -> Result<()> {
+        let mut m = Message::new();
+        m.set("view-seq", view.seq());
+        m.set(
+            "members",
+            view.members.iter().map(|p| Address::Process(*p)).collect::<Vec<_>>(),
+        );
+        self.store.write_checkpoint(&self.key(), &m)
+    }
+
+    /// Attaches view logging to a member process.
+    pub fn attach_logging(&self, builder: &mut ProcessBuilder, group: GroupId) {
+        let this = self.clone();
+        builder.on_view_change(group, move |_ctx, ev| {
+            let _ = this.record_view(&ev.view);
+        });
+    }
+
+    /// The membership of the last view this site observed before failing, if any.
+    pub fn last_known_members(&self) -> Result<Vec<ProcessId>> {
+        let Some(m) = self.store.read_checkpoint(&self.key())? else {
+            return Ok(Vec::new());
+        };
+        Ok(m.get_addr_list("members")
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|a| a.as_process())
+            .collect())
+    }
+
+    /// Advises a recovering process.  `group_operational` is whether the group currently has
+    /// operational members (determined by asking the namespace / attempting a lookup).
+    pub fn advise(&self, me: ProcessId, group_operational: bool) -> Result<RecoveryAdvice> {
+        if group_operational {
+            return Ok(RecoveryAdvice::Rejoin);
+        }
+        let last = self.last_known_members()?;
+        if last.iter().any(|p| p.same_slot(&me)) {
+            Ok(RecoveryAdvice::Restart)
+        } else if last.is_empty() {
+            // No record at all: nothing to wait for, restart fresh.
+            Ok(RecoveryAdvice::Restart)
+        } else {
+            Ok(RecoveryAdvice::WaitForRestart)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stable::MemoryStore;
+    use vsync_util::SiteId;
+
+    fn p(site: u16) -> ProcessId {
+        ProcessId::new(SiteId(site), 1)
+    }
+
+    fn manager() -> RecoveryManager {
+        RecoveryManager::new(Rc::new(MemoryStore::new()), "twenty")
+    }
+
+    #[test]
+    fn operational_group_means_rejoin() {
+        let rm = manager();
+        assert_eq!(rm.advise(p(0), true).unwrap(), RecoveryAdvice::Rejoin);
+    }
+
+    #[test]
+    fn last_to_fail_restarts_the_group() {
+        let rm = manager();
+        let view = View::founding(GroupId(1), p(0)).successor(&[], &[p(1)]);
+        rm.record_view(&view).unwrap();
+        assert_eq!(rm.advise(p(0), false).unwrap(), RecoveryAdvice::Restart);
+        assert_eq!(rm.advise(p(1), false).unwrap(), RecoveryAdvice::Restart);
+    }
+
+    #[test]
+    fn earlier_casualties_wait_for_the_survivors() {
+        let rm = manager();
+        // Our site failed first; the view we logged last still contained us, but then the
+        // survivors installed a view without us and logged *that* on their sites.  The check
+        // below simulates the survivor's log advising *us*: the last view recorded there
+        // excludes our process, so we must wait.
+        let survivors_last_view = View::founding(GroupId(1), p(1)).successor(&[], &[p(2)]);
+        rm.record_view(&survivors_last_view).unwrap();
+        assert_eq!(rm.advise(p(0), false).unwrap(), RecoveryAdvice::WaitForRestart);
+        assert_eq!(rm.advise(p(1), false).unwrap(), RecoveryAdvice::Restart);
+    }
+
+    #[test]
+    fn recovery_recognises_new_incarnations_of_the_same_slot() {
+        let rm = manager();
+        let view = View::founding(GroupId(1), p(0));
+        rm.record_view(&view).unwrap();
+        let recovered_incarnation = p(0).next_incarnation();
+        assert_eq!(
+            rm.advise(recovered_incarnation, false).unwrap(),
+            RecoveryAdvice::Restart
+        );
+    }
+
+    #[test]
+    fn no_history_means_fresh_restart() {
+        let rm = manager();
+        assert_eq!(rm.advise(p(3), false).unwrap(), RecoveryAdvice::Restart);
+        assert!(rm.last_known_members().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! The state-transfer tool (paper Section 3.8).
+//!
+//! "This tool provides a way to join a pre-existing group of processes, transferring state
+//! from the operational processes to the one that wants to join. ...  Up to the instant
+//! before the join occurs, the old set of members continue to receive requests and the new
+//! one does not.  Then, the join takes place and the next request is received by the new
+//! member too, and only after it has received the state that was current at the time of the
+//! join."
+//!
+//! Implementation: the tool watches the group view.  When a view that adds members installs,
+//! the *oldest* member encodes its state (via the application-supplied callback) at that cut
+//! point and sends it to each joiner in blocks.  On the joiner's side, application messages
+//! that arrive before the state are buffered by the application using [`StateTransfer::is_ready`],
+//! which becomes true once the final block has been applied.  Because the snapshot is taken
+//! at the view-change cut, the combination (snapshot + messages delivered in the new view) is
+//! exactly the state the old members have.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vsync_core::{Address, EntryId, GroupId, Message, ProcessBuilder, ProtocolKind, ToolCtx};
+
+/// Produces the state to transfer, as a series of variable-sized blocks (paper: "the
+/// application must be able to encode its state into a series of variable sized blocks").
+pub type EncodeFn = Box<dyn FnMut() -> Vec<Message>>;
+
+/// Applies one received state block.
+pub type ApplyFn = Box<dyn FnMut(&mut ToolCtx<'_>, &Message)>;
+
+struct Inner {
+    group: GroupId,
+    encode: EncodeFn,
+    apply: ApplyFn,
+    ready: bool,
+    blocks_sent: u64,
+    blocks_received: u64,
+    transfers_served: u64,
+}
+
+/// The state-transfer tool attached to one group member (or joiner).
+#[derive(Clone)]
+pub struct StateTransfer {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl StateTransfer {
+    /// Creates the tool: `encode` produces the state blocks at a transfer source, `apply`
+    /// consumes them at a joiner.
+    pub fn new(
+        group: GroupId,
+        encode: impl FnMut() -> Vec<Message> + 'static,
+        apply: impl FnMut(&mut ToolCtx<'_>, &Message) + 'static,
+    ) -> Self {
+        StateTransfer {
+            inner: Rc::new(RefCell::new(Inner {
+                group,
+                encode: Box::new(encode),
+                apply: Box::new(apply),
+                ready: false,
+                blocks_sent: 0,
+                blocks_received: 0,
+                transfers_served: 0,
+            })),
+        }
+    }
+
+    /// Binds the transfer entry and the view monitor.
+    pub fn attach(&self, builder: &mut ProcessBuilder) {
+        let group = self.inner.borrow().group;
+
+        // Receiving side: apply blocks; the block flagged `xfer-last` completes the transfer.
+        let inner = self.inner.clone();
+        builder.on_entry(EntryId::GENERIC_XFER, move |ctx, msg| {
+            {
+                let mut state = inner.borrow_mut();
+                state.blocks_received += 1;
+            }
+            // Run the application callback outside the borrow.
+            let apply_ptr = inner.clone();
+            let mut taken = {
+                let mut state = apply_ptr.borrow_mut();
+                std::mem::replace(&mut state.apply, Box::new(|_ctx, _m| {}))
+            };
+            taken(ctx, msg);
+            {
+                let mut state = apply_ptr.borrow_mut();
+                state.apply = taken;
+                if msg.get_bool("xfer-last").unwrap_or(false) {
+                    state.ready = true;
+                }
+            }
+        });
+
+        // Sending side: when a view adds members and we are the oldest operational member,
+        // push our state (captured at this cut) to every joiner.
+        let inner = self.inner.clone();
+        builder.on_view_change(group, move |ctx, ev| {
+            let me = ctx.me();
+            // The founding member is "ready" by definition: there is nobody to transfer from.
+            if ev.view.len() == 1 && ev.view.contains(me) {
+                inner.borrow_mut().ready = true;
+            }
+            if ev.view.joined.is_empty() || ev.view.joined.contains(&me) {
+                return;
+            }
+            if ev.view.rank_of(me) != Some(0) {
+                return;
+            }
+            if !inner.borrow().ready {
+                return;
+            }
+            let blocks = {
+                let mut state = inner.borrow_mut();
+                let mut encode = std::mem::replace(&mut state.encode, Box::new(Vec::new));
+                drop(state);
+                let blocks = encode();
+                let mut state = inner.borrow_mut();
+                state.encode = encode;
+                state.transfers_served += 1;
+                blocks
+            };
+            for joiner in &ev.view.joined {
+                let total = blocks.len().max(1);
+                if blocks.is_empty() {
+                    // Even an empty state sends one terminating block so the joiner knows it
+                    // is up to date.
+                    let mut m = Message::new();
+                    m.set("xfer-last", true);
+                    ctx.send(Address::Process(*joiner), EntryId::GENERIC_XFER, m, ProtocolKind::Cbcast);
+                    inner.borrow_mut().blocks_sent += 1;
+                    continue;
+                }
+                for (i, block) in blocks.iter().enumerate() {
+                    let mut m = block.clone();
+                    m.set("xfer-block", i as u64);
+                    m.set("xfer-last", i + 1 == total);
+                    ctx.send(Address::Process(*joiner), EntryId::GENERIC_XFER, m, ProtocolKind::Cbcast);
+                    inner.borrow_mut().blocks_sent += 1;
+                }
+            }
+        });
+    }
+
+    /// Marks this member as already holding the authoritative state (the group creator calls
+    /// this; joiners become ready when their transfer completes).
+    pub fn mark_ready(&self) {
+        self.inner.borrow_mut().ready = true;
+    }
+
+    /// True once this member holds the full state (creator, or joiner after transfer).
+    pub fn is_ready(&self) -> bool {
+        self.inner.borrow().ready
+    }
+
+    /// Number of state blocks sent to joiners by this member.
+    pub fn blocks_sent(&self) -> u64 {
+        self.inner.borrow().blocks_sent
+    }
+
+    /// Number of state blocks received by this member.
+    pub fn blocks_received(&self) -> u64 {
+        self.inner.borrow().blocks_received
+    }
+
+    /// Number of joins this member served as the transfer source.
+    pub fn transfers_served(&self) -> u64 {
+        self.inner.borrow().transfers_served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readiness_flags() {
+        let t = StateTransfer::new(GroupId(1), Vec::new, |_ctx, _m| {});
+        assert!(!t.is_ready());
+        t.mark_ready();
+        assert!(t.is_ready());
+        assert_eq!(t.blocks_sent(), 0);
+        assert_eq!(t.blocks_received(), 0);
+        assert_eq!(t.transfers_served(), 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! The common error type for the vsync workspace.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{Address, GroupId, ProcessId};
+
+/// Errors surfaced by the toolkit to application code.
+///
+/// The paper's toolkit reports failures to callers as error codes from the multicast used to
+/// issue a request (Section 5, Step 2: "the caller will now obtain an error code from the
+/// multicast it used to issue the query").  `VsError` plays that role here.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VsError {
+    /// The named group does not exist (or no longer exists).
+    NoSuchGroup(GroupId),
+    /// No group is registered under the given symbolic name.
+    UnknownGroupName(String),
+    /// The destination process does not exist or has failed.
+    NoSuchProcess(ProcessId),
+    /// All destinations of a multicast failed before enough replies were collected.
+    AllDestinationsFailed { wanted: usize, got: usize },
+    /// The request was rejected by the protection tool.
+    PermissionDenied(String),
+    /// A join request was refused (bad credentials, group restarting, ...).
+    JoinRefused(String),
+    /// The caller is not a member of the group it tried to operate on.
+    NotAMember(GroupId),
+    /// The operation requires an operational group coordinator but none is available.
+    NoCoordinator(GroupId),
+    /// A semaphore/lock operation failed.
+    SemaphoreError(String),
+    /// The state transfer was interrupted and could not be restarted.
+    TransferFailed(String),
+    /// Stable storage (checkpoint/log) error.
+    StorageError(String),
+    /// A message could not be encoded or decoded.
+    CodecError(String),
+    /// A message was addressed to an entry that is not bound at the destination.
+    NoSuchEntry(Address, u8),
+    /// Recovery manager determined the process should wait for the group to restart
+    /// elsewhere instead of restarting it.
+    MustWaitForRestart(GroupId),
+    /// An operation timed out.
+    Timeout(String),
+    /// The simulated run ended (quiesced or reached its horizon) before the operation
+    /// completed.
+    SimulationEnded(String),
+    /// Internal invariant violation; indicates a bug in the toolkit itself.
+    Internal(String),
+}
+
+impl fmt::Display for VsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VsError::NoSuchGroup(g) => write!(f, "no such group: {g}"),
+            VsError::UnknownGroupName(n) => write!(f, "no group registered under name {n:?}"),
+            VsError::NoSuchProcess(p) => write!(f, "no such process: {p}"),
+            VsError::AllDestinationsFailed { wanted, got } => write!(
+                f,
+                "all destinations failed before enough replies were collected (wanted {wanted}, got {got})"
+            ),
+            VsError::PermissionDenied(why) => write!(f, "permission denied: {why}"),
+            VsError::JoinRefused(why) => write!(f, "join refused: {why}"),
+            VsError::NotAMember(g) => write!(f, "caller is not a member of {g}"),
+            VsError::NoCoordinator(g) => write!(f, "no operational coordinator for {g}"),
+            VsError::SemaphoreError(why) => write!(f, "semaphore error: {why}"),
+            VsError::TransferFailed(why) => write!(f, "state transfer failed: {why}"),
+            VsError::StorageError(why) => write!(f, "stable storage error: {why}"),
+            VsError::CodecError(why) => write!(f, "message codec error: {why}"),
+            VsError::NoSuchEntry(addr, e) => write!(f, "no entry {e} bound at {addr}"),
+            VsError::MustWaitForRestart(g) => {
+                write!(f, "recovery manager: wait for {g} to restart elsewhere")
+            }
+            VsError::Timeout(what) => write!(f, "timed out: {what}"),
+            VsError::SimulationEnded(what) => write!(f, "simulation ended: {what}"),
+            VsError::Internal(why) => write!(f, "internal toolkit error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for VsError {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, VsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SiteId;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = VsError::AllDestinationsFailed { wanted: 3, got: 1 };
+        let s = e.to_string();
+        assert!(s.contains("wanted 3"));
+        assert!(s.contains("got 1"));
+
+        let e = VsError::NoSuchProcess(ProcessId::new(SiteId(1), 2));
+        assert!(e.to_string().contains("P1.2"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&VsError::Timeout("join".into()));
+    }
+}

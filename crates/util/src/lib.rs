@@ -1,0 +1,28 @@
+//! Foundation types for the vsync reproduction of the ISIS virtual synchrony toolkit
+//! (Birman & Joseph, "Exploiting Virtual Synchrony in Distributed Systems", SOSP 1987).
+//!
+//! This crate holds the vocabulary shared by every other crate in the workspace:
+//!
+//! * [`ids`] — compact identifiers for sites, processes, groups, views and entry points,
+//!   mirroring the paper's 8-byte encoded addressing scheme (Section 4.1).
+//! * [`time`] — the virtual time base used by the discrete-event simulator and by the
+//!   sans-io protocol state machines.
+//! * [`clock`] — Lamport and vector logical clocks used by the CBCAST/ABCAST protocols.
+//! * [`error`] — the common error type.
+//! * [`config`] — latency/bandwidth profiles, including the 1987 profile used to reproduce
+//!   the paper's Figures 2 and 3.
+//! * [`rng`] — a small deterministic RNG so simulations are reproducible from a seed.
+
+pub mod clock;
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod rng;
+pub mod time;
+
+pub use clock::{LamportClock, VectorClock};
+pub use config::{LatencyProfile, NetParams};
+pub use error::{Result, VsError};
+pub use ids::{Address, EntryId, GroupId, Incarnation, ProcessId, Rank, SiteId, ViewId};
+pub use rng::DetRng;
+pub use time::{Duration, SimTime};

@@ -1,0 +1,100 @@
+//! Integration: state transfer to joining members and process "migration" (join then leave),
+//! paper Section 3.8.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vsync_core::{Duration, EntryId, IsisSystem, LatencyProfile, Message, ProtocolKind, SiteId};
+use vsync_tools::StateTransfer;
+
+const APPLY: EntryId = EntryId(2);
+
+/// Spawns a member holding a counter that is updated by multicast and transferred on join.
+fn spawn_counter_member(
+    sys: &mut IsisSystem,
+    site: SiteId,
+    gid: vsync_core::GroupId,
+) -> (vsync_core::ProcessId, Rc<RefCell<u64>>, StateTransfer) {
+    let counter = Rc::new(RefCell::new(0u64));
+    let c_for_encode = counter.clone();
+    let c_for_apply = counter.clone();
+    let xfer = StateTransfer::new(
+        gid,
+        move || vec![Message::new().with("counter", *c_for_encode.borrow())],
+        move |_ctx, block| {
+            if let Some(v) = block.get_u64("counter") {
+                *c_for_apply.borrow_mut() = v;
+            }
+        },
+    );
+    let xfer_attach = xfer.clone();
+    let c_for_updates = counter.clone();
+    let pid = sys.spawn(site, move |b| {
+        xfer_attach.attach(b);
+        b.on_entry(APPLY, move |_ctx, msg| {
+            *c_for_updates.borrow_mut() += msg.get_u64("body").unwrap_or(0);
+        });
+    });
+    (pid, counter, xfer)
+}
+
+#[test]
+fn joiner_receives_the_state_current_at_the_join() {
+    let mut sys = IsisSystem::new(3, LatencyProfile::Modern);
+    let gid = sys.allocate_group_id();
+    let (creator, c0, x0) = spawn_counter_member(&mut sys, SiteId(0), gid);
+    sys.create_group_with_id("counter", gid, creator);
+    x0.mark_ready();
+
+    // Accumulate state before anyone joins.
+    for _ in 0..10 {
+        sys.client_send(creator, gid, APPLY, Message::with_body(1u64), ProtocolKind::Cbcast);
+    }
+    sys.run_ms(200);
+    assert_eq!(*c0.borrow(), 10);
+
+    // A member joins: it must converge to the same counter value without replaying history.
+    let (joiner, c1, x1) = spawn_counter_member(&mut sys, SiteId(1), gid);
+    sys.join_and_wait(gid, joiner, None, Duration::from_secs(5)).unwrap();
+    let ok = sys.run_until_condition(Duration::from_secs(5), |_s| x1.is_ready());
+    assert!(ok, "state transfer never completed");
+    assert_eq!(*c1.borrow(), 10, "joiner state differs from the source");
+    assert!(x0.transfers_served() >= 1);
+
+    // Updates after the join reach both replicas.
+    sys.client_send(creator, gid, APPLY, Message::with_body(5u64), ProtocolKind::Cbcast);
+    sys.run_ms(200);
+    assert_eq!(*c0.borrow(), 15);
+    assert_eq!(*c1.borrow(), 15);
+}
+
+#[test]
+fn process_migration_as_join_then_leave() {
+    let mut sys = IsisSystem::new(3, LatencyProfile::Modern);
+    let gid = sys.allocate_group_id();
+    let (old, c_old, x_old) = spawn_counter_member(&mut sys, SiteId(0), gid);
+    sys.create_group_with_id("migrating", gid, old);
+    x_old.mark_ready();
+    for _ in 0..4 {
+        sys.client_send(old, gid, APPLY, Message::with_body(1u64), ProtocolKind::Cbcast);
+    }
+    sys.run_ms(200);
+    assert_eq!(*c_old.borrow(), 4);
+
+    // Migration: start the replacement, let it join and absorb the state, then retire the
+    // original member.  Clients see this as an atomic handover (paper Section 3.8).
+    let (new, c_new, x_new) = spawn_counter_member(&mut sys, SiteId(2), gid);
+    sys.join_and_wait(gid, new, None, Duration::from_secs(5)).unwrap();
+    let ok = sys.run_until_condition(Duration::from_secs(5), |_s| x_new.is_ready());
+    assert!(ok);
+    assert_eq!(*c_new.borrow(), 4);
+    sys.leave_and_wait(gid, old, Duration::from_secs(5)).unwrap();
+    sys.run_ms(100);
+
+    let v = sys.view_of(SiteId(2), gid).unwrap();
+    assert_eq!(v.members, vec![new]);
+    // The migrated service keeps working.
+    sys.client_send(new, gid, APPLY, Message::with_body(1u64), ProtocolKind::Cbcast);
+    sys.run_ms(200);
+    assert_eq!(*c_new.borrow(), 5);
+}
