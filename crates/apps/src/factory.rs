@@ -19,8 +19,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use vsync_core::{
-    Address, Duration, EntryId, GroupId, IsisSystem, Message, ProcessId, ProtocolKind,
-    ReplyWanted, SiteId,
+    Address, Duration, EntryId, GroupId, IsisSystem, Message, ProcessId, ProtocolKind, ReplyWanted,
+    SiteId,
 };
 use vsync_tools::{CoordCohort, ReplicatedData, SemaphoreTool, UpdateOrdering};
 
@@ -196,7 +196,10 @@ impl Factory {
     /// after acting but before its reply propagates, the classic at-least-once window the
     /// paper discusses in Section 5's "limits" paragraph).
     pub fn total_batches_processed(&self) -> usize {
-        self.emulsion.iter().map(|m| m.processed.borrow().len()).sum()
+        self.emulsion
+            .iter()
+            .map(|m| m.processed.borrow().len())
+            .sum()
     }
 }
 

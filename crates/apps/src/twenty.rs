@@ -24,8 +24,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use vsync_core::{
-    Address, Duration, EntryId, GroupId, IsisSystem, Message, ProcessId, ProtocolKind,
-    ReplyWanted, RpcOutcome, SiteId,
+    Address, Duration, EntryId, GroupId, IsisSystem, Message, ProcessId, ProtocolKind, ReplyWanted,
+    RpcOutcome, SiteId,
 };
 use vsync_tools::{ConfigTool, ReplicatedData, StateTransfer, UpdateOrdering};
 
@@ -213,12 +213,8 @@ impl Database {
         let value = row.iter().find(|(c, _)| c == &q.column).map(|(_, v)| v)?;
         Some(match q.op {
             Op::Eq => value == &q.value,
-            Op::Gt => {
-                value.parse::<i64>().ok()? > q.value.parse::<i64>().ok()?
-            }
-            Op::Lt => {
-                value.parse::<i64>().ok()? < q.value.parse::<i64>().ok()?
-            }
+            Op::Gt => value.parse::<i64>().ok()? > q.value.parse::<i64>().ok()?,
+            Op::Lt => value.parse::<i64>().ok()? < q.value.parse::<i64>().ok()?,
         })
     }
 
@@ -277,7 +273,9 @@ impl Database {
         let n = m.get_u64("nrows").unwrap_or(0) as usize;
         let mut rows = Vec::with_capacity(n);
         for i in 0..n {
-            let Some(encoded) = m.get_str(&format!("row{i}")) else { continue };
+            let Some(encoded) = m.get_str(&format!("row{i}")) else {
+                continue;
+            };
             let row: Row = encoded
                 .split(';')
                 .filter_map(|pair| {
@@ -482,11 +480,18 @@ fn spawn_member(
             };
             drop(db);
             *answered_q.borrow_mut() += 1;
-            ctx.reply(msg, Message::new().with("answer", answer.as_str()).with("rank", rank));
+            ctx.reply(
+                msg,
+                Message::new()
+                    .with("answer", answer.as_str())
+                    .with("rank", rank),
+            );
         });
         // Dynamic update handler (Step 5): applied by every member, including standbys.
         b.on_entry(UPDATE_ENTRY, move |_ctx, msg| {
-            let Some(encoded) = msg.get_str("new-row") else { return };
+            let Some(encoded) = msg.get_str("new-row") else {
+                return;
+            };
             let row: Row = encoded
                 .split(';')
                 .filter_map(|pair| {
@@ -527,16 +532,28 @@ mod tests {
     fn query_evaluation() {
         let db = Database::demo();
         // Every demo row is a car.
-        assert_eq!(db.answer(&Query::vertical("object", Op::Eq, "car")), Answer::Yes);
+        assert_eq!(
+            db.answer(&Query::vertical("object", Op::Eq, "car")),
+            Answer::Yes
+        );
         // Some cars cost more than 9000, some do not.
-        assert_eq!(db.answer(&Query::vertical("price", Op::Gt, "9000")), Answer::Sometimes);
+        assert_eq!(
+            db.answer(&Query::vertical("price", Op::Gt, "9000")),
+            Answer::Sometimes
+        );
         // No car is purple.
-        assert_eq!(db.answer(&Query::vertical("color", Op::Eq, "purple")), Answer::No);
+        assert_eq!(
+            db.answer(&Query::vertical("color", Op::Eq, "purple")),
+            Answer::No
+        );
         // Row-subset evaluation: only the expensive sports cars.
         let expensive = db.answer_over(&Query::vertical("price", Op::Gt, "16000"), |i| i >= 7);
         assert_eq!(expensive, Answer::Yes);
         // Empty subset.
-        assert_eq!(db.answer_over(&Query::vertical("price", Op::Gt, "0"), |_| false), Answer::Unknown);
+        assert_eq!(
+            db.answer_over(&Query::vertical("price", Op::Gt, "0"), |_| false),
+            Answer::Unknown
+        );
     }
 
     #[test]
@@ -548,14 +565,23 @@ mod tests {
         let answers: Vec<Answer> = (0..5).map(|m| db.answer_over(&q, |r| r % 5 == m)).collect();
         assert_eq!(
             answers,
-            vec![Answer::No, Answer::Sometimes, Answer::Sometimes, Answer::Sometimes, Answer::Yes]
+            vec![
+                Answer::No,
+                Answer::Sometimes,
+                Answer::Sometimes,
+                Answer::Sometimes,
+                Answer::Yes
+            ]
         );
     }
 
     #[test]
     fn snapshot_roundtrip_preserves_the_relation() {
         let mut db = Database::demo();
-        db.add_row(vec![("object".into(), "car".into()), ("price".into(), "99999".into())]);
+        db.add_row(vec![
+            ("object".into(), "car".into()),
+            ("price".into(), "99999".into()),
+        ]);
         let snap = db.snapshot();
         let back = Database::from_snapshot(&snap);
         assert_eq!(back.len(), db.len());

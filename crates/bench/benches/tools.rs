@@ -3,20 +3,25 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use vsync_msg::{codec, Message};
+use vsync_net::MsgId;
 use vsync_proto::abcast::AbcastState;
 use vsync_proto::cbcast::{CbcastState, ReadyCb};
 use vsync_util::{ProcessId, SiteId, VectorClock};
-use vsync_net::MsgId;
 
 fn bench_codec(c: &mut Criterion) {
     let msg = Message::new()
         .with("price", 9000u64)
         .with("color", "red")
         .with("blob", vec![0u8; 1024])
-        .with("members", vec![vsync_util::Address::Group(vsync_util::GroupId(7)); 4]);
+        .with(
+            "members",
+            vec![vsync_util::Address::Group(vsync_util::GroupId(7)); 4],
+        );
     let encoded = codec::encode(&msg);
     c.bench_function("codec_encode_1k", |b| b.iter(|| codec::encode(&msg)));
-    c.bench_function("codec_decode_1k", |b| b.iter(|| codec::decode(&encoded).unwrap()));
+    c.bench_function("codec_decode_1k", |b| {
+        b.iter(|| codec::decode(&encoded).unwrap())
+    });
 }
 
 fn bench_cbcast_delivery(c: &mut Criterion) {
@@ -54,5 +59,10 @@ fn bench_abcast_ordering(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_codec, bench_cbcast_delivery, bench_abcast_ordering);
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_cbcast_delivery,
+    bench_abcast_ordering
+);
 criterion_main!(benches);

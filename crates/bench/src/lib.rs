@@ -52,7 +52,14 @@ impl Report {
     pub fn to_markdown(&self) -> String {
         let mut s = format!("### {}\n\n", self.title);
         s.push_str(&format!("| {} |\n", self.columns.join(" | ")));
-        s.push_str(&format!("|{}|\n", self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")));
+        s.push_str(&format!(
+            "|{}|\n",
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        ));
         for r in &self.rows {
             s.push_str(&format!("| {} | {} |\n", r.label, r.values.join(" | ")));
         }
@@ -79,7 +86,10 @@ pub struct BenchCluster {
 impl BenchCluster {
     /// Builds a cluster of `num_sites` sites with one echo member per site.
     pub fn new(profile: LatencyProfile, num_sites: usize, seed: u64) -> Self {
-        let mut sys = IsisSystem::builder(num_sites).profile(profile).seed(seed).build();
+        let mut sys = IsisSystem::builder(num_sites)
+            .profile(profile)
+            .seed(seed)
+            .build();
         let delivered_bytes = Rc::new(RefCell::new(0u64));
         let mut members = Vec::new();
         let gid = sys.allocate_group_id();
@@ -130,7 +140,11 @@ impl BenchCluster {
             ReplyWanted::One,
             Duration::from_secs(120),
         );
-        assert!(outcome.error.is_none(), "bench call failed: {:?}", outcome.error);
+        assert!(
+            outcome.error.is_none(),
+            "bench call failed: {:?}",
+            outcome.error
+        );
         self.sys.now() - start
     }
 
@@ -153,9 +167,11 @@ impl BenchCluster {
             );
         }
         let bytes = self.delivered_bytes.clone();
-        let ok = self.sys.run_until_condition(Duration::from_secs(600), move |_s| {
-            *bytes.borrow() >= expected
-        });
+        let ok = self
+            .sys
+            .run_until_condition(Duration::from_secs(600), move |_s| {
+                *bytes.borrow() >= expected
+            });
         assert!(ok, "throughput run never completed");
         let elapsed = (self.sys.now() - start).as_secs_f64().max(1e-9);
         (size * count) as f64 / elapsed
@@ -166,7 +182,10 @@ impl BenchCluster {
 pub fn table1() -> Report {
     use vsync_tools::{ConfigTool, NewsService, ReplicatedData, SemaphoreTool, UpdateOrdering};
 
-    let mut sys = IsisSystem::builder(4).profile(LatencyProfile::Modern).seed(7).build();
+    let mut sys = IsisSystem::builder(4)
+        .profile(LatencyProfile::Modern)
+        .seed(7)
+        .build();
     let gid = sys.allocate_group_id();
     let mut members = Vec::new();
     for i in 0..3u16 {
@@ -188,7 +207,8 @@ pub fn table1() -> Report {
         if i == 0 {
             sys.create_group_with_id("t1", gid, pid);
         } else {
-            sys.join_and_wait(gid, pid, None, Duration::from_secs(30)).unwrap();
+            sys.join_and_wait(gid, pid, None, Duration::from_secs(30))
+                .unwrap();
         }
         members.push(pid);
     }
@@ -196,28 +216,34 @@ pub fn table1() -> Report {
     sys.run_ms(200);
 
     let mut rows = Vec::new();
-    let mut measure = |sys: &mut IsisSystem, label: &str, paper: &str, op: &mut dyn FnMut(&mut IsisSystem)| {
-        let before = sys.stats();
-        op(sys);
-        sys.run_ms(400);
-        let delta = sys.stats().delta_since(&before);
-        rows.push(Row {
-            label: label.to_owned(),
-            values: vec![paper.to_owned(), delta.multicast_summary()],
-        });
-    };
+    let mut measure =
+        |sys: &mut IsisSystem, label: &str, paper: &str, op: &mut dyn FnMut(&mut IsisSystem)| {
+            let before = sys.stats();
+            op(sys);
+            sys.run_ms(400);
+            let delta = sys.stats().delta_since(&before);
+            rows.push(Row {
+                label: label.to_owned(),
+                values: vec![paper.to_owned(), delta.multicast_summary()],
+            });
+        };
 
-    measure(&mut sys, "group RPC, 1 reply (bcast + reply)", "multicast + replies", &mut |sys| {
-        let _ = sys.client_call(
-            client,
-            vec![Address::Group(gid)],
-            BENCH_ENTRY,
-            Message::new().with("want-reply", true),
-            ProtocolKind::Cbcast,
-            ReplyWanted::One,
-            Duration::from_secs(10),
-        );
-    });
+    measure(
+        &mut sys,
+        "group RPC, 1 reply (bcast + reply)",
+        "multicast + replies",
+        &mut |sys| {
+            let _ = sys.client_call(
+                client,
+                vec![Address::Group(gid)],
+                BENCH_ENTRY,
+                Message::new().with("want-reply", true),
+                ProtocolKind::Cbcast,
+                ReplyWanted::One,
+                Duration::from_secs(10),
+            );
+        },
+    );
     measure(&mut sys, "reply(msg)", "1 async CBCAST", &mut |sys| {
         // Isolated: a member replies to a synthesized request.
         let _ = sys.client_call(
@@ -235,74 +261,114 @@ pub fn table1() -> Report {
     });
     let joiner_holder: Rc<RefCell<Option<ProcessId>>> = Rc::new(RefCell::new(None));
     let jh = joiner_holder.clone();
-    measure(&mut sys, "pg_join(gid)", "1 CBCAST + 1 GBCAST + reply", &mut |sys| {
-        let joiner = sys.spawn(SiteId(3), |_| {});
-        sys.join_and_wait(gid, joiner, None, Duration::from_secs(30)).unwrap();
-        *jh.borrow_mut() = Some(joiner);
-    });
+    measure(
+        &mut sys,
+        "pg_join(gid)",
+        "1 CBCAST + 1 GBCAST + reply",
+        &mut |sys| {
+            let joiner = sys.spawn(SiteId(3), |_| {});
+            sys.join_and_wait(gid, joiner, None, Duration::from_secs(30))
+                .unwrap();
+            *jh.borrow_mut() = Some(joiner);
+        },
+    );
     measure(&mut sys, "pg_leave(gid)", "1 GBCAST", &mut |sys| {
         let joiner = joiner_holder.borrow().unwrap();
         let _ = sys.leave_and_wait(gid, joiner, Duration::from_secs(30));
     });
-    measure(&mut sys, "replicated update (async mode)", "1 async CBCAST or 1 ABCAST", &mut |sys| {
-        sys.client_send(
-            members[0],
-            gid,
-            EntryId(60),
-            Message::new().with("rd-item", "x").with("rd-value", 1u64),
-            ProtocolKind::Cbcast,
-        );
-    });
-    measure(&mut sys, "replicated read (by manager)", "no cost", &mut |_sys| {
-        // A local read involves no communication at all.
-    });
-    measure(&mut sys, "semaphore P (mutual exclusion)", "1 ABCAST, all replies", &mut |sys| {
-        sys.client_send(
-            members[0],
-            gid,
-            EntryId(62),
-            Message::new()
-                .with("sem-name", "mutex")
-                .with("sem-op", "P")
-                .with("sem-proc", members[0]),
-            ProtocolKind::Abcast,
-        );
-    });
-    measure(&mut sys, "semaphore V (release)", "1 async CBCAST", &mut |sys| {
-        sys.client_send(
-            members[0],
-            gid,
-            EntryId(62),
-            Message::new()
-                .with("sem-name", "mutex")
-                .with("sem-op", "V")
-                .with("sem-proc", members[0]),
-            ProtocolKind::Abcast,
-        );
-    });
-    measure(&mut sys, "conf_update(item, value)", "1 GBCAST", &mut |sys| {
-        sys.client_send(
-            members[1],
-            gid,
-            EntryId(61),
-            Message::new().with("cfg-item", "n").with("cfg-value", 3u64),
-            ProtocolKind::Gbcast,
-        );
-    });
+    measure(
+        &mut sys,
+        "replicated update (async mode)",
+        "1 async CBCAST or 1 ABCAST",
+        &mut |sys| {
+            sys.client_send(
+                members[0],
+                gid,
+                EntryId(60),
+                Message::new().with("rd-item", "x").with("rd-value", 1u64),
+                ProtocolKind::Cbcast,
+            );
+        },
+    );
+    measure(
+        &mut sys,
+        "replicated read (by manager)",
+        "no cost",
+        &mut |_sys| {
+            // A local read involves no communication at all.
+        },
+    );
+    measure(
+        &mut sys,
+        "semaphore P (mutual exclusion)",
+        "1 ABCAST, all replies",
+        &mut |sys| {
+            sys.client_send(
+                members[0],
+                gid,
+                EntryId(62),
+                Message::new()
+                    .with("sem-name", "mutex")
+                    .with("sem-op", "P")
+                    .with("sem-proc", members[0]),
+                ProtocolKind::Abcast,
+            );
+        },
+    );
+    measure(
+        &mut sys,
+        "semaphore V (release)",
+        "1 async CBCAST",
+        &mut |sys| {
+            sys.client_send(
+                members[0],
+                gid,
+                EntryId(62),
+                Message::new()
+                    .with("sem-name", "mutex")
+                    .with("sem-op", "V")
+                    .with("sem-proc", members[0]),
+                ProtocolKind::Abcast,
+            );
+        },
+    );
+    measure(
+        &mut sys,
+        "conf_update(item, value)",
+        "1 GBCAST",
+        &mut |sys| {
+            sys.client_send(
+                members[1],
+                gid,
+                EntryId(61),
+                Message::new().with("cfg-item", "n").with("cfg-value", 3u64),
+                ProtocolKind::Gbcast,
+            );
+        },
+    );
     measure(&mut sys, "conf_read(item)", "no cost", &mut |_sys| {});
-    measure(&mut sys, "news post(subject, msg)", "1 async CBCAST or ABCAST", &mut |sys| {
-        sys.client_send(
-            members[2],
-            gid,
-            EntryId(63),
-            Message::with_body(1u64).with("news-subject", "alerts"),
-            ProtocolKind::Abcast,
-        );
-    });
+    measure(
+        &mut sys,
+        "news post(subject, msg)",
+        "1 async CBCAST or ABCAST",
+        &mut |sys| {
+            sys.client_send(
+                members[2],
+                gid,
+                EntryId(63),
+                Message::with_body(1u64).with("news-subject", "alerts"),
+                ProtocolKind::Abcast,
+            );
+        },
+    );
 
     Report {
         title: "Table 1 — multicast overhead of selected toolkit routines".to_owned(),
-        columns: vec!["Tool routine".into(), "Paper (multicasts required)".into(), "Measured".into()],
+        columns: vec![
+            "Tool routine".into(),
+            "Paper (multicasts required)".into(),
+            "Measured".into(),
+        ],
         rows,
     }
 }
@@ -345,7 +411,10 @@ pub fn figure2(sizes: &[usize]) -> Report {
 pub fn figure3() -> Report {
     // Measure the delivery latency of an ABCAST at a remote member under the 1987 profile.
     let delivered_at = Rc::new(RefCell::new(None));
-    let mut sys = IsisSystem::builder(3).profile(LatencyProfile::Paper1987).seed(3).build();
+    let mut sys = IsisSystem::builder(3)
+        .profile(LatencyProfile::Paper1987)
+        .seed(3)
+        .build();
     let gid = sys.allocate_group_id();
     let mut members = Vec::new();
     for i in 0..3u16 {
@@ -360,13 +429,20 @@ pub fn figure3() -> Report {
         if i == 0 {
             sys.create_group_with_id("fig3", gid, pid);
         } else {
-            sys.join_and_wait(gid, pid, None, Duration::from_secs(60)).unwrap();
+            sys.join_and_wait(gid, pid, None, Duration::from_secs(60))
+                .unwrap();
         }
         members.push(pid);
     }
     sys.run_ms(200);
     let start = sys.now();
-    sys.client_send(members[0], gid, BENCH_ENTRY, Message::with_body(1u64), ProtocolKind::Abcast);
+    sys.client_send(
+        members[0],
+        gid,
+        BENCH_ENTRY,
+        Message::with_body(1u64),
+        ProtocolKind::Abcast,
+    );
     let slot = delivered_at.clone();
     sys.run_until_condition(Duration::from_secs(30), move |_s| slot.borrow().is_some());
     let delivered = delivered_at.borrow().expect("abcast delivered remotely");
@@ -406,7 +482,10 @@ pub fn figure3() -> Report {
 /// Reproduces the Section 5 summary: twenty-questions aggregate query and update rates on
 /// four sites under the 1987 profile.
 pub fn section5(queries: usize, updates: usize) -> Report {
-    let mut sys = IsisSystem::builder(5).profile(LatencyProfile::Paper1987).seed(5).build();
+    let mut sys = IsisSystem::builder(5)
+        .profile(LatencyProfile::Paper1987)
+        .seed(5)
+        .build();
     let sites: Vec<SiteId> = (0..4).map(SiteId).collect();
     let svc = TwentyQuestions::deploy(&mut sys, "twenty", &sites, 4, Database::demo());
     let client = sys.spawn(SiteId(4), |_| {});
@@ -432,7 +511,10 @@ pub fn section5(queries: usize, updates: usize) -> Report {
         svc.update(
             &mut sys,
             client,
-            vec![("object".into(), "car".into()), ("price".into(), format!("{}", 50_000 + i))],
+            vec![
+                ("object".into(), "car".into()),
+                ("price".into(), format!("{}", 50_000 + i)),
+            ],
         );
         sys.run_ms(250);
     }
@@ -465,31 +547,47 @@ pub fn ablation_ordering() -> Report {
     let mut cluster = BenchCluster::new(LatencyProfile::Paper1987, 4, 13);
     let ab_latency = cluster.latency_one_reply(ProtocolKind::Abcast, 100);
     let params = vsync_core::NetParams::paper1987();
-    let seq_remote_sender =
-        sequencer_inter_site_hops(SiteId(1), SiteId(0)) as f64 * params.inter_site_delay.as_millis_f64();
-    let seq_local_sender =
-        sequencer_inter_site_hops(SiteId(0), SiteId(0)) as f64 * params.inter_site_delay.as_millis_f64();
-    let ab_hops =
-        abcast_inter_site_hops(SiteId(0), SiteId(1)) as f64 * params.inter_site_delay.as_millis_f64();
+    let seq_remote_sender = sequencer_inter_site_hops(SiteId(1), SiteId(0)) as f64
+        * params.inter_site_delay.as_millis_f64();
+    let seq_local_sender = sequencer_inter_site_hops(SiteId(0), SiteId(0)) as f64
+        * params.inter_site_delay.as_millis_f64();
+    let ab_hops = abcast_inter_site_hops(SiteId(0), SiteId(1)) as f64
+        * params.inter_site_delay.as_millis_f64();
     Report {
         title: "Ablation — ISIS two-phase ABCAST vs fixed-sequencer total order".to_owned(),
-        columns: vec!["Variant".into(), "Inter-site link time to remote delivery (ms)".into(), "Notes".into()],
+        columns: vec![
+            "Variant".into(),
+            "Inter-site link time to remote delivery (ms)".into(),
+            "Notes".into(),
+        ],
         rows: vec![
             Row {
                 label: "ISIS ABCAST (measured, sender-side latency incl. local reply)".into(),
-                values: vec![format!("{:.1}", ab_latency.as_millis_f64()), "decentralised; no hot spot".into()],
+                values: vec![
+                    format!("{:.1}", ab_latency.as_millis_f64()),
+                    "decentralised; no hot spot".into(),
+                ],
             },
             Row {
                 label: "ISIS ABCAST (analytic, 3 inter-site hops)".into(),
-                values: vec![format!("{ab_hops:.1}"), "phase 1 + proposal + phase 2".into()],
+                values: vec![
+                    format!("{ab_hops:.1}"),
+                    "phase 1 + proposal + phase 2".into(),
+                ],
             },
             Row {
                 label: "Sequencer, sender co-located with sequencer".into(),
-                values: vec![format!("{seq_local_sender:.1}"), "1 hop; sequencer is a bottleneck".into()],
+                values: vec![
+                    format!("{seq_local_sender:.1}"),
+                    "1 hop; sequencer is a bottleneck".into(),
+                ],
             },
             Row {
                 label: "Sequencer, remote sender".into(),
-                values: vec![format!("{seq_remote_sender:.1}"), "2 hops; extra forward to sequencer".into()],
+                values: vec![
+                    format!("{seq_remote_sender:.1}"),
+                    "2 hops; extra forward to sequencer".into(),
+                ],
             },
         ],
     }
@@ -513,8 +611,12 @@ pub fn ablation_view_change(sizes: &[usize]) -> Report {
         });
     }
     Report {
-        title: "Ablation — view change (GBCAST flush) latency vs group size (1987 profile)".to_owned(),
-        columns: vec!["Group size".into(), "Join-to-view-installed latency (ms)".into()],
+        title: "Ablation — view change (GBCAST flush) latency vs group size (1987 profile)"
+            .to_owned(),
+        columns: vec![
+            "Group size".into(),
+            "Join-to-view-installed latency (ms)".into(),
+        ],
         rows,
     }
 }
@@ -572,7 +674,10 @@ mod tests {
         let mut cluster = BenchCluster::new(LatencyProfile::Modern, 3, 1);
         let cb = cluster.latency_one_reply(ProtocolKind::Cbcast, 64);
         let ab = cluster.latency_one_reply(ProtocolKind::Abcast, 64);
-        assert!(ab >= cb, "ABCAST ({ab:?}) should not be faster than CBCAST ({cb:?})");
+        assert!(
+            ab >= cb,
+            "ABCAST ({ab:?}) should not be faster than CBCAST ({cb:?})"
+        );
         let tp = cluster.async_cbcast_throughput(256, 4);
         assert!(tp > 0.0);
     }

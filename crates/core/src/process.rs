@@ -367,7 +367,12 @@ mod tests {
         let views = BTreeMap::new();
         let directory = BTreeMap::new();
         let mut ctx = ToolCtx::new(pid(), SimTime(5), &views, &directory);
-        ctx.send(GroupId(1), EntryId(3), Message::with_body(1u64), ProtocolKind::Cbcast);
+        ctx.send(
+            GroupId(1),
+            EntryId(3),
+            Message::with_body(1u64),
+            ProtocolKind::Cbcast,
+        );
         ctx.trace("hello");
         ctx.leave(GroupId(1));
         let actions = ctx.take_actions();
@@ -453,7 +458,10 @@ mod tests {
             }
         }));
         proc.add_filter(Box::new(|_m: &Message| FilterDecision::Accept));
-        assert_eq!(proc.run_filters(&Message::with_body(1u64)), FilterDecision::Accept);
+        assert_eq!(
+            proc.run_filters(&Message::with_body(1u64)),
+            FilterDecision::Accept
+        );
         assert!(matches!(
             proc.run_filters(&Message::new().with("bad", 1u64)),
             FilterDecision::Reject(_)

@@ -97,7 +97,10 @@ mod tests {
     fn open_policy_accepts_everything() {
         let policy = ProtectionPolicy::open();
         assert_eq!(policy.validate_join(None), Ok(()));
-        assert_eq!(policy.validate_sender(&Message::new()), FilterDecision::Accept);
+        assert_eq!(
+            policy.validate_sender(&Message::new()),
+            FilterDecision::Accept
+        );
     }
 
     #[test]
@@ -117,7 +120,10 @@ mod tests {
 
         let mut untrusted = Message::with_body(1u64);
         untrusted.set_sender(p(9));
-        assert!(matches!(policy.validate_sender(&untrusted), FilterDecision::Reject(_)));
+        assert!(matches!(
+            policy.validate_sender(&untrusted),
+            FilterDecision::Reject(_)
+        ));
 
         assert!(matches!(
             policy.validate_sender(&Message::with_body(1u64)),

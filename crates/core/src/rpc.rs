@@ -303,7 +303,10 @@ mod tests {
         assert_eq!(c.on_failure(p(0, 1)), CollectorStatus::Pending);
         match c.on_failure(p(1, 1)) {
             CollectorStatus::Done(o) => {
-                assert!(matches!(o.error, Some(VsError::AllDestinationsFailed { .. })));
+                assert!(matches!(
+                    o.error,
+                    Some(VsError::AllDestinationsFailed { .. })
+                ));
             }
             other => panic!("expected done, got {other:?}"),
         }

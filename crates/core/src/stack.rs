@@ -16,9 +16,7 @@ use vsync_msg::{fields, Message};
 use vsync_net::{Outbox, Packet, PacketKind, ProtocolKind, SharedStats, SiteHandler};
 use vsync_proto::messages::ProtoMsg;
 use vsync_proto::{Delivery, EndpointOutput, GroupEndpoint, ProtoConfig, View, ViewEvent};
-use vsync_util::{
-    Address, EntryId, GroupId, ProcessId, Result, SimTime, SiteId, VsError,
-};
+use vsync_util::{Address, EntryId, GroupId, ProcessId, Result, SimTime, SiteId, VsError};
 
 use crate::config::StackConfig;
 use crate::process::{reply_target, CtxAction, IsisProcess, ReplyCallback, ToolCtx};
@@ -108,7 +106,10 @@ impl SiteStack {
 
     /// Adds a client process to this site.
     pub fn add_process(&mut self, process: IsisProcess) {
-        assert_eq!(process.id.site, self.site, "process spawned on the wrong site");
+        assert_eq!(
+            process.id.site, self.site,
+            "process spawned on the wrong site"
+        );
         self.processes.insert(process.id, process);
     }
 
@@ -163,9 +164,9 @@ impl SiteStack {
         out: &mut Outbox,
     ) -> Result<()> {
         // Make sure an endpoint exists so the eventual FlushCommit can be applied here.
-        self.endpoints
-            .entry(group)
-            .or_insert_with(|| GroupEndpoint::new(group, self.site, self.proto_cfg, self.stats.clone()));
+        self.endpoints.entry(group).or_insert_with(|| {
+            GroupEndpoint::new(group, self.site, self.proto_cfg, self.stats.clone())
+        });
         let ep = self.endpoints.get(&group).expect("endpoint just ensured");
         if ep.view().is_some() {
             // A member already lives here: submit the join locally.
@@ -176,7 +177,9 @@ impl SiteStack {
             return Ok(());
         }
         // Otherwise ask a contact site.
-        let contact = self.alive_contact(group).ok_or(VsError::NoSuchGroup(group))?;
+        let contact = self
+            .alive_contact(group)
+            .ok_or(VsError::NoSuchGroup(group))?;
         let wire = ProtoMsg::JoinReq {
             joiner,
             credentials,
@@ -187,7 +190,12 @@ impl SiteStack {
     }
 
     /// Asks for `member` (hosted here) to leave `group`.
-    pub fn leave_group(&mut self, group: GroupId, member: ProcessId, out: &mut Outbox) -> Result<()> {
+    pub fn leave_group(
+        &mut self,
+        group: GroupId,
+        member: ProcessId,
+        out: &mut Outbox,
+    ) -> Result<()> {
         let mut eouts = Vec::new();
         match self.endpoints.get_mut(&group) {
             Some(ep) if ep.view().is_some() => {
@@ -196,7 +204,9 @@ impl SiteStack {
                 Ok(())
             }
             _ => {
-                let contact = self.alive_contact(group).ok_or(VsError::NoSuchGroup(group))?;
+                let contact = self
+                    .alive_contact(group)
+                    .ok_or(VsError::NoSuchGroup(group))?;
                 let wire = ProtoMsg::LeaveReq { member }.encode(group);
                 self.send_proto(contact, PacketKind::Flush, wire, out);
                 Ok(())
@@ -291,8 +301,9 @@ impl SiteStack {
         let mut callback = callback;
         if !matches!(wanted, ReplyWanted::None) {
             let deadline = Some(self.now + self.cfg.rpc_timeout);
-            let collector =
-                ReplyCollector::new_with_mode(caller, session, awaited, wanted, deadline, open_ended);
+            let collector = ReplyCollector::new_with_mode(
+                caller, session, awaited, wanted, deadline, open_ended,
+            );
             self.collectors.insert(session, collector);
             if let Some(cb) = callback.take() {
                 self.callbacks.insert(session, cb);
@@ -352,7 +363,10 @@ impl SiteStack {
                 _ => ep.cbcast(self.now, caller, msg, &mut eouts).map(|_| ()),
             };
             if res.is_err() {
-                out.trace(format!("{}: multicast to {group} failed: {res:?}", self.site));
+                out.trace(format!(
+                    "{}: multicast to {group} failed: {res:?}",
+                    self.site
+                ));
             }
             self.pump_endpoint_outputs(group, eouts, out);
         } else {
@@ -412,7 +426,11 @@ impl SiteStack {
     ) {
         for o in outputs {
             match o {
-                EndpointOutput::Send { dst_site, kind, msg } => {
+                EndpointOutput::Send {
+                    dst_site,
+                    kind,
+                    msg,
+                } => {
                     self.send_proto(dst_site, kind, msg, out);
                 }
                 EndpointOutput::Deliver(d) => {
@@ -477,7 +495,9 @@ impl SiteStack {
         match process.run_filters(msg) {
             FilterDecision::Accept => {}
             FilterDecision::Reject(why) => {
-                out.trace(format!("{pid}: filter rejected message at {entry:?}: {why}"));
+                out.trace(format!(
+                    "{pid}: filter rejected message at {entry:?}: {why}"
+                ));
                 self.processes.insert(pid, process);
                 return;
             }
@@ -535,7 +555,9 @@ impl SiteStack {
                     wanted,
                     callback,
                 } => {
-                    self.issue_call(caller, dests, entry, payload, protocol, wanted, callback, out);
+                    self.issue_call(
+                        caller, dests, entry, payload, protocol, wanted, callback, out,
+                    );
                 }
                 CtxAction::Reply {
                     request,
@@ -580,7 +602,12 @@ impl SiteStack {
         reply.set_entry(EntryId::REPLY);
         reply.mark_reply(null);
         self.stats.count_multicast(ProtocolKind::Reply);
-        out.send(Packet::new(caller, requester, PacketKind::Reply, reply.clone()));
+        out.send(Packet::new(
+            caller,
+            requester,
+            PacketKind::Reply,
+            reply.clone(),
+        ));
         for c in copies {
             match c {
                 Address::Process(p) => {
@@ -642,8 +669,12 @@ impl SiteStack {
     }
 
     fn handle_reply(&mut self, pkt: &Packet, out: &mut Outbox) {
-        let Some(session) = pkt.payload.session() else { return };
-        let Some(sender) = pkt.payload.sender() else { return };
+        let Some(session) = pkt.payload.session() else {
+            return;
+        };
+        let Some(sender) = pkt.payload.sender() else {
+            return;
+        };
         let status = match self.collectors.get_mut(&session) {
             Some(c) => c.on_reply(sender, pkt.payload.clone()),
             None => return, // Superfluous replies are discarded silently.
@@ -654,7 +685,10 @@ impl SiteStack {
     // -- Failure handling -----------------------------------------------------------------------
 
     fn handle_site_failure(&mut self, failed_site: SiteId, out: &mut Outbox) {
-        out.trace(format!("{}: site {failed_site} suspected failed", self.site));
+        out.trace(format!(
+            "{}: site {failed_site} suspected failed",
+            self.site
+        ));
         let groups: Vec<GroupId> = self.endpoints.keys().copied().collect();
         for g in groups {
             let failed_members: Vec<ProcessId> = self
@@ -681,11 +715,16 @@ impl SiteStack {
         match pkt.payload.get_str(CTRL) {
             Some("hb") => {}
             Some("relay") => {
-                let Some(group) = pkt.payload.get_addr("relay-group").and_then(|a| a.as_group())
+                let Some(group) = pkt
+                    .payload
+                    .get_addr("relay-group")
+                    .and_then(|a| a.as_group())
                 else {
                     return;
                 };
-                let Some(inner) = pkt.payload.get_msg("relay-payload").cloned() else { return };
+                let Some(inner) = pkt.payload.get_msg("relay-payload").cloned() else {
+                    return;
+                };
                 let protocol = match pkt.payload.get_str("relay-proto") {
                     Some("ABCAST") => ProtocolKind::Abcast,
                     Some("GBCAST") => ProtocolKind::Gbcast,
@@ -707,7 +746,11 @@ impl SiteStack {
             return;
         };
         // Joins are validated by the protection policy before the protocol layer sees them.
-        if let ProtoMsg::JoinReq { joiner, credentials } = &decoded {
+        if let ProtoMsg::JoinReq {
+            joiner,
+            credentials,
+        } = &decoded
+        {
             if let Some(policy) = self.policies.get(&group) {
                 if let Err(why) = policy.validate_join(credentials.as_deref()) {
                     out.trace(format!(
@@ -718,10 +761,9 @@ impl SiteStack {
                 }
             }
         }
-        let ep = self
-            .endpoints
-            .entry(group)
-            .or_insert_with(|| GroupEndpoint::new(group, self.site, self.proto_cfg, self.stats.clone()));
+        let ep = self.endpoints.entry(group).or_insert_with(|| {
+            GroupEndpoint::new(group, self.site, self.proto_cfg, self.stats.clone())
+        });
         let mut eouts = Vec::new();
         if let Err(e) = ep.on_message(self.now, pkt.src.site, &pkt.payload, &mut eouts) {
             out.trace(format!("{}: protocol error in {group}: {e}", self.site));
@@ -734,7 +776,9 @@ impl SiteStack {
             self.handle_reply(pkt, out);
             return;
         }
-        let Some(entry) = pkt.payload.entry() else { return };
+        let Some(entry) = pkt.payload.entry() else {
+            return;
+        };
         self.dispatch_entry(pkt.dst, entry, &pkt.payload, out);
     }
 }

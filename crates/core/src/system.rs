@@ -79,7 +79,9 @@ impl SystemBuilder {
 
     /// Builds the system: creates the engine and installs one protocols process per site.
     pub fn build(self) -> IsisSystem {
-        let stack_cfg = self.stack_cfg.unwrap_or_else(|| StackConfig::from_params(&self.params));
+        let stack_cfg = self
+            .stack_cfg
+            .unwrap_or_else(|| StackConfig::from_params(&self.params));
         let proto_cfg = self.proto_cfg.unwrap_or(match self.profile {
             LatencyProfile::Paper1987 => ProtoConfig::default(),
             _ => ProtoConfig::fast(),
@@ -177,7 +179,11 @@ impl IsisSystem {
     }
 
     /// Spawns a client process at `site`, configured through a [`ProcessBuilder`] closure.
-    pub fn spawn(&mut self, site: SiteId, configure: impl FnOnce(&mut ProcessBuilder)) -> ProcessId {
+    pub fn spawn(
+        &mut self,
+        site: SiteId,
+        configure: impl FnOnce(&mut ProcessBuilder),
+    ) -> ProcessId {
         let local = self.next_local[site.index()];
         self.next_local[site.index()] += 1;
         let pid = ProcessId::new(site, local);
@@ -205,7 +211,12 @@ impl IsisSystem {
     }
 
     /// Creates a group using a pre-allocated id (see [`IsisSystem::allocate_group_id`]).
-    pub fn create_group_with_id(&mut self, name: &str, gid: GroupId, creator: ProcessId) -> GroupId {
+    pub fn create_group_with_id(
+        &mut self,
+        name: &str,
+        gid: GroupId,
+        creator: ProcessId,
+    ) -> GroupId {
         self.create_group_inner(name, gid, creator, ProtectionPolicy::open())
     }
 
@@ -237,10 +248,11 @@ impl IsisSystem {
         // The namespace service makes the name visible everywhere.
         let name = name.to_owned();
         for s in self.all_sites.clone() {
-            self.engine.with_site::<SiteStack, _>(s, |stack, _now, _out| {
-                stack.register_group(&name, gid, vec![creator_site]);
-                stack.set_policy(gid, policy.clone());
-            });
+            self.engine
+                .with_site::<SiteStack, _>(s, |stack, _now, _out| {
+                    stack.register_group(&name, gid, vec![creator_site]);
+                    stack.set_policy(gid, policy.clone());
+                });
         }
         gid
     }
@@ -293,7 +305,9 @@ impl IsisSystem {
         let site = member.site;
         let res = self
             .engine
-            .with_site::<SiteStack, _>(site, |stack, _now, out| stack.leave_group(group, member, out))
+            .with_site::<SiteStack, _>(site, |stack, _now, out| {
+                stack.leave_group(group, member, out)
+            })
             .ok_or(VsError::NoSuchProcess(member))?;
         res?;
         let deadline = self.now() + max_wait;
@@ -382,9 +396,11 @@ impl IsisSystem {
                     payload,
                     protocol,
                     wanted,
-                    Some(Box::new(move |_ctx: &mut ToolCtx<'_>, outcome: RpcOutcome| {
-                        *slot2.borrow_mut() = Some(outcome);
-                    })),
+                    Some(Box::new(
+                        move |_ctx: &mut ToolCtx<'_>, outcome: RpcOutcome| {
+                            *slot2.borrow_mut() = Some(outcome);
+                        },
+                    )),
                     out,
                 );
             })
@@ -494,7 +510,14 @@ mod tests {
         })
     }
 
-    fn build_group_of_three() -> (IsisSystem, GroupId, Vec<ProcessId>, Vec<Rc<RefCell<Vec<u64>>>>) {
+    type Deployment = (
+        IsisSystem,
+        GroupId,
+        Vec<ProcessId>,
+        Vec<Rc<RefCell<Vec<u64>>>>,
+    );
+
+    fn build_group_of_three() -> Deployment {
         let mut sys = IsisSystem::new(4, LatencyProfile::Modern);
         let logs: Vec<Rc<RefCell<Vec<u64>>>> =
             (0..3).map(|_| Rc::new(RefCell::new(Vec::new()))).collect();
@@ -503,7 +526,8 @@ mod tests {
             .collect();
         let gid = sys.create_group("svc", members[0]);
         for m in &members[1..] {
-            sys.join_and_wait(gid, *m, None, Duration::from_secs(5)).expect("join");
+            sys.join_and_wait(gid, *m, None, Duration::from_secs(5))
+                .expect("join");
         }
         (sys, gid, members, logs)
     }
@@ -568,8 +592,12 @@ mod tests {
         let (mut sys, gid, members, _logs) = build_group_of_three();
         sys.kill_site(SiteId(2));
         let ok = sys.run_until_condition(Duration::from_secs(10), |s| {
-            s.view_of(SiteId(0), gid).map(|v| v.len() == 2).unwrap_or(false)
-                && s.view_of(SiteId(1), gid).map(|v| v.len() == 2).unwrap_or(false)
+            s.view_of(SiteId(0), gid)
+                .map(|v| v.len() == 2)
+                .unwrap_or(false)
+                && s.view_of(SiteId(1), gid)
+                    .map(|v| v.len() == 2)
+                    .unwrap_or(false)
         });
         assert!(ok, "surviving members never installed the two-member view");
         let v = sys.view_of(SiteId(0), gid).unwrap();
@@ -609,10 +637,22 @@ mod tests {
             ProtectionPolicy::open().with_join_credential("sesame"),
         );
         let outsider = sys.spawn(SiteId(1), |_| {});
-        let denied = sys.join_and_wait(gid, outsider, Some("wrong".into()), Duration::from_millis(500));
-        assert!(denied.is_err(), "join with bad credentials must not complete");
-        let allowed = sys.join_and_wait(gid, outsider, Some("sesame".into()), Duration::from_secs(5));
-        assert!(allowed.is_ok(), "join with the right credential succeeds: {allowed:?}");
+        let denied = sys.join_and_wait(
+            gid,
+            outsider,
+            Some("wrong".into()),
+            Duration::from_millis(500),
+        );
+        assert!(
+            denied.is_err(),
+            "join with bad credentials must not complete"
+        );
+        let allowed =
+            sys.join_and_wait(gid, outsider, Some("sesame".into()), Duration::from_secs(5));
+        assert!(
+            allowed.is_ok(),
+            "join with the right credential succeeds: {allowed:?}"
+        );
     }
 
     #[test]
@@ -620,7 +660,9 @@ mod tests {
         let (mut sys, gid, members, _logs) = build_group_of_three();
         sys.kill_process(members[1]);
         let ok = sys.run_until_condition(Duration::from_secs(10), |s| {
-            s.view_of(SiteId(0), gid).map(|v| v.len() == 2).unwrap_or(false)
+            s.view_of(SiteId(0), gid)
+                .map(|v| v.len() == 2)
+                .unwrap_or(false)
         });
         assert!(ok);
         assert!(sys.site_is_up(SiteId(1)), "the site itself stays up");
@@ -641,8 +683,13 @@ mod tests {
             });
         });
         let joiner = sys.spawn(SiteId(1), |_| {});
-        sys.join_and_wait(gid, joiner, None, Duration::from_secs(5)).unwrap();
+        sys.join_and_wait(gid, joiner, None, Duration::from_secs(5))
+            .unwrap();
         sys.run_ms(100);
-        assert!(observed.borrow().contains(&2), "monitor saw the two-member view: {:?}", observed.borrow());
+        assert!(
+            observed.borrow().contains(&2),
+            "monitor saw the two-member view: {:?}",
+            observed.borrow()
+        );
     }
 }

@@ -48,7 +48,16 @@ mod tests {
 
     #[test]
     fn system_fields_are_flagged() {
-        for f in [SENDER, DESTS, ENTRY, SESSION, IS_REPLY, NULL_REPLY, PROTOCOL, VECTOR_TIME] {
+        for f in [
+            SENDER,
+            DESTS,
+            ENTRY,
+            SESSION,
+            IS_REPLY,
+            NULL_REPLY,
+            PROTOCOL,
+            VECTOR_TIME,
+        ] {
             assert!(is_system_field(f), "{f} should be a system field");
         }
         assert!(!is_system_field(BODY));

@@ -84,7 +84,10 @@ impl Message {
 
     /// Returns a reference to a field's value.
     pub fn get(&self, name: &str) -> Option<&Value> {
-        self.fields.iter().find(|f| f.name == name).map(|f| &f.value)
+        self.fields
+            .iter()
+            .find(|f| f.name == name)
+            .map(|f| &f.value)
     }
 
     /// Returns true if the field exists.
@@ -321,7 +324,11 @@ mod tests {
         assert!(m.sender().is_none());
         assert!(m.entry().is_none());
         assert!(!m.is_reply());
-        assert_eq!(m.get_u64(fields::BODY), Some(1), "user fields survive stripping");
+        assert_eq!(
+            m.get_u64(fields::BODY),
+            Some(1),
+            "user fields survive stripping"
+        );
     }
 
     #[test]

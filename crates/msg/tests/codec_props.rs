@@ -35,14 +35,13 @@ fn arb_leaf_value() -> impl Strategy<Value = Value> {
 
 fn arb_value() -> impl Strategy<Value = Value> {
     arb_leaf_value().prop_recursive(3, 32, 4, |inner| {
-        proptest::collection::vec(("[a-z]{1,12}", inner), 0..4)
-            .prop_map(|fields| {
-                let mut m = Message::new();
-                for (name, value) in fields {
-                    m.set(&name, value);
-                }
-                Value::Msg(Box::new(m))
-            })
+        proptest::collection::vec(("[a-z]{1,12}", inner), 0..4).prop_map(|fields| {
+            let mut m = Message::new();
+            for (name, value) in fields {
+                m.set(&name, value);
+            }
+            Value::Msg(Box::new(m))
+        })
     })
 }
 

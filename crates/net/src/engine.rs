@@ -413,7 +413,12 @@ mod tests {
         let a = ProcessId::new(SiteId(0), 0);
         let b = ProcessId::new(SiteId(1), 0);
         eng.with_site::<Echo, _>(SiteId(0), |_h, _now, out| {
-            out.send(Packet::new(a, b, PacketKind::Data, Message::with_body("ping")));
+            out.send(Packet::new(
+                a,
+                b,
+                PacketKind::Data,
+                Message::with_body("ping"),
+            ));
         });
         eng.run_until(SimTime(200_000));
         // Site 1 saw the ping, site 0 saw the pong.
@@ -449,7 +454,12 @@ mod tests {
         let b = ProcessId::new(SiteId(1), 0);
         eng.kill_site(SiteId(1));
         eng.with_site::<Echo, _>(SiteId(0), |_h, _now, out| {
-            out.send(Packet::new(a, b, PacketKind::Data, Message::with_body("ping")));
+            out.send(Packet::new(
+                a,
+                b,
+                PacketKind::Data,
+                Message::with_body("ping"),
+            ));
         });
         eng.run_until(SimTime(1_000_000));
         assert!(!eng.site_is_up(SiteId(1)));
@@ -487,11 +497,17 @@ mod tests {
     #[test]
     fn with_site_on_down_or_missing_site_returns_none() {
         let mut eng = Engine::new(1, NetParams::instant(), 0);
-        assert!(eng.with_site::<Echo, _>(SiteId(0), |_h, _n, _o| ()).is_none());
+        assert!(eng
+            .with_site::<Echo, _>(SiteId(0), |_h, _n, _o| ())
+            .is_none());
         eng.install_site(SiteId(0), Box::new(Echo::new(SiteId(0))));
-        assert!(eng.with_site::<Echo, _>(SiteId(0), |_h, _n, _o| ()).is_some());
+        assert!(eng
+            .with_site::<Echo, _>(SiteId(0), |_h, _n, _o| ())
+            .is_some());
         eng.kill_site(SiteId(0));
-        assert!(eng.with_site::<Echo, _>(SiteId(0), |_h, _n, _o| ()).is_none());
+        assert!(eng
+            .with_site::<Echo, _>(SiteId(0), |_h, _n, _o| ())
+            .is_none());
     }
 
     #[test]

@@ -226,7 +226,9 @@ mod tests {
         assert_eq!(verdicts, vec![Verdict::Suspected(SiteId(2))]);
         assert!(!d.is_alive(SiteId(2)));
         // Suspicion is reported exactly once.
-        assert!(d.tick(now + Duration::from_secs(10)).contains(&Verdict::Suspected(SiteId(1))));
+        assert!(d
+            .tick(now + Duration::from_secs(10))
+            .contains(&Verdict::Suspected(SiteId(1))));
     }
 
     #[test]

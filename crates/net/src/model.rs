@@ -130,7 +130,7 @@ impl NetworkModel {
     /// with a clean channel.
     pub fn forget_process(&mut self, process: ProcessId) {
         self.channel_front
-            .retain(|(src, dst), _| src.same_slot(&process) == false && dst.same_slot(&process) == false);
+            .retain(|(src, dst), _| !src.same_slot(&process) && !dst.same_slot(&process));
     }
 }
 
@@ -148,7 +148,12 @@ mod tests {
         } else {
             ProcessId::new(SiteId(1), 0)
         };
-        Packet::new(src, dst, PacketKind::Data, Message::with_body(vec![0u8; size]))
+        Packet::new(
+            src,
+            dst,
+            PacketKind::Data,
+            Message::with_body(vec![0u8; size]),
+        )
     }
 
     #[test]
@@ -169,8 +174,14 @@ mod tests {
         let mut net = NetworkModel::new(NetParams::paper1987(), stats.clone(), 1);
         let small = net.plan_delivery(SimTime::ZERO, &mk_packet(1_000, false));
         let big = net.plan_delivery(SimTime::ZERO, &mk_packet(10_000, false));
-        assert!(big.arrival > small.arrival, "10 KiB must be slower than 1 KiB");
-        assert!(big.physical_packets >= 3, "10 KiB fragments into >= 3 packets of 4 KiB");
+        assert!(
+            big.arrival > small.arrival,
+            "10 KiB must be slower than 1 KiB"
+        );
+        assert!(
+            big.physical_packets >= 3,
+            "10 KiB fragments into >= 3 packets of 4 KiB"
+        );
         let snap = stats.snapshot();
         assert!(snap.fragments_sent >= 2);
     }
@@ -214,7 +225,10 @@ mod tests {
             extra += plan.physical_packets - 1;
             assert!(plan.arrival > SimTime::ZERO, "always delivered eventually");
         }
-        assert!(extra > 20, "with 50% loss many retransmissions must happen, got {extra}");
+        assert!(
+            extra > 20,
+            "with 50% loss many retransmissions must happen, got {extra}"
+        );
         assert!(stats.snapshot().retransmissions > 20);
     }
 

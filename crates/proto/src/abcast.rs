@@ -254,7 +254,8 @@ impl AbcastState {
     /// Force-delivers everything still pending (used at the flush cut after the coordinator
     /// has assigned final priorities to every orphaned message).
     pub fn force_drain(&mut self) -> Vec<ReadyAb> {
-        let mut rest: Vec<(MsgId, PendingAb)> = std::mem::take(&mut self.pending).into_iter().collect();
+        let mut rest: Vec<(MsgId, PendingAb)> =
+            std::mem::take(&mut self.pending).into_iter().collect();
         rest.sort_by_key(|(id, p)| (p.decided.map(|(f, _)| f).unwrap_or(p.proposed), *id));
         rest.into_iter()
             .map(|(id, p)| ReadyAb {
@@ -282,7 +283,13 @@ mod tests {
     #[test]
     fn single_site_group_orders_immediately() {
         let mut ab = AbcastState::new();
-        let done = ab.initiate(id(0, 1), pid(0), Message::with_body(1u64), SiteId(0), vec![]);
+        let done = ab.initiate(
+            id(0, 1),
+            pid(0),
+            Message::with_body(1u64),
+            SiteId(0),
+            vec![],
+        );
         assert!(done);
         let delivered = ab.drain();
         assert_eq!(delivered.len(), 1);
@@ -302,7 +309,9 @@ mod tests {
         assert!(!done);
         assert!(ab.drain().is_empty(), "not deliverable before the decision");
         assert!(ab.on_proposal(id(0, 1), SiteId(1), 5).is_none());
-        let decision = ab.on_proposal(id(0, 1), SiteId(2), 3).expect("all proposals in");
+        let decision = ab
+            .on_proposal(id(0, 1), SiteId(2), 3)
+            .expect("all proposals in");
         assert_eq!(decision.0, 5, "final priority is the maximum proposal");
         ab.decide(id(0, 1), decision.0, decision.1);
         let delivered = ab.drain();

@@ -110,8 +110,11 @@ impl CbcastState {
     pub fn force_drain(&mut self) -> Vec<ReadyCb> {
         let mut rest: Vec<ReadyCb> = self.holdback.drain(..).map(|h| h.ready).collect();
         rest.sort_by(|a, b| {
-            (a.sender_rank, a.vt.get(a.sender_rank), a.id)
-                .cmp(&(b.sender_rank, b.vt.get(b.sender_rank), b.id))
+            (a.sender_rank, a.vt.get(a.sender_rank), a.id).cmp(&(
+                b.sender_rank,
+                b.vt.get(b.sender_rank),
+                b.id,
+            ))
         });
         for r in &rest {
             self.delivered_vt.merge(&r.vt);

@@ -142,7 +142,8 @@ impl GroupEndpoint {
         };
         self.stats.count_multicast(ProtocolKind::Cbcast);
         if self.flush.is_some() {
-            self.buffered_sends.push(BufferedSend::Cb { sender, payload });
+            self.buffered_sends
+                .push(BufferedSend::Cb { sender, payload });
             // The id is assigned when the buffered send is re-issued; report a provisional id.
             return Ok(MsgId::new(self.site, u64::MAX));
         }
@@ -186,7 +187,8 @@ impl GroupEndpoint {
         };
         self.stats.count_multicast(ProtocolKind::Abcast);
         if self.flush.is_some() {
-            self.buffered_sends.push(BufferedSend::Ab { sender, payload });
+            self.buffered_sends
+                .push(BufferedSend::Ab { sender, payload });
             return Ok(MsgId::new(self.site, u64::MAX));
         }
         let id = self.alloc_msg_id();
@@ -263,7 +265,11 @@ impl GroupEndpoint {
             }
             self.start_flush_if_needed(now, out);
         } else {
-            let wire = ProtoMsg::JoinReq { joiner, credentials }.encode(self.group);
+            let wire = ProtoMsg::JoinReq {
+                joiner,
+                credentials,
+            }
+            .encode(self.group);
             self.send_to_site(coord.site, PacketKind::Flush, wire, out);
         }
         Ok(())
@@ -300,7 +306,9 @@ impl GroupEndpoint {
         failed: &[ProcessId],
         out: &mut Vec<EndpointOutput>,
     ) {
-        let Some(view) = self.view.clone() else { return };
+        let Some(view) = self.view.clone() else {
+            return;
+        };
         let mut newly = false;
         for f in failed {
             if view.contains(*f) && self.suspected.insert(*f) {
@@ -314,7 +322,11 @@ impl GroupEndpoint {
         let failed_sites: Vec<SiteId> = view
             .member_sites()
             .into_iter()
-            .filter(|s| view.members_at(*s).iter().all(|m| self.suspected.contains(m)))
+            .filter(|s| {
+                view.members_at(*s)
+                    .iter()
+                    .all(|m| self.suspected.contains(m))
+            })
             .collect();
         for fs in &failed_sites {
             for (id, final_prio, tiebreak) in self.ab.forget_site(*fs) {
@@ -404,7 +416,10 @@ impl GroupEndpoint {
                 ViewPosition::Future => self.future_msgs.push((from_site, wire.clone())),
                 ViewPosition::Past => {}
             },
-            ProtoMsg::JoinReq { joiner, credentials } => {
+            ProtoMsg::JoinReq {
+                joiner,
+                credentials,
+            } => {
                 self.submit_join(now, joiner, credentials, out)?;
             }
             ProtoMsg::LeaveReq { member } => {
@@ -453,7 +468,9 @@ impl GroupEndpoint {
 
     /// Periodic maintenance: stability gossip and flush-timeout recovery.
     pub fn on_tick(&mut self, now: SimTime, out: &mut Vec<EndpointOutput>) {
-        let Some(view) = self.view.clone() else { return };
+        let Some(view) = self.view.clone() else {
+            return;
+        };
         // Stability gossip.
         if now.saturating_since(self.last_gossip) >= self.cfg.stability_interval {
             self.last_gossip = now;
@@ -481,9 +498,9 @@ impl GroupEndpoint {
                     c.started_at = now;
                     let req = ProtoMsg::FlushReq {
                         target_seq: c.target_seq,
-                        initiator: self.acting_coordinator().unwrap_or_else(|| {
-                            ProcessId::new(self.site, 0)
-                        }),
+                        initiator: self
+                            .acting_coordinator()
+                            .unwrap_or_else(|| ProcessId::new(self.site, 0)),
                         attempt: c.attempt,
                     }
                     .encode(self.group);
@@ -553,7 +570,11 @@ impl GroupEndpoint {
         msg: Message,
         out: &mut Vec<EndpointOutput>,
     ) {
-        out.push(EndpointOutput::Send { dst_site, kind, msg });
+        out.push(EndpointOutput::Send {
+            dst_site,
+            kind,
+            msg,
+        });
     }
 
     fn send_to_peer_sites(
@@ -699,7 +720,9 @@ impl GroupEndpoint {
         if self.flush.is_some() {
             return;
         }
-        let Some(view) = self.view.clone() else { return };
+        let Some(view) = self.view.clone() else {
+            return;
+        };
         let has_changes = !self.pending_joins.is_empty()
             || !self.pending_leaves.is_empty()
             || !self.suspected.is_empty()
@@ -707,7 +730,9 @@ impl GroupEndpoint {
         if !has_changes {
             return;
         }
-        let Some(coord) = self.acting_coordinator() else { return };
+        let Some(coord) = self.acting_coordinator() else {
+            return;
+        };
         if coord.site != self.site {
             return;
         }
@@ -717,9 +742,14 @@ impl GroupEndpoint {
             .member_sites()
             .into_iter()
             .filter(|s| *s != self.site)
-            .filter(|s| view.members_at(*s).iter().any(|m| !self.suspected.contains(m)))
+            .filter(|s| {
+                view.members_at(*s)
+                    .iter()
+                    .any(|m| !self.suspected.contains(m))
+            })
             .collect();
-        let coordinator = FlushCoordinator::new(target_seq, self.flush_attempt, awaiting.clone(), now);
+        let coordinator =
+            FlushCoordinator::new(target_seq, self.flush_attempt, awaiting.clone(), now);
         self.flush = Some(FlushRole::Coordinator(coordinator));
         let req = ProtoMsg::FlushReq {
             target_seq,
@@ -743,7 +773,9 @@ impl GroupEndpoint {
         attempt: u64,
         out: &mut Vec<EndpointOutput>,
     ) {
-        let Some(view) = self.view.clone() else { return };
+        let Some(view) = self.view.clone() else {
+            return;
+        };
         if target_seq != view.seq() + 1 {
             return;
         }
@@ -808,7 +840,9 @@ impl GroupEndpoint {
         let Some(FlushRole::Coordinator(mut c)) = self.flush.take() else {
             return;
         };
-        let Some(view) = self.view.clone() else { return };
+        let Some(view) = self.view.clone() else {
+            return;
+        };
         // Merge our own unstable messages and pending proposals into the union.
         let mut own = self.stab.unstable();
         let proposals = self.ab.pending_proposals();
@@ -871,7 +905,9 @@ impl GroupEndpoint {
         }
         // Deliver the agreed cut: everything in the set that we have not delivered yet.
         for stored in deliver {
-            let Ok((_, proto)) = ProtoMsg::decode(&stored.wire) else { continue };
+            let Ok((_, proto)) = ProtoMsg::decode(&stored.wire) else {
+                continue;
+            };
             match proto {
                 ProtoMsg::CbData {
                     id,
@@ -898,7 +934,10 @@ impl GroupEndpoint {
                     }
                 }
                 ProtoMsg::AbData {
-                    id, sender, payload, ..
+                    id,
+                    sender,
+                    payload,
+                    ..
                 } => {
                     if self.delivered.contains(&id) {
                         continue;

@@ -68,7 +68,10 @@ impl Cluster {
         for o in outputs {
             match o {
                 EndpointOutput::Send { dst_site, msg, .. } => {
-                    self.channels.entry((dst_site, from)).or_default().push_back(msg);
+                    self.channels
+                        .entry((dst_site, from))
+                        .or_default()
+                        .push_back(msg);
                 }
                 EndpointOutput::Deliver(d) => {
                     self.deliveries.entry(from).or_default().push(d);
@@ -93,7 +96,16 @@ impl Cluster {
             if keys.is_empty() {
                 break;
             }
-            keys.sort_by_key(|(dst, src)| (*dst, if reverse_sources { u16::MAX - src.0 } else { src.0 }));
+            keys.sort_by_key(|(dst, src)| {
+                (
+                    *dst,
+                    if reverse_sources {
+                        u16::MAX - src.0
+                    } else {
+                        src.0
+                    },
+                )
+            });
             for key in keys {
                 // Deliver one message per channel per round to interleave sources.
                 let Some(msg) = self.channels.get_mut(&key).and_then(|q| q.pop_front()) else {
@@ -105,7 +117,8 @@ impl Cluster {
                 }
                 self.now = SimTime(self.now.0 + 1_000);
                 self.exec(dst, |ep, now, out| {
-                    ep.on_message(now, src, &msg, out).expect("protocol message handled");
+                    ep.on_message(now, src, &msg, out)
+                        .expect("protocol message handled");
                 });
             }
         }
@@ -134,7 +147,11 @@ impl Cluster {
     fn delivered_bodies(&self, site: SiteId) -> Vec<u64> {
         self.deliveries
             .get(&site)
-            .map(|ds| ds.iter().filter_map(|d| d.payload.get_u64("body")).collect())
+            .map(|ds| {
+                ds.iter()
+                    .filter_map(|d| d.payload.get_u64("body"))
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -197,12 +214,17 @@ fn cbcast_reaches_every_member_exactly_once() {
     let mut c = Cluster::build_three_member_group();
     for i in 0..5u64 {
         c.exec(SiteId(0), |ep, now, out| {
-            ep.cbcast(now, member(0), Message::with_body(i), out).unwrap();
+            ep.cbcast(now, member(0), Message::with_body(i), out)
+                .unwrap();
         });
     }
     c.pump(false);
     for s in [0u16, 1, 2] {
-        assert_eq!(c.delivered_bodies(SiteId(s)), vec![0, 1, 2, 3, 4], "site {s}");
+        assert_eq!(
+            c.delivered_bodies(SiteId(s)),
+            vec![0, 1, 2, 3, 4],
+            "site {s}"
+        );
     }
 }
 
@@ -211,7 +233,8 @@ fn cbcast_preserves_causality_under_adversarial_interleaving() {
     let mut c = Cluster::build_three_member_group();
     // Member 0 multicasts m1.
     c.exec(SiteId(0), |ep, now, out| {
-        ep.cbcast(now, member(0), Message::with_body(1u64), out).unwrap();
+        ep.cbcast(now, member(0), Message::with_body(1u64), out)
+            .unwrap();
     });
     // Deliver m1 at site 1 only (site 2's channel stays queued).
     // Then member 1, having seen m1, multicasts m2 (causally after m1).
@@ -221,7 +244,8 @@ fn cbcast_preserves_causality_under_adversarial_interleaving() {
         ep.on_message(now, SiteId(0), &m1_for_site1, out).unwrap();
     });
     c.exec(SiteId(1), |ep, now, out| {
-        ep.cbcast(now, member(1), Message::with_body(2u64), out).unwrap();
+        ep.cbcast(now, member(1), Message::with_body(2u64), out)
+            .unwrap();
     });
     c.pump(true);
     // Causal order must hold at every member: 1 before 2.
@@ -229,7 +253,10 @@ fn cbcast_preserves_causality_under_adversarial_interleaving() {
         let bodies = c.delivered_bodies(SiteId(s));
         let pos1 = bodies.iter().position(|b| *b == 1).expect("m1 delivered");
         let pos2 = bodies.iter().position(|b| *b == 2).expect("m2 delivered");
-        assert!(pos1 < pos2, "site {s} delivered m2 before its causal predecessor m1");
+        assert!(
+            pos1 < pos2,
+            "site {s} delivered m2 before its causal predecessor m1"
+        );
     }
 }
 
@@ -247,14 +274,19 @@ fn abcast_orders_concurrent_messages_identically_everywhere() {
     // Three members issue ABCASTs concurrently.
     for s in [0u16, 1, 2] {
         c.exec(SiteId(s), |ep, now, out| {
-            ep.abcast(now, member(s), Message::with_body(100 + s as u64), out).unwrap();
+            ep.abcast(now, member(s), Message::with_body(100 + s as u64), out)
+                .unwrap();
         });
     }
     c.pump(true);
     let order0 = c.delivered_bodies(SiteId(0));
     assert_eq!(order0.len(), 3);
     for s in [1u16, 2] {
-        assert_eq!(c.delivered_bodies(SiteId(s)), order0, "total order differs at site {s}");
+        assert_eq!(
+            c.delivered_bodies(SiteId(s)),
+            order0,
+            "total order differs at site {s}"
+        );
     }
 }
 
@@ -262,13 +294,16 @@ fn abcast_orders_concurrent_messages_identically_everywhere() {
 fn abcast_and_cbcast_mix_delivers_everything() {
     let mut c = Cluster::build_three_member_group();
     c.exec(SiteId(1), |ep, now, out| {
-        ep.cbcast(now, member(1), Message::with_body(1u64), out).unwrap();
+        ep.cbcast(now, member(1), Message::with_body(1u64), out)
+            .unwrap();
     });
     c.exec(SiteId(2), |ep, now, out| {
-        ep.abcast(now, member(2), Message::with_body(2u64), out).unwrap();
+        ep.abcast(now, member(2), Message::with_body(2u64), out)
+            .unwrap();
     });
     c.exec(SiteId(0), |ep, now, out| {
-        ep.cbcast(now, member(0), Message::with_body(3u64), out).unwrap();
+        ep.cbcast(now, member(0), Message::with_body(3u64), out)
+            .unwrap();
     });
     c.pump(false);
     for s in [0u16, 1, 2] {
@@ -283,14 +318,19 @@ fn gbcast_payload_is_delivered_with_a_view_event_at_every_member() {
     let mut c = Cluster::build_three_member_group();
     c.stats.reset();
     c.exec(SiteId(2), |ep, now, out| {
-        ep.gbcast(now, member(2), Message::with_body(77u64), out).unwrap();
+        ep.gbcast(now, member(2), Message::with_body(77u64), out)
+            .unwrap();
     });
     c.pump(false);
     for s in [0u16, 1, 2] {
         let ve = c.latest_view(SiteId(s)).expect("view event");
         assert_eq!(ve.gbcasts.len(), 1, "site {s}");
         assert_eq!(ve.gbcasts[0].get_u64("body"), Some(77));
-        assert_eq!(ve.view.members.len(), 3, "membership unchanged by a user GBCAST");
+        assert_eq!(
+            ve.view.members.len(),
+            3,
+            "membership unchanged by a user GBCAST"
+        );
     }
     // The GBCAST was counted once.
     assert_eq!(c.stats.snapshot().multicasts_of(ProtocolKind::Gbcast), 1);
@@ -319,7 +359,8 @@ fn virtual_synchrony_failed_senders_message_is_redistributed_at_the_cut() {
     // Member 0 multicasts; the copy reaches site 1 but the copy to site 2 is lost when the
     // sender's site crashes.
     c.exec(SiteId(0), |ep, now, out| {
-        ep.cbcast(now, member(0), Message::with_body(42u64), out).unwrap();
+        ep.cbcast(now, member(0), Message::with_body(42u64), out)
+            .unwrap();
     });
     let m_for_1 = self_channel_take(&mut c, SiteId(1), SiteId(0));
     c.exec(SiteId(1), |ep, now, out| {
@@ -341,7 +382,11 @@ fn virtual_synchrony_failed_senders_message_is_redistributed_at_the_cut() {
     for s in [1u16, 2] {
         let v = c.endpoints[&SiteId(s)].view().unwrap();
         assert_eq!(v.members, vec![member(1), member(2)], "site {s}");
-        assert_eq!(c.delivered_bodies(SiteId(s)), vec![42], "site {s} missed the pre-cut message");
+        assert_eq!(
+            c.delivered_bodies(SiteId(s)),
+            vec![42],
+            "site {s} missed the pre-cut message"
+        );
     }
 }
 
@@ -351,7 +396,8 @@ fn abcast_orphaned_by_sender_failure_is_finalized_by_the_flush() {
     // Member 0 initiates an ABCAST; phase one reaches both peers, but site 0 crashes before
     // sending the final order.
     c.exec(SiteId(0), |ep, now, out| {
-        ep.abcast(now, member(0), Message::with_body(7u64), out).unwrap();
+        ep.abcast(now, member(0), Message::with_body(7u64), out)
+            .unwrap();
     });
     // Deliver phase one at sites 1 and 2; their proposals go back to a dead site.
     let d1 = self_channel_take(&mut c, SiteId(1), SiteId(0));
@@ -363,7 +409,10 @@ fn abcast_orphaned_by_sender_failure_is_finalized_by_the_flush() {
         ep.on_message(now, SiteId(0), &d2, out).unwrap();
     });
     c.crash_site(SiteId(0));
-    assert!(c.delivered_bodies(SiteId(1)).is_empty(), "not deliverable before ordering");
+    assert!(
+        c.delivered_bodies(SiteId(1)).is_empty(),
+        "not deliverable before ordering"
+    );
     for s in [1u16, 2] {
         c.exec(SiteId(s), |ep, now, out| {
             ep.report_failures(now, &[member(0)], out);
@@ -381,12 +430,14 @@ fn multicasts_issued_during_a_flush_are_delivered_in_the_next_view() {
     let mut c = Cluster::build_three_member_group();
     // Start a join (flush) but do not pump yet; the coordinator is now flushing.
     c.exec(SiteId(0), |ep, now, out| {
-        ep.submit_join(now, ProcessId::new(SiteId(0), 9), None, out).unwrap();
+        ep.submit_join(now, ProcessId::new(SiteId(0), 9), None, out)
+            .unwrap();
     });
     assert!(c.endpoints[&SiteId(0)].is_flushing());
     // A multicast issued at the flushing site is buffered, not lost.
     c.exec(SiteId(0), |ep, now, out| {
-        ep.cbcast(now, member(0), Message::with_body(5u64), out).unwrap();
+        ep.cbcast(now, member(0), Message::with_body(5u64), out)
+            .unwrap();
     });
     c.pump(false);
     for s in [0u16, 1, 2] {
@@ -399,7 +450,8 @@ fn multicasts_issued_during_a_flush_are_delivered_in_the_next_view() {
 fn stability_gossip_shrinks_the_unstable_set() {
     let mut c = Cluster::build_three_member_group();
     c.exec(SiteId(0), |ep, now, out| {
-        ep.cbcast(now, member(0), Message::with_body(1u64), out).unwrap();
+        ep.cbcast(now, member(0), Message::with_body(1u64), out)
+            .unwrap();
     });
     c.pump(false);
     // Before gossip the copies are held as potentially unstable somewhere.
@@ -414,12 +466,17 @@ fn stability_gossip_shrinks_the_unstable_set() {
     }
     // Trigger a view change; its commit must not need to redistribute the stable message.
     c.exec(SiteId(0), |ep, now, out| {
-        ep.submit_join(now, ProcessId::new(SiteId(1), 9), None, out).unwrap();
+        ep.submit_join(now, ProcessId::new(SiteId(1), 9), None, out)
+            .unwrap();
     });
     c.pump(false);
     // The newly joined member must NOT receive a stale copy of message 1.
     let site1_bodies = c.delivered_bodies(SiteId(1));
-    assert_eq!(site1_bodies.iter().filter(|b| **b == 1).count(), 1, "no duplicate deliveries");
+    assert_eq!(
+        site1_bodies.iter().filter(|b| **b == 1).count(),
+        1,
+        "no duplicate deliveries"
+    );
 }
 
 #[test]
@@ -427,9 +484,15 @@ fn operations_without_a_view_fail_cleanly() {
     let stats = SharedStats::new();
     let mut ep = GroupEndpoint::new(GROUP, SiteId(0), ProtoConfig::fast(), stats);
     let mut out = Vec::new();
-    assert!(ep.cbcast(SimTime::ZERO, member(0), Message::new(), &mut out).is_err());
-    assert!(ep.abcast(SimTime::ZERO, member(0), Message::new(), &mut out).is_err());
-    assert!(ep.gbcast(SimTime::ZERO, member(0), Message::new(), &mut out).is_err());
+    assert!(ep
+        .cbcast(SimTime::ZERO, member(0), Message::new(), &mut out)
+        .is_err());
+    assert!(ep
+        .abcast(SimTime::ZERO, member(0), Message::new(), &mut out)
+        .is_err());
+    assert!(ep
+        .gbcast(SimTime::ZERO, member(0), Message::new(), &mut out)
+        .is_err());
     assert!(ep.view().is_none());
     assert!(ep.local_members().is_empty());
 }
@@ -439,10 +502,12 @@ fn multicast_counters_reflect_primitive_usage() {
     let mut c = Cluster::build_three_member_group();
     c.stats.reset();
     c.exec(SiteId(0), |ep, now, out| {
-        ep.cbcast(now, member(0), Message::with_body(1u64), out).unwrap();
+        ep.cbcast(now, member(0), Message::with_body(1u64), out)
+            .unwrap();
     });
     c.exec(SiteId(1), |ep, now, out| {
-        ep.abcast(now, member(1), Message::with_body(2u64), out).unwrap();
+        ep.abcast(now, member(1), Message::with_body(2u64), out)
+            .unwrap();
     });
     c.pump(false);
     let snap = c.stats.snapshot();

@@ -187,8 +187,14 @@ mod tests {
 
     #[test]
     fn stored_msg_id_extraction() {
-        assert_eq!(stored_msg_id(&cb_stored(2, 9, 1)).unwrap(), MsgId::new(SiteId(2), 9));
-        assert_eq!(stored_msg_id(&ab_stored(1, 3, 7)).unwrap(), MsgId::new(SiteId(1), 3));
+        assert_eq!(
+            stored_msg_id(&cb_stored(2, 9, 1)).unwrap(),
+            MsgId::new(SiteId(2), 9)
+        );
+        assert_eq!(
+            stored_msg_id(&ab_stored(1, 3, 7)).unwrap(),
+            MsgId::new(SiteId(1), 3)
+        );
         let bogus = StoredMsg {
             wire: ProtoMsg::LeaveReq {
                 member: ProcessId::new(SiteId(0), 1),
@@ -238,12 +244,7 @@ mod tests {
 
     #[test]
     fn role_accessors() {
-        let c = FlushRole::Coordinator(FlushCoordinator::new(
-            5,
-            0,
-            BTreeSet::new(),
-            SimTime(123),
-        ));
+        let c = FlushRole::Coordinator(FlushCoordinator::new(5, 0, BTreeSet::new(), SimTime(123)));
         assert_eq!(c.target_seq(), 5);
         assert_eq!(c.started_at(), SimTime(123));
         let p = FlushRole::Participant(FlushParticipant {

@@ -301,7 +301,10 @@ impl ProtoMsg {
                 m.set("final", *final_priority);
                 m.set("tiebreak-site", tiebreak_site.0 as u64);
             }
-            ProtoMsg::JoinReq { joiner, credentials } => {
+            ProtoMsg::JoinReq {
+                joiner,
+                credentials,
+            } => {
                 put_process(&mut m, "joiner", *joiner);
                 if let Some(c) = credentials {
                     m.set("credentials", c.as_str());
@@ -313,7 +316,10 @@ impl ProtoMsg {
             ProtoMsg::FailReport { failed } => {
                 m.set(
                     "failed",
-                    failed.iter().map(|p| Address::Process(*p)).collect::<Vec<_>>(),
+                    failed
+                        .iter()
+                        .map(|p| Address::Process(*p))
+                        .collect::<Vec<_>>(),
                 );
             }
             ProtoMsg::GbcastReq { sender, payload } => {
@@ -380,9 +386,7 @@ impl ProtoMsg {
                 sender: get_process(m, "sender")?,
                 sender_rank: m.require_u64("sender-rank")?,
                 view_seq: m.require_u64("view-seq")?,
-                vt: VectorClock::from_entries(
-                    m.get_u64_list("vt").unwrap_or_default().to_vec(),
-                ),
+                vt: VectorClock::from_entries(m.get_u64_list("vt").unwrap_or_default().to_vec()),
                 payload: payload_of(m)?,
             },
             "ab-data" => ProtoMsg::AbData {

@@ -132,7 +132,10 @@ mod tests {
         assert!(r.receive(b.clone()).is_empty());
         assert_eq!(r.pending_len(), 2);
         let delivered = r.receive(a.clone());
-        assert_eq!(delivered.iter().map(|m| m.seq).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            delivered.iter().map(|m| m.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         assert_eq!(r.pending_len(), 0);
     }
 
@@ -140,7 +143,13 @@ mod tests {
     fn all_receivers_agree_on_the_order() {
         let mut s = Sequencer::new();
         let msgs: Vec<SequencedMsg> = (0..10)
-            .map(|i| s.assign(MsgId::new(SiteId(i % 3), i as u64), pid(i % 3), Message::with_body(i as u64)))
+            .map(|i| {
+                s.assign(
+                    MsgId::new(SiteId(i % 3), i as u64),
+                    pid(i % 3),
+                    Message::with_body(i as u64),
+                )
+            })
             .collect();
         let mut orders = Vec::new();
         for skew in 0..3usize {

@@ -127,7 +127,11 @@ mod tests {
     fn single_site_groups_stabilize_immediately() {
         let mut t = StabilityTracker::new(SiteId(0), vec![SiteId(0)]);
         t.record_local(id(0, 1), copy(1));
-        assert_eq!(t.held_len(), 0, "own ack suffices when we are the only member site");
+        assert_eq!(
+            t.held_len(),
+            0,
+            "own ack suffices when we are the only member site"
+        );
     }
 
     #[test]

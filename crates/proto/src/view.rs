@@ -83,7 +83,11 @@ impl View {
 
     /// Members hosted at `site`.
     pub fn members_at(&self, site: SiteId) -> Vec<ProcessId> {
-        self.members.iter().copied().filter(|m| m.site == site).collect()
+        self.members
+            .iter()
+            .copied()
+            .filter(|m| m.site == site)
+            .collect()
     }
 
     /// Builds the successor view after applying departures and additions.
@@ -122,15 +126,24 @@ impl View {
         msg.set(&format!("{prefix}seq"), self.id.seq);
         msg.set(
             &format!("{prefix}members"),
-            self.members.iter().map(|m| Address::Process(*m)).collect::<Vec<_>>(),
+            self.members
+                .iter()
+                .map(|m| Address::Process(*m))
+                .collect::<Vec<_>>(),
         );
         msg.set(
             &format!("{prefix}joined"),
-            self.joined.iter().map(|m| Address::Process(*m)).collect::<Vec<_>>(),
+            self.joined
+                .iter()
+                .map(|m| Address::Process(*m))
+                .collect::<Vec<_>>(),
         );
         msg.set(
             &format!("{prefix}departed"),
-            self.departed.iter().map(|m| Address::Process(*m)).collect::<Vec<_>>(),
+            self.departed
+                .iter()
+                .map(|m| Address::Process(*m))
+                .collect::<Vec<_>>(),
         );
     }
 

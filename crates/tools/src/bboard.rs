@@ -45,8 +45,15 @@ impl BulletinBoard {
         let inner = self.inner.clone();
         let entry = self.inner.borrow().entry;
         builder.on_entry(entry, move |_ctx, msg| {
-            let Some(board) = msg.get_str("bb-board").map(str::to_owned) else { return };
-            inner.borrow_mut().boards.entry(board).or_default().push(msg.clone());
+            let Some(board) = msg.get_str("bb-board").map(str::to_owned) else {
+                return;
+            };
+            inner
+                .borrow_mut()
+                .boards
+                .entry(board)
+                .or_default()
+                .push(msg.clone());
         });
     }
 
@@ -62,12 +69,22 @@ impl BulletinBoard {
 
     /// Reads every posting on a board, in posting order (local, no communication).
     pub fn read(&self, board: &str) -> Vec<Message> {
-        self.inner.borrow().boards.get(board).cloned().unwrap_or_default()
+        self.inner
+            .borrow()
+            .boards
+            .get(board)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Number of postings on a board.
     pub fn len(&self, board: &str) -> usize {
-        self.inner.borrow().boards.get(board).map(Vec::len).unwrap_or(0)
+        self.inner
+            .borrow()
+            .boards
+            .get(board)
+            .map(Vec::len)
+            .unwrap_or(0)
     }
 
     /// True if the board has no postings.

@@ -121,7 +121,11 @@ mod tests {
         assert_eq!(cfg.read("workers"), None);
         cfg.load_local("workers", 5u64);
         assert_eq!(cfg.read_u64("workers"), Some(5));
-        assert_eq!(cfg.version(), 0, "local loads do not bump the replicated version");
+        assert_eq!(
+            cfg.version(),
+            0,
+            "local loads do not bump the replicated version"
+        );
     }
 
     #[test]
@@ -133,7 +137,9 @@ mod tests {
         other.apply_snapshot(&cfg.snapshot());
         assert_eq!(other.read_u64("workers"), Some(5));
         assert_eq!(
-            other.read("mode").and_then(|v| v.as_str().map(str::to_owned)),
+            other
+                .read("mode")
+                .and_then(|v| v.as_str().map(str::to_owned)),
             Some("horizontal".to_owned())
         );
     }

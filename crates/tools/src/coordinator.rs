@@ -54,7 +54,11 @@ pub fn pick_coordinator(
     plist: &[ProcessId],
     caller: Option<ProcessId>,
 ) -> Option<ProcessId> {
-    let alive: Vec<ProcessId> = plist.iter().copied().filter(|p| view.contains(*p)).collect();
+    let alive: Vec<ProcessId> = plist
+        .iter()
+        .copied()
+        .filter(|p| view.contains(*p))
+        .collect();
     if alive.is_empty() {
         return None;
     }
@@ -88,7 +92,9 @@ impl CoordCohort {
         // the application's got_reply routine.
         let inner = self.inner.clone();
         builder.on_entry(EntryId::GENERIC_CC_REPLY, move |ctx, msg| {
-            let Some(session) = msg.get_u64("cc-session") else { return };
+            let Some(session) = msg.get_u64("cc-session") else {
+                return;
+            };
             let pending = inner.borrow_mut().pending.remove(&session);
             if let Some(mut p) = pending {
                 inner.borrow_mut().completed += 1;
@@ -107,7 +113,9 @@ impl CoordCohort {
             for session in sessions {
                 let takeover = {
                     let state = inner.borrow();
-                    let Some(p) = state.pending.get(&session) else { continue };
+                    let Some(p) = state.pending.get(&session) else {
+                        continue;
+                    };
                     let caller = p.request.sender();
                     pick_coordinator(&ev.view, &p.plist, caller) == Some(me)
                 };
@@ -137,8 +145,12 @@ impl CoordCohort {
     ) {
         let group = self.inner.borrow().group;
         let me = ctx.me();
-        let Some(view) = ctx.view_of(group).cloned() else { return };
-        let Some(session) = request.session() else { return };
+        let Some(view) = ctx.view_of(group).cloned() else {
+            return;
+        };
+        let Some(session) = request.session() else {
+            return;
+        };
         if !plist.contains(&me) {
             // Non-participants issue null replies so the caller never waits on them.
             ctx.null_reply(request);

@@ -33,8 +33,8 @@ pub mod semaphore;
 pub mod stable;
 pub mod transfer;
 
-pub use config_tool::ConfigTool;
 pub use bboard::BulletinBoard;
+pub use config_tool::ConfigTool;
 pub use coordinator::CoordCohort;
 pub use monitor::SiteMonitor;
 pub use news::NewsService;

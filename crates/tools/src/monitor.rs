@@ -109,8 +109,14 @@ mod tests {
     #[test]
     fn event_classification() {
         let m = SiteMonitor::new(GroupId(1));
-        m.inner.borrow_mut().events.push(MemberEvent::Joined(ProcessId::new(SiteId(0), 1)));
-        m.inner.borrow_mut().events.push(MemberEvent::Departed(ProcessId::new(SiteId(1), 1)));
+        m.inner
+            .borrow_mut()
+            .events
+            .push(MemberEvent::Joined(ProcessId::new(SiteId(0), 1)));
+        m.inner
+            .borrow_mut()
+            .events
+            .push(MemberEvent::Departed(ProcessId::new(SiteId(1), 1)));
         assert_eq!(m.events().len(), 2);
         assert_eq!(m.departures(), 1);
     }

@@ -51,11 +51,17 @@ impl NewsService {
         let inner = self.inner.clone();
         let entry = self.inner.borrow().entry;
         builder.on_entry(entry, move |ctx, msg| {
-            let Some(subject) = msg.get_str("news-subject").map(str::to_owned) else { return };
+            let Some(subject) = msg.get_str("news-subject").map(str::to_owned) else {
+                return;
+            };
             {
                 let mut state = inner.borrow_mut();
                 state.posts_seen += 1;
-                state.history.entry(subject.clone()).or_default().push(msg.clone());
+                state
+                    .history
+                    .entry(subject.clone())
+                    .or_default()
+                    .push(msg.clone());
             }
             // Run handlers outside the borrow so they can use the context freely.
             let mut handlers = inner.borrow_mut().subscriptions.remove(&subject);
@@ -65,7 +71,12 @@ impl NewsService {
                 }
             }
             if let Some(hs) = handlers {
-                inner.borrow_mut().subscriptions.entry(subject).or_default().extend(hs);
+                inner
+                    .borrow_mut()
+                    .subscriptions
+                    .entry(subject)
+                    .or_default()
+                    .extend(hs);
             }
         });
     }
@@ -124,7 +135,7 @@ mod tests {
         let inner = news.inner.borrow();
         assert_eq!(inner.subscriptions.get("alarms").map(Vec::len), Some(2));
         assert_eq!(inner.subscriptions.get("status").map(Vec::len), Some(1));
-        assert!(inner.subscriptions.get("other").is_none());
+        assert!(!inner.subscriptions.contains_key("other"));
     }
 
     #[test]

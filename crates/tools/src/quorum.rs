@@ -7,8 +7,10 @@
 //! of Q members that can be identified consistently) reply, giving the value of Q as part of
 //! their reply.  Other members send null replies."
 
-use vsync_core::{Address, EntryId, GroupId, Message, ProcessId, ProtocolKind, Rank, ReplyWanted,
-    RpcOutcome, ToolCtx, View};
+use vsync_core::{
+    Address, EntryId, GroupId, Message, ProcessId, ProtocolKind, Rank, ReplyWanted, RpcOutcome,
+    ToolCtx, View,
+};
 
 /// Issues a quorum call: waits for `q` replies.
 pub fn quorum_call(

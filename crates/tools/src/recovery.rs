@@ -1,7 +1,7 @@
 //! The recovery manager (paper Section 3.8).
 //!
 //! "This tool will restart processes after they fail, or if a site recovers.  The recovery
-//! manager runs an algorithm similar to the one in [Skeen] to distinguish the total failure
+//! manager runs an algorithm similar to the one in \[Skeen\] to distinguish the total failure
 //! of a process group from the partial failure of a member, and will advise the recovering
 //! process either to restart the group (if it was one of the last to fail) or to wait for it
 //! to restart elsewhere and then rejoin."
@@ -58,7 +58,10 @@ impl RecoveryManager {
         m.set("view-seq", view.seq());
         m.set(
             "members",
-            view.members.iter().map(|p| Address::Process(*p)).collect::<Vec<_>>(),
+            view.members
+                .iter()
+                .map(|p| Address::Process(*p))
+                .collect::<Vec<_>>(),
         );
         self.store.write_checkpoint(&self.key(), &m)
     }
@@ -139,7 +142,10 @@ mod tests {
         // excludes our process, so we must wait.
         let survivors_last_view = View::founding(GroupId(1), p(1)).successor(&[], &[p(2)]);
         rm.record_view(&survivors_last_view).unwrap();
-        assert_eq!(rm.advise(p(0), false).unwrap(), RecoveryAdvice::WaitForRestart);
+        assert_eq!(
+            rm.advise(p(0), false).unwrap(),
+            RecoveryAdvice::WaitForRestart
+        );
         assert_eq!(rm.advise(p(1), false).unwrap(), RecoveryAdvice::Restart);
     }
 

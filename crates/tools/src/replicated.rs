@@ -88,7 +88,9 @@ impl ReplicatedData {
                 },
             )
         };
-        let msg = Message::new().with("rd-item", item).with("rd-value", value.into());
+        let msg = Message::new()
+            .with("rd-item", item)
+            .with("rd-value", value.into());
         ctx.send(group, entry, msg, proto);
     }
 
@@ -120,7 +122,10 @@ impl ReplicatedData {
     /// Sets an item locally without multicasting (initial load of the database before the
     /// group is distributed, or application of a transferred state).
     pub fn load_local(&self, item: &str, value: impl Into<Value>) {
-        self.inner.borrow_mut().items.insert(item.to_owned(), value.into());
+        self.inner
+            .borrow_mut()
+            .items
+            .insert(item.to_owned(), value.into());
     }
 
     /// Encodes the full state into a message (used by the state-transfer tool and by the
@@ -185,8 +190,12 @@ impl Inner {
     }
 
     fn apply_without_logging(&mut self, msg: &Message) {
-        let Some(item) = msg.get_str("rd-item") else { return };
-        let Some(value) = msg.get("rd-value") else { return };
+        let Some(item) = msg.get_str("rd-item") else {
+            return;
+        };
+        let Some(value) = msg.get("rd-value") else {
+            return;
+        };
         self.items.insert(item.to_owned(), value.clone());
         self.updates_applied += 1;
     }

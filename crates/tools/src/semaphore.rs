@@ -59,11 +59,15 @@ impl SemaphoreTool {
     /// Defines a semaphore with an initial count.  Every member must define the same
     /// semaphores with the same counts (typically at start-up, before any P/V traffic).
     pub fn define(&self, name: &str, initial: i64) {
-        self.inner.borrow_mut().sems.entry(name.to_owned()).or_insert(SemState {
-            count: initial,
-            holders: Vec::new(),
-            queue: VecDeque::new(),
-        });
+        self.inner
+            .borrow_mut()
+            .sems
+            .entry(name.to_owned())
+            .or_insert(SemState {
+                count: initial,
+                holders: Vec::new(),
+                queue: VecDeque::new(),
+            });
     }
 
     /// Binds the operation-application handler and the failure monitor.
@@ -181,7 +185,9 @@ impl Inner {
     /// Applies one P/V operation.  Returns true when the operation results in a grant to the
     /// local member (so its callback must fire).
     fn apply(&mut self, msg: &Message) -> bool {
-        let Some(name) = msg.get_str("sem-name").map(str::to_owned) else { return false };
+        let Some(name) = msg.get_str("sem-name").map(str::to_owned) else {
+            return false;
+        };
         let Some(proc_) = msg.get_addr("sem-proc").and_then(|a| a.as_process()) else {
             return false;
         };

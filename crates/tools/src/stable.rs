@@ -78,7 +78,13 @@ impl StableStore for MemoryStore {
     }
 
     fn read_log(&self, key: &str) -> Result<Vec<Message>> {
-        Ok(self.inner.borrow().logs.get(key).cloned().unwrap_or_default())
+        Ok(self
+            .inner
+            .borrow()
+            .logs
+            .get(key)
+            .cloned()
+            .unwrap_or_default())
     }
 
     fn truncate_log(&self, key: &str) -> Result<()> {
@@ -104,7 +110,13 @@ impl FileStore {
 
     fn sanitize(key: &str) -> String {
         key.chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect()
     }
 
@@ -183,7 +195,9 @@ mod tests {
         assert_eq!(store.read_checkpoint("svc").unwrap(), None);
         assert!(store.read_log("svc").unwrap().is_empty());
 
-        store.write_checkpoint("svc", &Message::with_body(1u64)).unwrap();
+        store
+            .write_checkpoint("svc", &Message::with_body(1u64))
+            .unwrap();
         store.append_log("svc", &Message::with_body(2u64)).unwrap();
         store.append_log("svc", &Message::with_body(3u64)).unwrap();
 
@@ -194,10 +208,19 @@ mod tests {
         assert_eq!(log[0].get_u64("body"), Some(2));
         assert_eq!(log[1].get_u64("body"), Some(3));
 
-        store.write_checkpoint("svc", &Message::with_body(9u64)).unwrap();
+        store
+            .write_checkpoint("svc", &Message::with_body(9u64))
+            .unwrap();
         store.truncate_log("svc").unwrap();
         assert!(store.read_log("svc").unwrap().is_empty());
-        assert_eq!(store.read_checkpoint("svc").unwrap().unwrap().get_u64("body"), Some(9));
+        assert_eq!(
+            store
+                .read_checkpoint("svc")
+                .unwrap()
+                .unwrap()
+                .get_u64("body"),
+            Some(9)
+        );
     }
 
     #[test]
@@ -225,7 +248,10 @@ mod tests {
         store
             .write_checkpoint("group/with:odd chars", &Message::with_body(5u64))
             .unwrap();
-        assert!(store.read_checkpoint("group/with:odd chars").unwrap().is_some());
+        assert!(store
+            .read_checkpoint("group/with:odd chars")
+            .unwrap()
+            .is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

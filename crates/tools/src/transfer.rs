@@ -126,7 +126,12 @@ impl StateTransfer {
                     // is up to date.
                     let mut m = Message::new();
                     m.set("xfer-last", true);
-                    ctx.send(Address::Process(*joiner), EntryId::GENERIC_XFER, m, ProtocolKind::Cbcast);
+                    ctx.send(
+                        Address::Process(*joiner),
+                        EntryId::GENERIC_XFER,
+                        m,
+                        ProtocolKind::Cbcast,
+                    );
                     inner.borrow_mut().blocks_sent += 1;
                     continue;
                 }
@@ -134,7 +139,12 @@ impl StateTransfer {
                     let mut m = block.clone();
                     m.set("xfer-block", i as u64);
                     m.set("xfer-last", i + 1 == total);
-                    ctx.send(Address::Process(*joiner), EntryId::GENERIC_XFER, m, ProtocolKind::Cbcast);
+                    ctx.send(
+                        Address::Process(*joiner),
+                        EntryId::GENERIC_XFER,
+                        m,
+                        ProtocolKind::Cbcast,
+                    );
                     inner.borrow_mut().blocks_sent += 1;
                 }
             }

@@ -177,7 +177,10 @@ mod tests {
         let p = NetParams::paper1987();
         let d1 = p.serialization_delay(1_250_000); // one second at 10 Mbit/s
         assert!((d1.as_secs_f64() - 1.0).abs() < 1e-6);
-        assert_eq!(NetParams::instant().serialization_delay(1 << 20), Duration::ZERO);
+        assert_eq!(
+            NetParams::instant().serialization_delay(1 << 20),
+            Duration::ZERO
+        );
     }
 
     #[test]

@@ -317,7 +317,13 @@ mod tests {
         assert_eq!(format!("{:?}", GroupId(7)), "G7");
         assert_eq!(format!("{:?}", SiteId(1)), "S1");
         assert_eq!(
-            format!("{:?}", ViewId { group: GroupId(7), seq: 3 }),
+            format!(
+                "{:?}",
+                ViewId {
+                    group: GroupId(7),
+                    seq: 3
+                }
+            ),
             "G7/v3"
         );
     }

@@ -167,8 +167,14 @@ mod tests {
 
     #[test]
     fn scaling() {
-        assert_eq!(Duration::from_millis(10).saturating_mul(3), Duration::from_millis(30));
-        assert_eq!(Duration::from_millis(10).mul_f64(0.5), Duration::from_millis(5));
+        assert_eq!(
+            Duration::from_millis(10).saturating_mul(3),
+            Duration::from_millis(30)
+        );
+        assert_eq!(
+            Duration::from_millis(10).mul_f64(0.5),
+            Duration::from_millis(5)
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Focused demonstration of the coordinator–cohort tool (paper Section 6): the deterministic
 //! coordinator selection, the cohort's monitoring, and take-over after a failure.
 //!
-//! Run with: `cargo run -p vsync-apps --example coordinator_failover`
+//! Run with: `cargo run --example coordinator_failover`
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -55,7 +55,8 @@ fn main() {
         if i == 0 {
             sys.create_group_with_id("workers", gid, pid);
         } else {
-            sys.join_and_wait(gid, pid, None, Duration::from_secs(5)).expect("join");
+            sys.join_and_wait(gid, pid, None, Duration::from_secs(5))
+                .expect("join");
         }
         members.push(pid);
         executed.push(log);

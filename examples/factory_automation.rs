@@ -2,7 +2,7 @@
 //! service (coordinator–cohort) and a transport service (replicated station status plus a
 //! conveyor semaphore).
 //!
-//! Run with: `cargo run -p vsync-apps --example factory_automation`
+//! Run with: `cargo run --example factory_automation`
 
 use vsync_apps::factory::Factory;
 use vsync_core::{Duration, IsisSystem, LatencyProfile, SiteId};
@@ -18,7 +18,10 @@ fn main() {
         let done = factory.submit_batch(&mut sys, operator, batch, Duration::from_secs(5));
         println!("batch {batch} deposited by the service -> {done:?}");
     }
-    println!("total batches processed: {}", factory.total_batches_processed());
+    println!(
+        "total batches processed: {}",
+        factory.total_batches_processed()
+    );
 
     // Update station status through the replicated data tool and read it from another member.
     factory.update_station(&mut sys, 0, "station-7", "loaded");

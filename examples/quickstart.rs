@@ -1,7 +1,7 @@
 //! Quickstart: create a process group, join members on three sites, multicast with CBCAST
 //! and ABCAST, issue a group RPC, and watch a view change when a member fails.
 //!
-//! Run with: `cargo run -p vsync-apps --example quickstart`
+//! Run with: `cargo run --example quickstart`
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -36,14 +36,27 @@ fn main() {
     // pg_create + pg_join: the group spans three sites, ranked by age.
     let gid = sys.create_group("hello-service", members[0]);
     for m in &members[1..] {
-        sys.join_and_wait(gid, *m, None, Duration::from_secs(5)).expect("join");
+        sys.join_and_wait(gid, *m, None, Duration::from_secs(5))
+            .expect("join");
     }
     println!("view: {:?}", sys.view_of(SiteId(0), gid).unwrap().members);
 
     // Asynchronous CBCAST: the caller continues immediately.
-    sys.client_send(members[0], gid, HELLO, Message::with_body(1u64), ProtocolKind::Cbcast);
+    sys.client_send(
+        members[0],
+        gid,
+        HELLO,
+        Message::with_body(1u64),
+        ProtocolKind::Cbcast,
+    );
     // Totally ordered ABCAST.
-    sys.client_send(members[1], gid, HELLO, Message::with_body(2u64), ProtocolKind::Abcast);
+    sys.client_send(
+        members[1],
+        gid,
+        HELLO,
+        Message::with_body(2u64),
+        ProtocolKind::Abcast,
+    );
     sys.run_ms(200);
 
     // Group RPC from a client outside the group: wait for all three replies.
@@ -60,15 +73,24 @@ fn main() {
     println!(
         "group RPC got {} replies: {:?}",
         outcome.replies.len(),
-        outcome.replies.iter().filter_map(|r| r.get_u64("body")).collect::<Vec<_>>()
+        outcome
+            .replies
+            .iter()
+            .filter_map(|r| r.get_u64("body"))
+            .collect::<Vec<_>>()
     );
 
     // Kill a member: the surviving members install a new view (a clean, agreed event).
     sys.kill_process(members[2]);
     sys.run_until_condition(Duration::from_secs(10), |s| {
-        s.view_of(SiteId(0), gid).map(|v| v.len() == 2).unwrap_or(false)
+        s.view_of(SiteId(0), gid)
+            .map(|v| v.len() == 2)
+            .unwrap_or(false)
     });
-    println!("view after failure: {:?}", sys.view_of(SiteId(0), gid).unwrap().members);
+    println!(
+        "view after failure: {:?}",
+        sys.view_of(SiteId(0), gid).unwrap().members
+    );
     for (i, log) in logs.iter().enumerate() {
         println!("member {i} delivered {:?}", log.borrow());
     }

@@ -2,7 +2,7 @@
 //! updates (paper Sections 3.4 and 3.6): the caller never blocks on its own updates, yet no
 //! member ever reads a stale value relative to what the caller already observed.
 //!
-//! Run with: `cargo run -p vsync-apps --example replicated_counter`
+//! Run with: `cargo run --example replicated_counter`
 
 use vsync_core::{Duration, EntryId, IsisSystem, LatencyProfile, Message, ProtocolKind, SiteId};
 use vsync_tools::{ReplicatedData, UpdateOrdering};
@@ -23,7 +23,8 @@ fn main() {
         if i == 0 {
             sys.create_group_with_id("counter", gid, pid);
         } else {
-            sys.join_and_wait(gid, pid, None, Duration::from_secs(5)).expect("join");
+            sys.join_and_wait(gid, pid, None, Duration::from_secs(5))
+                .expect("join");
         }
         members.push(pid);
         replicas.push(data);
@@ -35,12 +36,17 @@ fn main() {
             members[0],
             gid,
             DATA,
-            Message::new().with("rd-item", "counter").with("rd-value", value),
+            Message::new()
+                .with("rd-item", "counter")
+                .with("rd-value", value),
             ProtocolKind::Cbcast,
         );
     }
     // Reads at the sender reflect its own updates at once (delivered locally at send time).
-    println!("replica 0 immediately reads: {:?}", replicas[0].read_u64("counter"));
+    println!(
+        "replica 0 immediately reads: {:?}",
+        replicas[0].read_u64("counter")
+    );
 
     sys.run_ms(500);
     for (i, r) in replicas.iter().enumerate() {

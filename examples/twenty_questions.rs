@@ -1,7 +1,7 @@
 //! The distributed twenty-questions service of paper Section 5, end to end: vertical and
 //! horizontal queries, a dynamic update, and a member failure with a hot standby taking over.
 //!
-//! Run with: `cargo run -p vsync-apps --example twenty_questions`
+//! Run with: `cargo run --example twenty_questions`
 
 use vsync_apps::twenty::{Database, Op, Query, TwentyQuestions};
 use vsync_core::{Duration, IsisSystem, LatencyProfile, SiteId};
@@ -17,11 +17,17 @@ fn main() {
 
     // Vertical query: exactly one member answers, selected by column mod NMEMBERS.
     let q = Query::vertical("price", Op::Gt, "9000");
-    println!("price > 9000        -> {:?}", svc.query(&mut sys, client, &q, Duration::from_secs(5)));
+    println!(
+        "price > 9000        -> {:?}",
+        svc.query(&mut sys, client, &q, Duration::from_secs(5))
+    );
 
     // Horizontal query: every active member answers over its rows.
     let q = Query::horizontal("price", Op::Gt, "9000");
-    println!("*price > 9000       -> {:?}", svc.query(&mut sys, client, &q, Duration::from_secs(5)));
+    println!(
+        "*price > 9000       -> {:?}",
+        svc.query(&mut sys, client, &q, Duration::from_secs(5))
+    );
 
     // Dynamic update (Step 5): add a very expensive car, delivered by GBCAST.
     svc.update(
@@ -39,13 +45,18 @@ fn main() {
     sys.run_ms(300);
     println!("replica sizes after update: {:?}", svc.replica_sizes());
     let q = Query::vertical("price", Op::Gt, "50000");
-    println!("price > 50000       -> {:?}", svc.query(&mut sys, client, &q, Duration::from_secs(5)));
+    println!(
+        "price > 50000       -> {:?}",
+        svc.query(&mut sys, client, &q, Duration::from_secs(5))
+    );
 
     // Failure: kill an active member; the standby takes over its rank (Steps 3-4).
     sys.kill_process(svc.members[1]);
     let gid = svc.gid;
     sys.run_until_condition(Duration::from_secs(10), |s| {
-        s.view_of(SiteId(0), gid).map(|v| v.len() == 3).unwrap_or(false)
+        s.view_of(SiteId(0), gid)
+            .map(|v| v.len() == 3)
+            .unwrap_or(false)
     });
     let q = Query::horizontal("object", Op::Eq, "car");
     println!(

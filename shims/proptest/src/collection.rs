@@ -1,0 +1,82 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Accepted size specifications for [`vec()`].
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive.
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+/// The strategy returned by [`vec()`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates a `Vec` whose length is drawn from `size` and whose elements are
+/// drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64;
+        let len = self.size.min + rng.below(span + 1) as usize;
+        (0..len).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_span_the_range() {
+        let mut rng = TestRng::new(42);
+        let strat = vec(0u8..10, 2..6);
+        let mut seen = [false; 7];
+        for _ in 0..300 {
+            let v = strat.gen_value(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            seen[v.len()] = true;
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        assert!(seen[2] && seen[3] && seen[4] && seen[5]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Minimal stand-in for `proptest` so the workspace builds and its property tests
+//! *run* without network access.
+//!
+//! This is a real (if small) property-testing engine: strategies generate random
+//! values from a deterministic per-test RNG and the `proptest!` macro runs each
+//! test body for `ProptestConfig::cases` generated inputs.  What it deliberately
+//! omits relative to the real crate is *shrinking* (failing inputs are reported
+//! as-is, not minimized) and persistence of failure seeds.  The API mirrors the
+//! subset the vsync test-suite uses:
+//!
+//! * `proptest! { #![proptest_config(..)] #[test] fn f(x in strat, ..) { .. } }`
+//! * `Strategy` with `prop_map`, `prop_recursive`, `boxed`
+//! * `any::<T>()`, integer/float range strategies, tuple strategies
+//! * `&str` regex strategies for a practical regex subset (char classes,
+//!   `.`, and `{m}`/`{m,n}`/`*`/`+`/`?` quantifiers)
+//! * `collection::vec`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`
+//!
+//! See `shims/README.md` for how to swap the real proptest back in.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn` runs its body for `config.cases` random
+/// inputs drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    let _ = case;
+                    $(let $pat = $crate::strategy::Strategy::gen_value(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Chooses uniformly between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+/// Asserts a condition inside a property test (no shrinking, so this is `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}

@@ -1,0 +1,496 @@
+//! The `Strategy` trait and the built-in strategies the vsync tests use.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike the real proptest there is no value tree and no shrinking: a strategy
+/// simply produces a value from the RNG.
+pub trait Strategy {
+    type Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Builds recursive values: `self` generates leaves, and `recurse` lifts a
+    /// strategy for depth-`d` values into one for depth-`d+1` values.  Each
+    /// generated value picks a random depth in `0..=depth`.  The `_desired_size`
+    /// and `_expected_branch_size` tuning knobs of the real crate are accepted
+    /// and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            leaf: self.boxed(),
+            recurse: Rc::new(move |s| recurse(s).boxed()),
+            depth,
+        }
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        self.0.gen_value(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    leaf: BoxedStrategy<T>,
+    recurse: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let depth = rng.below(u64::from(self.depth) + 1) as u32;
+        let mut strat = self.leaf.clone();
+        for _ in 0..depth {
+            strat = (self.recurse)(strat);
+        }
+        strat.gen_value(rng)
+    }
+}
+
+/// Uniform choice between strategies of one value type; built by `prop_oneof!`.
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union(options)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.0.len() as u64) as usize;
+        self.0[pick].gen_value(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+/// Generates any value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly ASCII with occasional wider code points, always valid chars.
+        if rng.below(4) == 0 {
+            char::from_u32(0x00A1 + rng.below(0x2000) as u32).unwrap_or('¿')
+        } else {
+            (0x20 + rng.below(0x5F) as u8) as char
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values only, spanning a wide magnitude range.
+        let mag = rng.unit_f64() * 1e18;
+        if rng.next_u64() & 1 == 1 {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+
+/// String literals act as regex strategies, as in the real crate, for the
+/// subset: literal chars, `.`, `[..]` classes (ranges, literals, trailing `-`),
+/// and `{m}` / `{m,n}` / `*` / `+` / `?` quantifiers.
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        gen_from_regex(self, rng)
+    }
+}
+
+const UNBOUNDED_REP: u64 = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Inclusive char ranges; a literal is a one-char range.
+    Class(Vec<(char, char)>),
+    /// `.` — any printable ASCII character.
+    Dot,
+}
+
+fn gen_from_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse_regex(pattern);
+    let mut out = String::new();
+    for (atom, min, max) in atoms {
+        let n = min + rng.below(max - min + 1);
+        for _ in 0..n {
+            out.push(gen_atom(&atom, rng));
+        }
+    }
+    out
+}
+
+fn gen_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Dot => (0x20 + rng.below(0x5F) as u8) as char,
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| u64::from(*hi) - u64::from(*lo) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let span = u64::from(*hi) - u64::from(*lo) + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick as u32).expect("valid class char");
+                }
+                pick -= span;
+            }
+            unreachable!("pick < total")
+        }
+    }
+}
+
+/// Parses the supported regex subset into (atom, min-reps, max-reps) triples.
+fn parse_regex(pattern: &str) -> Vec<(Atom, u64, u64)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unterminated class in regex {pattern:?}"))
+                    + i
+                    + 1;
+                let atom = parse_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                atom
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+                i += 2;
+                Atom::Class(vec![(c, c)])
+            }
+            c => {
+                assert!(
+                    !"(){}|*+?".contains(c),
+                    "unsupported regex syntax {c:?} in {pattern:?} (shim supports classes, '.', and quantifiers)"
+                );
+                i += 1;
+                Atom::Class(vec![(c, c)])
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        atoms.push((atom, min, max));
+    }
+    atoms
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Atom {
+    assert!(
+        body.first() != Some(&'^'),
+        "negated classes are not supported by the regex shim ({pattern:?})"
+    );
+    let mut ranges = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        if j + 2 < body.len() && body[j + 1] == '-' {
+            ranges.push((body[j], body[j + 2]));
+            j += 3;
+        } else {
+            // Includes a trailing '-' or a '-' not forming a range.
+            ranges.push((body[j], body[j]));
+            j += 1;
+        }
+    }
+    assert!(!ranges.is_empty(), "empty class in regex {pattern:?}");
+    Atom::Class(ranges)
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (u64, u64) {
+    match chars.get(*i) {
+        Some('*') => {
+            *i += 1;
+            (0, UNBOUNDED_REP)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, UNBOUNDED_REP)
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in regex {pattern:?}"))
+                + *i;
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let v = (5u32..17).gen_value(&mut rng);
+            assert!((5..17).contains(&v));
+            let f = (-2.0f64..3.0).gen_value(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_class_with_counted_reps() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let s = "[a-z]{1,12}".gen_value(&mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn regex_identifier_pattern() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = "[a-zA-Z_][a-zA-Z0-9_-]{0,15}".gen_value(&mut rng);
+            let mut cs = s.chars();
+            let head = cs.next().unwrap();
+            assert!(head.is_ascii_alphabetic() || head == '_');
+            assert!(s.len() <= 16);
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn regex_dot_generates_printable_ascii() {
+        let mut rng = TestRng::new(4);
+        for _ in 0..200 {
+            let s = ".{0,64}".gen_value(&mut rng);
+            assert!(s.len() <= 64);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn oneof_union_uses_every_branch() {
+        let mut rng = TestRng::new(5);
+        let strat = crate::prop_oneof![(0u32..1).prop_map(|_| 'a'), (0u32..1).prop_map(|_| 'b')];
+        let mut seen_a = false;
+        let mut seen_b = false;
+        for _ in 0..100 {
+            match strat.gen_value(&mut rng) {
+                'a' => seen_a = true,
+                _ => seen_b = true,
+            }
+        }
+        assert!(seen_a && seen_b);
+    }
+
+    #[test]
+    fn recursive_reaches_nonzero_depth() {
+        #[derive(Debug)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u8..255)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 32, 4, |inner| {
+                crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            });
+        let mut rng = TestRng::new(6);
+        let max_depth = (0..200)
+            .map(|_| depth(&strat.gen_value(&mut rng)))
+            .max()
+            .unwrap();
+        assert!(max_depth >= 1, "recursion never recursed");
+        assert!(max_depth <= 3, "recursion exceeded depth bound");
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = TestRng::new(7);
+        let (a, b, c) = (0u8..10, 10u8..20, 20u8..30).gen_value(&mut rng);
+        assert!(a < 10 && (10..20).contains(&b) && (20..30).contains(&c));
+    }
+}

@@ -1,0 +1,16 @@
+//! Minimal stand-in for `serde` so the workspace builds without network access.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` to mark types as
+//! wire-safe; no code path serializes through serde (the actual wire format is
+//! `vsync-msg::codec`).  So the traits here are empty markers and the derives
+//! (re-exported from the sibling `serde_derive` shim) expand to nothing.
+//! Swapping the real serde back in is a one-line change in the root
+//! `Cargo.toml` — see `shims/README.md`.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op derive macros standing in for `serde_derive` in this offline workspace.
+//!
+//! The vsync crates only ever *derive* `Serialize`/`Deserialize` — nothing in the
+//! workspace serializes through serde at runtime (the wire format is the hand-written
+//! codec in `vsync-msg::codec`).  These derives therefore expand to nothing; the
+//! marker traits live in `shims/serde`.  See `shims/README.md` for the swap-back
+//! instructions once a crates.io mirror is reachable.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -30,25 +30,34 @@ fn site_crash_is_converted_into_a_clean_membership_change() {
         .collect();
     let gid = sys.create_group("svc", members[0]);
     for m in &members[1..] {
-        sys.join_and_wait(gid, *m, None, Duration::from_secs(5)).unwrap();
+        sys.join_and_wait(gid, *m, None, Duration::from_secs(5))
+            .unwrap();
     }
     // Traffic flows, then a site dies.
     for i in 0..5u64 {
-        sys.client_send(members[1], gid, APPLY, Message::with_body(i), ProtocolKind::Cbcast);
+        sys.client_send(
+            members[1],
+            gid,
+            APPLY,
+            Message::with_body(i),
+            ProtocolKind::Cbcast,
+        );
     }
     sys.run_ms(200);
     sys.kill_site(SiteId(3));
     let ok = sys.run_until_condition(Duration::from_secs(10), |s| {
         [0u16, 1, 2].iter().all(|i| {
-            s.view_of(SiteId(*i), gid).map(|v| v.len() == 3).unwrap_or(false)
+            s.view_of(SiteId(*i), gid)
+                .map(|v| v.len() == 3)
+                .unwrap_or(false)
         })
     });
     assert!(ok, "survivors never agreed on the three-member view");
     // All survivors delivered the same pre-crash messages.
     let reference = logs[0].borrow().clone();
     assert_eq!(reference.len(), 5);
-    for i in 1..3 {
-        assert_eq!(*logs[i].borrow(), reference, "survivor {i} diverged");
+    for (i, log) in logs.iter().enumerate().take(3).skip(1) {
+        assert_eq!(*log.borrow(), reference, "survivor {i} diverged");
     }
 }
 
@@ -89,7 +98,8 @@ fn rpc_in_flight_when_a_destination_dies_still_completes() {
         b.on_entry(APPLY, |_ctx, _msg| {});
     });
     let gid = sys.create_group("svc", responder);
-    sys.join_and_wait(gid, silent, None, Duration::from_secs(5)).unwrap();
+    sys.join_and_wait(gid, silent, None, Duration::from_secs(5))
+        .unwrap();
     let client = sys.spawn(SiteId(2), |_| {});
 
     // Ask for ALL replies, then kill the silent member while the call is outstanding.

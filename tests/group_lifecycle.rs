@@ -8,7 +8,10 @@ const ECHO: EntryId = EntryId(1);
 fn spawn_echo(sys: &mut IsisSystem, site: SiteId) -> vsync_core::ProcessId {
     sys.spawn(site, |b| {
         b.on_entry(ECHO, |ctx, msg| {
-            ctx.reply(msg, Message::with_body(msg.get_u64("body").unwrap_or(0) + 1));
+            ctx.reply(
+                msg,
+                Message::with_body(msg.get_u64("body").unwrap_or(0) + 1),
+            );
         });
     })
 }
@@ -21,10 +24,16 @@ fn create_join_leave_lifecycle() {
     let c = spawn_echo(&mut sys, SiteId(2));
 
     let gid = sys.create_group("service", a);
-    assert_eq!(sys.lookup(SiteId(3), "service"), Some(gid), "namespace visible everywhere");
+    assert_eq!(
+        sys.lookup(SiteId(3), "service"),
+        Some(gid),
+        "namespace visible everywhere"
+    );
 
-    sys.join_and_wait(gid, b, None, Duration::from_secs(5)).unwrap();
-    sys.join_and_wait(gid, c, None, Duration::from_secs(5)).unwrap();
+    sys.join_and_wait(gid, b, None, Duration::from_secs(5))
+        .unwrap();
+    sys.join_and_wait(gid, c, None, Duration::from_secs(5))
+        .unwrap();
 
     // Ranks reflect decreasing age and are identical at every member site.
     for site in [0u16, 1, 2] {
@@ -51,10 +60,13 @@ fn every_member_observes_the_same_view_sequence() {
     let members: Vec<_> = (0..3).map(|i| spawn_echo(&mut sys, SiteId(i))).collect();
     let gid = sys.create_group("seq", members[0]);
     for m in &members[1..] {
-        sys.join_and_wait(gid, *m, None, Duration::from_secs(5)).unwrap();
+        sys.join_and_wait(gid, *m, None, Duration::from_secs(5))
+            .unwrap();
     }
     // All sites agree on the final view id and membership.
-    let views: Vec<_> = (0..3).map(|i| sys.view_of(SiteId(i), gid).unwrap()).collect();
+    let views: Vec<_> = (0..3)
+        .map(|i| sys.view_of(SiteId(i), gid).unwrap())
+        .collect();
     assert!(views.windows(2).all(|w| w[0] == w[1]));
     assert_eq!(views[0].seq(), 3);
 }
@@ -76,14 +88,18 @@ fn two_groups_are_independent() {
     let c = spawn_echo(&mut sys, SiteId(2));
     let g1 = sys.create_group("g1", a);
     let g2 = sys.create_group("g2", b);
-    sys.join_and_wait(g1, c, None, Duration::from_secs(5)).unwrap();
-    sys.join_and_wait(g2, c, None, Duration::from_secs(5)).unwrap();
+    sys.join_and_wait(g1, c, None, Duration::from_secs(5))
+        .unwrap();
+    sys.join_and_wait(g2, c, None, Duration::from_secs(5))
+        .unwrap();
     assert_eq!(sys.view_of(SiteId(0), g1).unwrap().members, vec![a, c]);
     assert_eq!(sys.view_of(SiteId(1), g2).unwrap().members, vec![b, c]);
     // Killing a member of g1 does not disturb g2's membership.
     sys.kill_process(a);
     let ok = sys.run_until_condition(Duration::from_secs(10), |s| {
-        s.view_of(SiteId(2), g1).map(|v| v.len() == 1).unwrap_or(false)
+        s.view_of(SiteId(2), g1)
+            .map(|v| v.len() == 1)
+            .unwrap_or(false)
     });
     assert!(ok);
     assert_eq!(sys.view_of(SiteId(2), g2).unwrap().members, vec![b, c]);

@@ -34,7 +34,8 @@ fn deploy(n: usize) -> (IsisSystem, vsync_core::GroupId, Vec<ProcessId>, Vec<Log
     }
     let gid = sys.create_group("ordered", members[0]);
     for m in &members[1..] {
-        sys.join_and_wait(gid, *m, None, Duration::from_secs(5)).unwrap();
+        sys.join_and_wait(gid, *m, None, Duration::from_secs(5))
+            .unwrap();
     }
     (sys, gid, members, logs)
 }
@@ -43,7 +44,13 @@ fn deploy(n: usize) -> (IsisSystem, vsync_core::GroupId, Vec<ProcessId>, Vec<Log
 fn cbcast_is_fifo_per_sender_and_delivered_everywhere() {
     let (mut sys, gid, members, logs) = deploy(3);
     for i in 0..10u64 {
-        sys.client_send(members[0], gid, APPLY, Message::with_body(i), ProtocolKind::Cbcast);
+        sys.client_send(
+            members[0],
+            gid,
+            APPLY,
+            Message::with_body(i),
+            ProtocolKind::Cbcast,
+        );
     }
     sys.run_ms(500);
     for (i, log) in logs.iter().enumerate() {
@@ -68,9 +75,17 @@ fn abcast_total_order_is_identical_at_every_member() {
     }
     sys.run_ms(2_000);
     let reference = logs[0].borrow().clone();
-    assert_eq!(reference.len(), 20, "every multicast delivered: {reference:?}");
+    assert_eq!(
+        reference.len(),
+        20,
+        "every multicast delivered: {reference:?}"
+    );
     for (i, log) in logs.iter().enumerate().skip(1) {
-        assert_eq!(*log.borrow(), reference, "member {i} disagrees on the total order");
+        assert_eq!(
+            *log.borrow(),
+            reference,
+            "member {i} disagrees on the total order"
+        );
     }
 }
 
@@ -80,18 +95,41 @@ fn gbcast_is_ordered_with_respect_to_cbcast_traffic() {
     // A stream of CBCASTs with one GBCAST in the middle: every member must observe the
     // GBCAST at the same position relative to the stream (virtual synchrony cut).
     for i in 0..5u64 {
-        sys.client_send(members[0], gid, APPLY, Message::with_body(i), ProtocolKind::Cbcast);
+        sys.client_send(
+            members[0],
+            gid,
+            APPLY,
+            Message::with_body(i),
+            ProtocolKind::Cbcast,
+        );
     }
     sys.run_ms(200);
-    sys.client_send(members[0], gid, APPLY, Message::with_body(100), ProtocolKind::Gbcast);
+    sys.client_send(
+        members[0],
+        gid,
+        APPLY,
+        Message::with_body(100),
+        ProtocolKind::Gbcast,
+    );
     sys.run_ms(200);
     for i in 5..10u64 {
-        sys.client_send(members[0], gid, APPLY, Message::with_body(i), ProtocolKind::Cbcast);
+        sys.client_send(
+            members[0],
+            gid,
+            APPLY,
+            Message::with_body(i),
+            ProtocolKind::Cbcast,
+        );
     }
     sys.run_ms(1_000);
     let positions: Vec<usize> = logs
         .iter()
-        .map(|l| l.borrow().iter().position(|v| *v == 100).expect("gbcast delivered"))
+        .map(|l| {
+            l.borrow()
+                .iter()
+                .position(|v| *v == 100)
+                .expect("gbcast delivered")
+        })
         .collect();
     assert!(
         positions.windows(2).all(|w| w[0] == w[1]),
@@ -105,13 +143,35 @@ fn gbcast_is_ordered_with_respect_to_cbcast_traffic() {
 #[test]
 fn every_primitive_reaches_every_member_exactly_once() {
     let (mut sys, gid, members, logs) = deploy(3);
-    sys.client_send(members[0], gid, APPLY, Message::with_body(1u64), ProtocolKind::Cbcast);
-    sys.client_send(members[1], gid, APPLY, Message::with_body(2u64), ProtocolKind::Abcast);
-    sys.client_send(members[2], gid, APPLY, Message::with_body(3u64), ProtocolKind::Gbcast);
+    sys.client_send(
+        members[0],
+        gid,
+        APPLY,
+        Message::with_body(1u64),
+        ProtocolKind::Cbcast,
+    );
+    sys.client_send(
+        members[1],
+        gid,
+        APPLY,
+        Message::with_body(2u64),
+        ProtocolKind::Abcast,
+    );
+    sys.client_send(
+        members[2],
+        gid,
+        APPLY,
+        Message::with_body(3u64),
+        ProtocolKind::Gbcast,
+    );
     sys.run_ms(1_000);
     for (i, log) in logs.iter().enumerate() {
         let mut seen = log.borrow().clone();
         seen.sort_unstable();
-        assert_eq!(seen, vec![1, 2, 3], "member {i} missed or duplicated a message");
+        assert_eq!(
+            seen,
+            vec![1, 2, 3],
+            "member {i} missed or duplicated a message"
+        );
     }
 }

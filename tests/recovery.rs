@@ -27,13 +27,16 @@ fn replicated_data_survives_total_failure_through_checkpoint_and_log() {
     let data1 = ReplicatedData::new(gid, DATA, UpdateOrdering::Total);
     let d1 = data1.clone();
     let member1 = sys.spawn(SiteId(1), move |b| d1.attach(b));
-    sys.join_and_wait(gid, member1, None, Duration::from_secs(5)).unwrap();
+    sys.join_and_wait(gid, member1, None, Duration::from_secs(5))
+        .unwrap();
 
     sys.client_send(
         creator,
         gid,
         DATA,
-        Message::new().with("rd-item", "widgets").with("rd-value", 10u64),
+        Message::new()
+            .with("rd-item", "widgets")
+            .with("rd-value", 10u64),
         ProtocolKind::Abcast,
     );
     sys.run_ms(300);
@@ -42,14 +45,18 @@ fn replicated_data_survives_total_failure_through_checkpoint_and_log() {
         creator,
         gid,
         DATA,
-        Message::new().with("rd-item", "widgets").with("rd-value", 25u64),
+        Message::new()
+            .with("rd-item", "widgets")
+            .with("rd-value", 25u64),
         ProtocolKind::Abcast,
     );
     sys.client_send(
         creator,
         gid,
         DATA,
-        Message::new().with("rd-item", "gadgets").with("rd-value", 3u64),
+        Message::new()
+            .with("rd-item", "gadgets")
+            .with("rd-value", 3u64),
         ProtocolKind::Abcast,
     );
     sys.run_ms(300);
@@ -79,8 +86,11 @@ fn recovery_manager_advice_depends_on_who_failed_last() {
     let a = sys.spawn(SiteId(0), move |b| rm_attach.attach_logging(b, gid));
     sys.create_group_with_id("svc", gid, a);
     let rm_attach = rm.clone();
-    let b = sys.spawn(SiteId(1), move |builder| rm_attach.attach_logging(builder, gid));
-    sys.join_and_wait(gid, b, None, Duration::from_secs(5)).unwrap();
+    let b = sys.spawn(SiteId(1), move |builder| {
+        rm_attach.attach_logging(builder, gid)
+    });
+    sys.join_and_wait(gid, b, None, Duration::from_secs(5))
+        .unwrap();
     sys.run_ms(100);
 
     // While the group is operational somewhere, the advice is always to rejoin.
@@ -89,7 +99,9 @@ fn recovery_manager_advice_depends_on_who_failed_last() {
     // Member a fails first; the survivors install a view without it and keep logging.
     sys.kill_process(a);
     let ok = sys.run_until_condition(Duration::from_secs(10), |s| {
-        s.view_of(SiteId(1), gid).map(|v| v.len() == 1).unwrap_or(false)
+        s.view_of(SiteId(1), gid)
+            .map(|v| v.len() == 1)
+            .unwrap_or(false)
     });
     assert!(ok);
     sys.run_ms(100);
@@ -113,12 +125,15 @@ fn recovered_site_can_host_a_rejoining_member() {
     let data_b = ReplicatedData::new(gid, DATA, UpdateOrdering::Causal);
     let d = data_b.clone();
     let b = sys.spawn(SiteId(1), move |builder| d.attach(builder));
-    sys.join_and_wait(gid, b, None, Duration::from_secs(5)).unwrap();
+    sys.join_and_wait(gid, b, None, Duration::from_secs(5))
+        .unwrap();
 
     // Site 0 crashes and later recovers empty; the group survives on site 1.
     sys.kill_site(SiteId(0));
     let ok = sys.run_until_condition(Duration::from_secs(10), |s| {
-        s.view_of(SiteId(1), gid).map(|v| v.len() == 1).unwrap_or(false)
+        s.view_of(SiteId(1), gid)
+            .map(|v| v.len() == 1)
+            .unwrap_or(false)
     });
     assert!(ok);
     sys.recover_site(SiteId(0));
@@ -132,7 +147,8 @@ fn recovered_site_can_host_a_rejoining_member() {
     let data_a2 = ReplicatedData::new(gid, DATA, UpdateOrdering::Causal);
     let d = data_a2.clone();
     let a2 = sys.spawn(SiteId(0), move |builder| d.attach(builder));
-    sys.join_and_wait(gid, a2, None, Duration::from_secs(5)).unwrap();
+    sys.join_and_wait(gid, a2, None, Duration::from_secs(5))
+        .unwrap();
     let v = sys.view_of(SiteId(1), gid).unwrap();
     assert_eq!(v.members.len(), 2);
     assert!(v.contains(a2));

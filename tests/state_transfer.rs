@@ -48,21 +48,34 @@ fn joiner_receives_the_state_current_at_the_join() {
 
     // Accumulate state before anyone joins.
     for _ in 0..10 {
-        sys.client_send(creator, gid, APPLY, Message::with_body(1u64), ProtocolKind::Cbcast);
+        sys.client_send(
+            creator,
+            gid,
+            APPLY,
+            Message::with_body(1u64),
+            ProtocolKind::Cbcast,
+        );
     }
     sys.run_ms(200);
     assert_eq!(*c0.borrow(), 10);
 
     // A member joins: it must converge to the same counter value without replaying history.
     let (joiner, c1, x1) = spawn_counter_member(&mut sys, SiteId(1), gid);
-    sys.join_and_wait(gid, joiner, None, Duration::from_secs(5)).unwrap();
+    sys.join_and_wait(gid, joiner, None, Duration::from_secs(5))
+        .unwrap();
     let ok = sys.run_until_condition(Duration::from_secs(5), |_s| x1.is_ready());
     assert!(ok, "state transfer never completed");
     assert_eq!(*c1.borrow(), 10, "joiner state differs from the source");
     assert!(x0.transfers_served() >= 1);
 
     // Updates after the join reach both replicas.
-    sys.client_send(creator, gid, APPLY, Message::with_body(5u64), ProtocolKind::Cbcast);
+    sys.client_send(
+        creator,
+        gid,
+        APPLY,
+        Message::with_body(5u64),
+        ProtocolKind::Cbcast,
+    );
     sys.run_ms(200);
     assert_eq!(*c0.borrow(), 15);
     assert_eq!(*c1.borrow(), 15);
@@ -76,7 +89,13 @@ fn process_migration_as_join_then_leave() {
     sys.create_group_with_id("migrating", gid, old);
     x_old.mark_ready();
     for _ in 0..4 {
-        sys.client_send(old, gid, APPLY, Message::with_body(1u64), ProtocolKind::Cbcast);
+        sys.client_send(
+            old,
+            gid,
+            APPLY,
+            Message::with_body(1u64),
+            ProtocolKind::Cbcast,
+        );
     }
     sys.run_ms(200);
     assert_eq!(*c_old.borrow(), 4);
@@ -84,17 +103,25 @@ fn process_migration_as_join_then_leave() {
     // Migration: start the replacement, let it join and absorb the state, then retire the
     // original member.  Clients see this as an atomic handover (paper Section 3.8).
     let (new, c_new, x_new) = spawn_counter_member(&mut sys, SiteId(2), gid);
-    sys.join_and_wait(gid, new, None, Duration::from_secs(5)).unwrap();
+    sys.join_and_wait(gid, new, None, Duration::from_secs(5))
+        .unwrap();
     let ok = sys.run_until_condition(Duration::from_secs(5), |_s| x_new.is_ready());
     assert!(ok);
     assert_eq!(*c_new.borrow(), 4);
-    sys.leave_and_wait(gid, old, Duration::from_secs(5)).unwrap();
+    sys.leave_and_wait(gid, old, Duration::from_secs(5))
+        .unwrap();
     sys.run_ms(100);
 
     let v = sys.view_of(SiteId(2), gid).unwrap();
     assert_eq!(v.members, vec![new]);
     // The migrated service keeps working.
-    sys.client_send(new, gid, APPLY, Message::with_body(1u64), ProtocolKind::Cbcast);
+    sys.client_send(
+        new,
+        gid,
+        APPLY,
+        Message::with_body(1u64),
+        ProtocolKind::Cbcast,
+    );
     sys.run_ms(200);
     assert_eq!(*c_new.borrow(), 5);
 }

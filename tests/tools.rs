@@ -57,7 +57,8 @@ fn deploy(n: usize) -> (IsisSystem, vsync_core::GroupId, Vec<Member>) {
         if i == 0 {
             sys.create_group_with_id("tools", gid, pid);
         } else {
-            sys.join_and_wait(gid, pid, None, Duration::from_secs(5)).unwrap();
+            sys.join_and_wait(gid, pid, None, Duration::from_secs(5))
+                .unwrap();
         }
         members.push(Member {
             pid,
@@ -81,7 +82,9 @@ fn replicated_data_converges_at_every_member() {
         members[0].pid,
         gid,
         DATA,
-        Message::new().with("rd-item", "inventory").with("rd-value", 42u64),
+        Message::new()
+            .with("rd-item", "inventory")
+            .with("rd-value", 42u64),
         vsync_core::ProtocolKind::Abcast,
     );
     sys.run_ms(500);
@@ -98,7 +101,9 @@ fn configuration_changes_are_seen_by_every_member() {
         members[1].pid,
         gid,
         CFG,
-        Message::new().with("cfg-item", "nworkers").with("cfg-value", 7u64),
+        Message::new()
+            .with("cfg-item", "nworkers")
+            .with("cfg-value", 7u64),
         vsync_core::ProtocolKind::Gbcast,
     );
     sys.run_ms(500);
@@ -127,7 +132,10 @@ fn semaphore_grants_are_mutually_exclusive_and_fifo() {
     }
     sys.run_ms(500);
     let holders: Vec<_> = members.iter().map(|m| m.sem.holders("mutex")).collect();
-    assert!(holders.windows(2).all(|w| w[0] == w[1]), "holder sets diverged: {holders:?}");
+    assert!(
+        holders.windows(2).all(|w| w[0] == w[1]),
+        "holder sets diverged: {holders:?}"
+    );
     assert_eq!(holders[0].len(), 1);
     assert_eq!(members[0].sem.queue_len("mutex"), 1);
     // Release: the queued requester is granted at every member.
@@ -167,12 +175,17 @@ fn semaphore_held_by_a_failed_member_is_released() {
     assert_eq!(members[0].sem.holders("mutex"), vec![members[2].pid]);
     sys.kill_process(members[2].pid);
     let ok = sys.run_until_condition(Duration::from_secs(10), |s| {
-        s.view_of(SiteId(0), gid).map(|v| v.len() == 2).unwrap_or(false)
+        s.view_of(SiteId(0), gid)
+            .map(|v| v.len() == 2)
+            .unwrap_or(false)
     });
     assert!(ok);
     sys.run_ms(100);
     for m in &members[..2] {
-        assert!(m.sem.holders("mutex").is_empty(), "failed holder must be auto-released");
+        assert!(
+            m.sem.holders("mutex").is_empty(),
+            "failed holder must be auto-released"
+        );
         assert_eq!(m.sem.auto_releases(), 1);
     }
 }
@@ -202,7 +215,11 @@ fn news_postings_arrive_in_the_same_order_for_every_subscriber() {
     let reference = seen[0].borrow().clone();
     assert_eq!(reference.len(), 5);
     for s in &seen[1..] {
-        assert_eq!(*s.borrow(), reference, "subscribers observed different posting orders");
+        assert_eq!(
+            *s.borrow(),
+            reference,
+            "subscribers observed different posting orders"
+        );
     }
     // Unsubscribed subjects are not delivered to callbacks but are kept in the history.
     assert_eq!(members[0].news.posts_seen(), 5);
@@ -222,8 +239,18 @@ fn bulletin_board_replicates_postings_in_order() {
         );
     }
     sys.run_ms(500);
-    let a: Vec<u64> = members[0].bb.read("sensor").iter().filter_map(|m| m.get_u64("body")).collect();
-    let b: Vec<u64> = members[1].bb.read("sensor").iter().filter_map(|m| m.get_u64("body")).collect();
+    let a: Vec<u64> = members[0]
+        .bb
+        .read("sensor")
+        .iter()
+        .filter_map(|m| m.get_u64("body"))
+        .collect();
+    let b: Vec<u64> = members[1]
+        .bb
+        .read("sensor")
+        .iter()
+        .filter_map(|m| m.get_u64("body"))
+        .collect();
     assert_eq!(a.len(), 4);
     assert_eq!(a, b);
 }
@@ -233,7 +260,9 @@ fn site_monitor_reports_clean_membership_events() {
     let (mut sys, gid, members) = deploy(3);
     sys.kill_process(members[2].pid);
     let ok = sys.run_until_condition(Duration::from_secs(10), |s| {
-        s.view_of(SiteId(0), gid).map(|v| v.len() == 2).unwrap_or(false)
+        s.view_of(SiteId(0), gid)
+            .map(|v| v.len() == 2)
+            .unwrap_or(false)
     });
     assert!(ok);
     sys.run_ms(100);

@@ -55,7 +55,13 @@ fn horizontal_queries_fan_out_across_all_members() {
     });
     assert_eq!(
         answers,
-        vec![Answer::No, Answer::Sometimes, Answer::Sometimes, Answer::Sometimes, Answer::Yes]
+        vec![
+            Answer::No,
+            Answer::Sometimes,
+            Answer::Sometimes,
+            Answer::Sometimes,
+            Answer::Yes
+        ]
     );
 }
 
@@ -87,7 +93,11 @@ fn dynamic_updates_reach_every_replica_and_later_queries_see_them() {
         ],
     );
     sys.run_ms(500);
-    assert_eq!(svc.replica_sizes(), vec![11, 11, 11], "every replica applied the update");
+    assert_eq!(
+        svc.replica_sizes(),
+        vec![11, 11, 11],
+        "every replica applied the update"
+    );
 
     let after = svc.query(
         &mut sys,
@@ -118,7 +128,9 @@ fn member_failure_is_tolerated_with_standbys_taking_over() {
     sys.kill_process(svc.members[1]);
     let gid = svc.gid;
     let ok = sys.run_until_condition(Duration::from_secs(10), |s| {
-        s.view_of(SiteId(0), gid).map(|v| v.len() == 3).unwrap_or(false)
+        s.view_of(SiteId(0), gid)
+            .map(|v| v.len() == 3)
+            .unwrap_or(false)
     });
     assert!(ok, "view never shrank after the failure");
     sys.run_ms(100);
@@ -129,6 +141,10 @@ fn member_failure_is_tolerated_with_standbys_taking_over() {
         &Query::horizontal("object", Op::Eq, "car"),
         Duration::from_secs(5),
     );
-    assert_eq!(after.len(), 3, "the standby answers in place of the failed member");
+    assert_eq!(
+        after.len(),
+        3,
+        "the standby answers in place of the failed member"
+    );
     assert!(after.iter().all(|a| *a == Answer::Yes));
 }

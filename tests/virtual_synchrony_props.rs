@@ -39,7 +39,8 @@ fn deploy_with(
     }
     let gid = sys.create_group("props", members[0]);
     for m in &members[1..] {
-        sys.join_and_wait(gid, *m, None, Duration::from_secs(10)).unwrap();
+        sys.join_and_wait(gid, *m, None, Duration::from_secs(10))
+            .unwrap();
     }
     (sys, gid, members, logs)
 }
@@ -131,7 +132,13 @@ fn per_sender_fifo_holds_for_every_seed_in_a_sweep() {
     for seed in 0..5u64 {
         let (mut sys, gid, members, logs) = deploy_with(seed, 0.05, 3);
         for i in 0..12u64 {
-            sys.client_send(members[0], gid, APPLY, Message::with_body(i), ProtocolKind::Cbcast);
+            sys.client_send(
+                members[0],
+                gid,
+                APPLY,
+                Message::with_body(i),
+                ProtocolKind::Cbcast,
+            );
         }
         sys.run_ms(3_000);
         for log in &logs {
