@@ -19,7 +19,16 @@ fn bench_codec(c: &mut Criterion) {
         );
     let encoded = codec::encode(&msg);
     c.bench_function("codec_encode_1k", |b| b.iter(|| codec::encode(&msg)));
+    // The decode hot path: the borrowing view decode, as the stable-store log scan reads
+    // entries.  The `_shared` and `_copy` variants keep the owned-over-shared-buffer and
+    // fully-copying paths visible alongside it.
     c.bench_function("codec_decode_1k", |b| {
+        b.iter(|| codec::decode_view(&encoded).unwrap())
+    });
+    c.bench_function("codec_decode_1k_shared", |b| {
+        b.iter(|| codec::decode_shared(&encoded).unwrap())
+    });
+    c.bench_function("codec_decode_1k_copy", |b| {
         b.iter(|| codec::decode(&encoded).unwrap())
     });
 }

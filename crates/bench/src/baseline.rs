@@ -1,0 +1,192 @@
+//! Machine-readable benchmark baselines (`BENCH_*.json`).
+//!
+//! The criterion shim prints human-readable per-iteration times; this module is the
+//! machine-readable counterpart used by CI and by the checked-in `BENCH_*.json` history at
+//! the repository root.  Each record carries the benchmark name, nanoseconds per operation,
+//! operations per second, and — for benchmarks that push a known number of messages through
+//! a protocol state machine per operation — a derived messages-per-second rate, so hot-path
+//! regressions show up as a diff in a single file.
+//!
+//! The JSON is written by hand (no serde_json in the offline workspace); the schema is
+//! deliberately flat:
+//!
+//! ```json
+//! {
+//!   "schema": "vsync-bench-baseline/v1",
+//!   "records": [
+//!     {"name": "abcast_order_drain_100", "ns_per_op": 12345.6,
+//!      "ops_per_sec": 81004.1, "messages_per_op": 100, "messages_per_sec": 8100412.3}
+//!   ]
+//! }
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Identifies the JSON layout; bump when fields change meaning.
+pub const SCHEMA: &str = "vsync-bench-baseline/v1";
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Benchmark name (matches the criterion bench id where one exists).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per operation.
+    pub ns_per_op: f64,
+    /// Operations per second (1e9 / `ns_per_op`).
+    pub ops_per_sec: f64,
+    /// Messages processed per operation, when the benchmark is message-shaped.
+    pub messages_per_op: Option<u64>,
+    /// Messages per second (`ops_per_sec * messages_per_op`).
+    pub messages_per_sec: Option<f64>,
+}
+
+/// A set of benchmark records destined for one `BENCH_*.json` file.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    /// The measured records, in run order.
+    pub records: Vec<BenchRecord>,
+}
+
+impl Baseline {
+    /// Creates an empty baseline.
+    pub fn new() -> Self {
+        Baseline::default()
+    }
+
+    /// Measures `routine` over `iters` timed iterations (after `iters / 10`, minimum one,
+    /// untimed warmup calls — enough to populate caches and let CPU frequency settle so the
+    /// first record in a run is not cold-start noise) and appends the record.
+    /// `messages_per_op` is the number of protocol messages one call of `routine` pushes
+    /// through the system, if that is a meaningful unit for the benchmark.
+    pub fn measure(
+        &mut self,
+        name: &str,
+        iters: u64,
+        messages_per_op: Option<u64>,
+        mut routine: impl FnMut(),
+    ) -> &BenchRecord {
+        assert!(iters > 0, "at least one timed iteration");
+        for _ in 0..(iters / 10).max(1) {
+            routine();
+        }
+        let start = Instant::now();
+        for _ in 0..iters {
+            routine();
+        }
+        let elapsed = start.elapsed();
+        let ns_per_op = elapsed.as_nanos() as f64 / iters as f64;
+        let ops_per_sec = if ns_per_op > 0.0 {
+            1e9 / ns_per_op
+        } else {
+            f64::INFINITY
+        };
+        self.records.push(BenchRecord {
+            name: name.to_owned(),
+            ns_per_op,
+            ops_per_sec,
+            messages_per_op,
+            messages_per_sec: messages_per_op.map(|m| ops_per_sec * m as f64),
+        });
+        println!(
+            "{name:<32} {ns_per_op:>14.1} ns/op  {ops_per_sec:>14.1} ops/s{}",
+            match messages_per_op {
+                Some(m) => format!("  {:>14.0} msgs/s", ops_per_sec * m as f64),
+                None => String::new(),
+            }
+        );
+        self.records.last().expect("record just pushed")
+    }
+
+    /// Renders the baseline as pretty-printed JSON.  Non-finite rates (a routine faster
+    /// than the timer resolution yields infinite ops/s) serialize as `null` — JSON has no
+    /// `inf` token.
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.1}")
+            } else {
+                "null".to_owned()
+            }
+        }
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": {:?},", SCHEMA);
+        s.push_str("  \"records\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"name\": {:?}, \"ns_per_op\": {}, \"ops_per_sec\": {}",
+                r.name,
+                num(r.ns_per_op),
+                num(r.ops_per_sec)
+            );
+            if let (Some(m), Some(mps)) = (r.messages_per_op, r.messages_per_sec) {
+                let _ = write!(
+                    s,
+                    ", \"messages_per_op\": {m}, \"messages_per_sec\": {}",
+                    num(mps)
+                );
+            }
+            s.push('}');
+            if i + 1 < self.records.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes the JSON to `path`.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_runs_warmup_plus_iters_and_derives_rates() {
+        let mut b = Baseline::new();
+        let mut count = 0u64;
+        let r = b.measure("counting", 5, Some(10), || count += 1).clone();
+        assert_eq!(count, 6, "warmup + 5 timed iterations");
+        assert_eq!(r.name, "counting");
+        assert!(r.ns_per_op >= 0.0);
+        assert_eq!(r.messages_per_op, Some(10));
+        let mps = r.messages_per_sec.expect("message rate derived");
+        assert!((mps - r.ops_per_sec * 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn json_layout_is_stable() {
+        let mut b = Baseline::new();
+        b.measure("a", 1, None, || {});
+        b.measure("b", 1, Some(100), || {});
+        let json = b.to_json();
+        assert!(json.contains("\"schema\": \"vsync-bench-baseline/v1\""));
+        assert!(json.contains("\"name\": \"a\""));
+        assert!(json.contains("\"messages_per_op\": 100"));
+        // Exactly one trailing comma between the two records, none after the last.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn non_finite_rates_serialize_as_null() {
+        let mut b = Baseline::new();
+        b.records.push(BenchRecord {
+            name: "instant".to_owned(),
+            ns_per_op: 0.0,
+            ops_per_sec: f64::INFINITY,
+            messages_per_op: Some(10),
+            messages_per_sec: Some(f64::INFINITY),
+        });
+        let json = b.to_json();
+        assert!(json.contains("\"ops_per_sec\": null"));
+        assert!(json.contains("\"messages_per_sec\": null"));
+        assert!(!json.contains("inf"), "no bare inf token: {json}");
+    }
+}

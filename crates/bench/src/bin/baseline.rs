@@ -1,0 +1,116 @@
+//! Emits a machine-readable `BENCH_*.json` baseline of the wall-clock hot paths.
+//!
+//! ```text
+//! cargo run -p vsync-bench --release --bin baseline                 # full iterations
+//! cargo run -p vsync-bench --release --bin baseline -- --quick     # CI smoke run
+//! cargo run -p vsync-bench --release --bin baseline -- --out BENCH_now.json
+//! ```
+//!
+//! The benchmarks mirror the criterion benches in `benches/tools.rs` (same names, same
+//! workloads) plus an end-to-end engine workload, but write their results as JSON so CI can
+//! archive them and so the repository can keep a `BENCH_*.json` trajectory across PRs.
+
+use vsync_bench::baseline::Baseline;
+use vsync_bench::BenchCluster;
+use vsync_core::LatencyProfile;
+use vsync_msg::{codec, Message};
+use vsync_net::MsgId;
+use vsync_proto::abcast::AbcastState;
+use vsync_proto::cbcast::{CbcastState, ReadyCb};
+use vsync_util::{ProcessId, SiteId, VectorClock};
+
+fn codec_message() -> Message {
+    Message::new()
+        .with("price", 9000u64)
+        .with("color", "red")
+        .with("blob", vec![0u8; 1024])
+        .with(
+            "members",
+            vec![vsync_util::Address::Group(vsync_util::GroupId(7)); 4],
+        )
+}
+
+fn abcast_round(n: u64) -> Vec<vsync_proto::abcast::ReadyAb> {
+    let mut ab = AbcastState::new();
+    for i in 1..=n {
+        let id = MsgId::new(SiteId(1), i);
+        let p = ab.on_data(id, ProcessId::new(SiteId(1), 1), Message::with_body(i));
+        ab.decide(id, p, SiteId(1));
+    }
+    let delivered = ab.drain();
+    assert_eq!(delivered.len(), n as usize);
+    delivered
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = match args.iter().position(|a| a == "--out") {
+        None => "BENCH_baseline.json".to_owned(),
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => path.clone(),
+            _ => {
+                eprintln!("--out requires a file path\nusage: baseline [--quick] [--out FILE]");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    // Iteration counts: enough to stabilise the mean in a full run, small enough that the
+    // quick (CI smoke) run finishes in a couple of seconds.
+    let (fast, slow) = if quick { (200, 2) } else { (20_000, 10) };
+
+    let mut b = Baseline::new();
+
+    let msg = codec_message();
+    let encoded = codec::encode(&msg);
+    b.measure("codec_encode_1k", fast, Some(1), || {
+        std::hint::black_box(codec::encode(&msg));
+    });
+    b.measure("codec_decode_1k", fast, Some(1), || {
+        std::hint::black_box(codec::decode_view(&encoded).unwrap());
+    });
+    b.measure("codec_decode_1k_shared", fast, Some(1), || {
+        std::hint::black_box(codec::decode_shared(&encoded).unwrap());
+    });
+    b.measure("codec_decode_1k_copy", fast, Some(1), || {
+        std::hint::black_box(codec::decode(&encoded).unwrap());
+    });
+
+    b.measure("cbcast_receive_drain_100", fast / 20, Some(100), || {
+        let mut cb = CbcastState::new(4);
+        for i in 1..=100u64 {
+            let ready = cb.receive(ReadyCb {
+                id: MsgId::new(SiteId(1), i),
+                sender: ProcessId::new(SiteId(1), 1),
+                sender_rank: 1,
+                vt: VectorClock::from_entries(vec![0, i, 0, 0]),
+                payload: Message::with_body(i),
+            });
+            assert_eq!(ready.len(), 1);
+        }
+        std::hint::black_box(cb);
+    });
+
+    b.measure("abcast_order_drain_100", fast / 20, Some(100), || {
+        std::hint::black_box(abcast_round(100));
+    });
+    b.measure("abcast_order_drain_1000", fast / 200, Some(1_000), || {
+        std::hint::black_box(abcast_round(1_000));
+    });
+
+    // End-to-end engine workload: build a three-site cluster and push an async CBCAST burst
+    // through it.  This exercises `net::engine` dispatch, `core::stack` routing and the
+    // protocol state machines together, so dispatch-path regressions are visible even when
+    // the pure state-machine benches above stay flat.
+    b.measure("engine_cluster_burst_4k", slow, Some(8), || {
+        let mut cluster = BenchCluster::new(LatencyProfile::Modern, 3, 1);
+        let tp = cluster.async_cbcast_throughput(4096, 8);
+        assert!(tp > 0.0);
+        std::hint::black_box(tp);
+    });
+
+    let path = std::path::Path::new(&out);
+    b.write(path).expect("write baseline JSON");
+    println!("\nwrote {}", path.display());
+}

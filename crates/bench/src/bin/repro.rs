@@ -1,47 +1,57 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! cargo run -p vsync-bench --release --bin repro            # everything
+//! cargo run -p vsync-bench --release --bin repro                    # everything
 //! cargo run -p vsync-bench --release --bin repro -- table1
 //! cargo run -p vsync-bench --release --bin repro -- figure2
 //! cargo run -p vsync-bench --release --bin repro -- figure3
 //! cargo run -p vsync-bench --release --bin repro -- section5
 //! cargo run -p vsync-bench --release --bin repro -- ablation-order
-//! cargo run -p vsync-bench --release --bin repro -- ablation-view
+//! cargo run -p vsync-bench --release --bin repro -- ablation-view 16   # bg msgs/member
 //! ```
+//!
+//! Unknown experiment names print the usage to stderr and exit nonzero, so CI scripts
+//! cannot silently pass a typo'd invocation.
 
+use vsync_bench::cli::{self, Experiment};
 use vsync_bench::{ablation_ordering, ablation_view_change, figure2, figure3, section5, table1};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
-    let sizes = [10usize, 100, 1_000, 10_000];
-
-    let run_table1 = || println!("{}", table1().to_markdown());
-    let run_figure2 = || println!("{}", figure2(&sizes).to_markdown());
-    let run_figure3 = || println!("{}", figure3().to_markdown());
-    let run_section5 = || println!("{}", section5(20, 5).to_markdown());
-    let run_ab_order = || println!("{}", ablation_ordering().to_markdown());
-    let run_ab_view = || println!("{}", ablation_view_change(&[2, 4, 8, 16]).to_markdown());
-
-    match what {
-        "table1" => run_table1(),
-        "figure2" => run_figure2(),
-        "figure3" => run_figure3(),
-        "section5" => run_section5(),
-        "ablation-order" => run_ab_order(),
-        "ablation-view" => run_ab_view(),
-        "all" => {
-            run_table1();
-            run_figure2();
-            run_figure3();
-            run_section5();
-            run_ab_order();
-            run_ab_view();
-        }
-        other => {
-            eprintln!("unknown experiment {other:?}; expected table1 | figure2 | figure3 | section5 | ablation-order | ablation-view | all");
+    let exp = match cli::parse(&args) {
+        Ok(exp) => exp,
+        Err(msg) => {
+            eprintln!("{msg}");
             std::process::exit(2);
+        }
+    };
+    let sizes = [10usize, 100, 1_000, 10_000];
+    let view_sizes = [2usize, 4, 8, 16];
+
+    match exp {
+        Experiment::Table1 => println!("{}", table1().to_markdown()),
+        Experiment::Figure2 => println!("{}", figure2(&sizes).to_markdown()),
+        Experiment::Figure3 => println!("{}", figure3().to_markdown()),
+        Experiment::Section5 => println!("{}", section5(20, 5).to_markdown()),
+        Experiment::AblationOrder => println!("{}", ablation_ordering().to_markdown()),
+        Experiment::AblationView {
+            background_per_member,
+        } => println!(
+            "{}",
+            ablation_view_change(&view_sizes, background_per_member).to_markdown()
+        ),
+        Experiment::All {
+            background_per_member,
+        } => {
+            println!("{}", table1().to_markdown());
+            println!("{}", figure2(&sizes).to_markdown());
+            println!("{}", figure3().to_markdown());
+            println!("{}", section5(20, 5).to_markdown());
+            println!("{}", ablation_ordering().to_markdown());
+            println!(
+                "{}",
+                ablation_view_change(&view_sizes, background_per_member).to_markdown()
+            );
         }
     }
 }

@@ -1,0 +1,143 @@
+//! Argument parsing for the `repro` binary, split out so the dispatch is unit-testable:
+//! an unknown experiment name must be a hard error (nonzero exit, usage on stderr), or CI
+//! scripts can typo an experiment name and silently "pass" without measuring anything.
+
+/// Usage string printed to stderr on a bad invocation.
+pub const USAGE: &str = "usage: repro [table1 | figure2 | figure3 | section5 | ablation-order \
+     | ablation-view [bg-msgs-per-member] | all [bg-msgs-per-member]]";
+
+/// Default background CBCASTs per member for the view-change ablation (see
+/// [`crate::ablation_view_change`]); with zero the ablation measures nothing.
+pub const DEFAULT_VIEW_BACKGROUND: usize = 8;
+
+/// A parsed `repro` invocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Experiment {
+    /// Table 1 — multicast overhead of toolkit routines.
+    Table1,
+    /// Figure 2 — throughput and latency vs message size.
+    Figure2,
+    /// Figure 3 — ABCAST execution-time breakdown.
+    Figure3,
+    /// Section 5 — twenty-questions aggregate rates.
+    Section5,
+    /// Ablation — two-phase ABCAST vs fixed sequencer.
+    AblationOrder,
+    /// Ablation — view-change latency vs group size, with background traffic.
+    AblationView {
+        /// Unstable CBCASTs injected per member before the join.
+        background_per_member: usize,
+    },
+    /// Every experiment in sequence.
+    All {
+        /// Background traffic for the view-change ablation leg.
+        background_per_member: usize,
+    },
+}
+
+/// Parses `repro` arguments (program name excluded).  Returns the experiment to run, or an
+/// error message (including the usage line) for stderr — in which case the caller must exit
+/// nonzero.
+pub fn parse(args: &[String]) -> Result<Experiment, String> {
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let background = |idx: usize| -> Result<usize, String> {
+        match args.get(idx) {
+            None => Ok(DEFAULT_VIEW_BACKGROUND),
+            Some(raw) => raw
+                .parse::<usize>()
+                .map_err(|_| format!("bad background message count {raw:?}\n{USAGE}")),
+        }
+    };
+    let exp = match what {
+        "table1" => Experiment::Table1,
+        "figure2" => Experiment::Figure2,
+        "figure3" => Experiment::Figure3,
+        "section5" => Experiment::Section5,
+        "ablation-order" => Experiment::AblationOrder,
+        "ablation-view" => Experiment::AblationView {
+            background_per_member: background(1)?,
+        },
+        "all" => Experiment::All {
+            background_per_member: background(1)?,
+        },
+        other => return Err(format!("unknown experiment {other:?}\n{USAGE}")),
+    };
+    let max_args = match exp {
+        Experiment::AblationView { .. } | Experiment::All { .. } => 2,
+        _ => 1,
+    };
+    if args.len() > max_args {
+        return Err(format!("unexpected argument {:?}\n{USAGE}", args[max_args]));
+    }
+    Ok(exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn known_experiments_parse() {
+        assert_eq!(parse(&argv(&["table1"])), Ok(Experiment::Table1));
+        assert_eq!(parse(&argv(&["figure2"])), Ok(Experiment::Figure2));
+        assert_eq!(parse(&argv(&["figure3"])), Ok(Experiment::Figure3));
+        assert_eq!(parse(&argv(&["section5"])), Ok(Experiment::Section5));
+        assert_eq!(
+            parse(&argv(&["ablation-order"])),
+            Ok(Experiment::AblationOrder)
+        );
+    }
+
+    #[test]
+    fn no_args_means_all_with_default_background() {
+        assert_eq!(
+            parse(&[]),
+            Ok(Experiment::All {
+                background_per_member: DEFAULT_VIEW_BACKGROUND
+            })
+        );
+    }
+
+    #[test]
+    fn ablation_view_accepts_a_background_count() {
+        assert_eq!(
+            parse(&argv(&["ablation-view"])),
+            Ok(Experiment::AblationView {
+                background_per_member: DEFAULT_VIEW_BACKGROUND
+            })
+        );
+        assert_eq!(
+            parse(&argv(&["ablation-view", "32"])),
+            Ok(Experiment::AblationView {
+                background_per_member: 32
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_experiment_is_an_error_with_usage() {
+        let err = parse(&argv(&["bogus"])).expect_err("unknown name must fail");
+        assert!(err.contains("bogus"));
+        assert!(
+            err.contains("usage:"),
+            "error carries the usage line: {err}"
+        );
+    }
+
+    #[test]
+    fn malformed_background_count_is_an_error() {
+        let err = parse(&argv(&["ablation-view", "lots"])).expect_err("bad count");
+        assert!(err.contains("lots"));
+        assert!(err.contains("usage:"));
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        assert!(parse(&argv(&["table1", "extra"])).is_err());
+        assert!(parse(&argv(&["ablation-view", "4", "extra"])).is_err());
+    }
+}

@@ -363,10 +363,7 @@ impl SiteStack {
                 _ => ep.cbcast(self.now, caller, msg, &mut eouts).map(|_| ()),
             };
             if res.is_err() {
-                out.trace(format!(
-                    "{}: multicast to {group} failed: {res:?}",
-                    self.site
-                ));
+                out.trace_with(|| format!("{}: multicast to {group} failed: {res:?}", self.site));
             }
             self.pump_endpoint_outputs(group, eouts, out);
         } else {
@@ -392,7 +389,7 @@ impl SiteStack {
                     ));
                 }
                 None => {
-                    out.trace(format!("{}: no contact site known for {group}", self.site));
+                    out.trace_with(|| format!("{}: no contact site known for {group}", self.site));
                 }
             }
         }
@@ -495,9 +492,7 @@ impl SiteStack {
         match process.run_filters(msg) {
             FilterDecision::Accept => {}
             FilterDecision::Reject(why) => {
-                out.trace(format!(
-                    "{pid}: filter rejected message at {entry:?}: {why}"
-                ));
+                out.trace_with(|| format!("{pid}: filter rejected message at {entry:?}: {why}"));
                 self.processes.insert(pid, process);
                 return;
             }
@@ -505,7 +500,7 @@ impl SiteStack {
         let actions = {
             let mut ctx = ToolCtx::new(pid, self.now, &self.views, &self.directory);
             if !process.dispatch(&mut ctx, entry, msg) {
-                out.trace(format!("{pid}: no handler bound at {entry:?}"));
+                out.trace_with(|| format!("{pid}: no handler bound at {entry:?}"));
             }
             ctx.take_actions()
         };
@@ -569,15 +564,15 @@ impl SiteStack {
                 }
                 CtxAction::Join { group, credentials } => {
                     if let Err(e) = self.join_group(group, caller, credentials, out) {
-                        out.trace(format!("{caller}: join {group} failed: {e}"));
+                        out.trace_with(|| format!("{caller}: join {group} failed: {e}"));
                     }
                 }
                 CtxAction::Leave { group } => {
                     if let Err(e) = self.leave_group(group, caller, out) {
-                        out.trace(format!("{caller}: leave {group} failed: {e}"));
+                        out.trace_with(|| format!("{caller}: leave {group} failed: {e}"));
                     }
                 }
-                CtxAction::Trace(line) => out.trace(format!("{caller}: {line}")),
+                CtxAction::Trace(line) => out.trace_with(|| format!("{caller}: {line}")),
             }
         }
     }
@@ -592,7 +587,7 @@ impl SiteStack {
         out: &mut Outbox,
     ) {
         let Some((session, requester)) = reply_target(request) else {
-            out.trace(format!("{caller}: reply to a message without a session"));
+            out.trace_with(|| format!("{caller}: reply to a message without a session"));
             return;
         };
         let mut reply = payload;
@@ -685,10 +680,7 @@ impl SiteStack {
     // -- Failure handling -----------------------------------------------------------------------
 
     fn handle_site_failure(&mut self, failed_site: SiteId, out: &mut Outbox) {
-        out.trace(format!(
-            "{}: site {failed_site} suspected failed",
-            self.site
-        ));
+        out.trace_with(|| format!("{}: site {failed_site} suspected failed", self.site));
         let groups: Vec<GroupId> = self.endpoints.keys().copied().collect();
         for g in groups {
             let failed_members: Vec<ProcessId> = self
@@ -734,7 +726,7 @@ impl SiteStack {
                 self.multicast_to_group(original_sender, group, protocol, inner, out);
             }
             Some(other) => {
-                out.trace(format!("{}: unknown control message {other:?}", self.site));
+                out.trace_with(|| format!("{}: unknown control message {other:?}", self.site));
             }
             None => {}
         }
@@ -742,7 +734,7 @@ impl SiteStack {
 
     fn handle_proto(&mut self, pkt: &Packet, out: &mut Outbox) {
         let Ok((group, decoded)) = ProtoMsg::decode(&pkt.payload) else {
-            out.trace(format!("{}: undecodable protocol message", self.site));
+            out.trace_with(|| format!("{}: undecodable protocol message", self.site));
             return;
         };
         // Joins are validated by the protection policy before the protocol layer sees them.
@@ -753,10 +745,9 @@ impl SiteStack {
         {
             if let Some(policy) = self.policies.get(&group) {
                 if let Err(why) = policy.validate_join(credentials.as_deref()) {
-                    out.trace(format!(
-                        "{}: join of {joiner} to {group} refused: {why}",
-                        self.site
-                    ));
+                    out.trace_with(|| {
+                        format!("{}: join of {joiner} to {group} refused: {why}", self.site)
+                    });
                     return;
                 }
             }
@@ -766,7 +757,7 @@ impl SiteStack {
         });
         let mut eouts = Vec::new();
         if let Err(e) = ep.on_message(self.now, pkt.src.site, &pkt.payload, &mut eouts) {
-            out.trace(format!("{}: protocol error in {group}: {e}", self.site));
+            out.trace_with(|| format!("{}: protocol error in {group}: {e}", self.site));
         }
         self.pump_endpoint_outputs(group, eouts, out);
     }
@@ -794,7 +785,7 @@ impl SiteHandler for SiteStack {
         if pkt.src.site != self.site {
             // Any traffic from a site proves it is alive.
             if let Some(verdict) = self.fd.on_heartbeat(pkt.src.site, now) {
-                out.trace(format!("{}: {verdict:?}", self.site));
+                out.trace_with(|| format!("{}: {verdict:?}", self.site));
             }
         }
         if ProtoMsg::is_proto_message(&pkt.payload) {

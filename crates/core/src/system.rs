@@ -31,6 +31,7 @@ pub struct SystemBuilder {
     seed: u64,
     stack_cfg: Option<StackConfig>,
     proto_cfg: Option<ProtoConfig>,
+    collect_traces: bool,
 }
 
 impl SystemBuilder {
@@ -43,7 +44,16 @@ impl SystemBuilder {
             seed: 42,
             stack_cfg: None,
             proto_cfg: None,
+            collect_traces: false,
         }
+    }
+
+    /// Enables trace collection ([`IsisSystem::traces`]).  Off by default: the repro
+    /// harness and benches process millions of events and should not pay for diagnostic
+    /// strings they never read.
+    pub fn collect_traces(mut self, on: bool) -> Self {
+        self.collect_traces = on;
+        self
     }
 
     /// Selects a named latency profile (the `Paper1987` profile reproduces Figures 2 and 3).
@@ -87,6 +97,7 @@ impl SystemBuilder {
             _ => ProtoConfig::fast(),
         });
         let mut engine = Engine::new(self.num_sites, self.params, self.seed);
+        engine.set_trace_collection(self.collect_traces);
         let stats = engine.stats();
         let all_sites: Vec<SiteId> = (0..self.num_sites as u16).map(SiteId).collect();
         for s in &all_sites {
@@ -147,7 +158,8 @@ impl IsisSystem {
         self.stats.reset();
     }
 
-    /// Trace lines emitted by stacks and handlers so far.
+    /// Trace lines emitted by stacks and handlers so far.  Empty unless the system was
+    /// built with [`SystemBuilder::collect_traces`] enabled.
     pub fn traces(&self) -> Vec<String> {
         self.engine
             .traces()

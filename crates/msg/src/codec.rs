@@ -4,14 +4,44 @@
 //! single magic byte.  It is used by the file-backed stable store, by the state-transfer tool
 //! when shipping large blocks over the simulated TCP channel, and by tests that need to check
 //! the wire size model of [`Message::encoded_len`] is honest.
+//!
+//! Two decode paths are provided:
+//!
+//! * [`decode`] — the owned path: allocates a [`Message`] whose strings and byte vectors are
+//!   independent of the input buffer.  Strings are allocated exactly once (the field table is
+//!   populated by moving the freshly decoded name, not re-cloning it).
+//! * [`decode_view`] — the borrowing path: returns a [`MessageView`] whose `Str`/`Bytes`
+//!   values are slices of the input and whose list values stay packed in wire form until
+//!   iterated.  Use it when a caller only needs to *inspect* a stored message (filter by a
+//!   field, count entries) without materialising the whole thing.
+//!
+//! Encode buffers are pre-sized from [`wire_len`], which is exact by construction, and
+//! [`encode_to`] lets hot callers (the file-backed stable store) reuse one `BytesMut`
+//! scratch buffer across messages instead of allocating per call.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use vsync_util::{Result, VsError};
+use vsync_util::{Address, Result, VsError};
 
 use crate::message::{Field, Message};
+use crate::name::FieldName;
 use crate::value::{decode_address, encode_address, Value};
 
 const MAGIC: u8 = 0xA5;
+
+/// Minimum wire size of one encoded field: a 2-byte name length (empty name) plus the
+/// smallest value encoding (1-byte tag + 1-byte `Bool` body).  Bounds how many fields a
+/// buffer of a given size can possibly hold.
+const MIN_FIELD_WIRE_LEN: usize = 4;
+
+/// Fields reserved eagerly from a decoded count.  Counts beyond this grow the field table
+/// as fields actually decode, so a corrupt header cannot amplify a small input into a huge
+/// up-front allocation (an in-memory field costs ~18× its minimum wire size).
+const MAX_EAGER_FIELDS: usize = 1024;
+
+/// Maximum `Value::Msg` nesting the decoders accept.  Decoding recurses per level, so
+/// without a bound a small crafted buffer of nested message headers overflows the stack
+/// and aborts; toolkit messages nest at most a handful of levels.
+const MAX_NESTING_DEPTH: usize = 32;
 
 // Value type tags.
 const TAG_BOOL: u8 = 1;
@@ -25,12 +55,47 @@ const TAG_ADDR_LIST: u8 = 8;
 const TAG_U64_LIST: u8 = 9;
 const TAG_MSG: u8 = 10;
 
-/// Encodes a message to bytes.
+/// Exact number of bytes [`encode`] produces for `msg` (unlike [`Message::encoded_len`],
+/// which is the simulator's *cost model* and only approximate).
+pub fn wire_len(msg: &Message) -> usize {
+    1 + message_wire_len(msg)
+}
+
+fn message_wire_len(msg: &Message) -> usize {
+    4 + msg
+        .iter()
+        .map(|f| 2 + f.name.len() + value_wire_len(&f.value))
+        .sum::<usize>()
+}
+
+fn value_wire_len(value: &Value) -> usize {
+    1 + match value {
+        Value::Bool(_) => 1,
+        Value::I64(_) | Value::U64(_) | Value::F64(_) | Value::Addr(_) => 8,
+        Value::Str(s) => 4 + s.len(),
+        Value::Bytes(b) => 4 + b.len(),
+        Value::AddrList(v) => 4 + 8 * v.len(),
+        Value::U64List(v) => 4 + 8 * v.len(),
+        Value::Msg(m) => message_wire_len(m),
+    }
+}
+
+/// Encodes a message to bytes.  The output buffer is sized exactly, so encoding performs a
+/// single allocation and no growth copies.
 pub fn encode(msg: &Message) -> Bytes {
-    let mut buf = BytesMut::with_capacity(msg.encoded_len() + 16);
+    let mut buf = BytesMut::with_capacity(wire_len(msg));
     buf.put_u8(MAGIC);
     encode_into(msg, &mut buf);
     buf.freeze()
+}
+
+/// Encodes a message into a caller-owned scratch buffer (cleared first), so repeated encodes
+/// — e.g. the stable store appending a log — reuse one allocation instead of one per call.
+pub fn encode_to(msg: &Message, buf: &mut BytesMut) {
+    buf.clear();
+    buf.reserve(wire_len(msg));
+    buf.put_u8(MAGIC);
+    encode_into(msg, buf);
 }
 
 fn encode_into(msg: &Message, buf: &mut BytesMut) {
@@ -99,9 +164,26 @@ fn encode_value(value: &Value, buf: &mut BytesMut) {
     }
 }
 
-/// Decodes a message from bytes produced by [`encode`].
+/// Decodes a message from bytes produced by [`encode`].  Byte-string values are copied out
+/// of the input; see [`decode_shared`] for the zero-copy variant over a shared buffer.
 pub fn decode(bytes: &[u8]) -> Result<Message> {
-    let mut buf = bytes;
+    decode_inner(bytes, None)
+}
+
+/// Decodes a message from a shared [`Bytes`] buffer produced by [`encode`].
+///
+/// Identical validation and result as [`decode`], except `Bytes` *values* alias the input
+/// buffer (via [`Bytes::slice`]) instead of being copied, so decoding a checkpoint or a
+/// state-transfer block whose payload is one big byte string costs O(fields), not O(bytes).
+/// The aliased slices keep the underlying allocation alive for as long as the decoded
+/// message does.
+pub fn decode_shared(bytes: &Bytes) -> Result<Message> {
+    decode_inner(bytes, Some(bytes))
+}
+
+/// Validates and strips the envelope's magic byte.  Shared by the owned and borrowing
+/// decoders so the two paths cannot diverge on envelope rules.
+fn strip_magic(buf: &mut &[u8]) -> Result<()> {
     if buf.remaining() < 1 {
         return Err(VsError::CodecError("empty buffer".into()));
     }
@@ -111,13 +193,25 @@ pub fn decode(bytes: &[u8]) -> Result<Message> {
             "bad magic byte 0x{magic:02x}, expected 0x{MAGIC:02x}"
         )));
     }
-    let msg = decode_message(&mut buf)?;
+    Ok(())
+}
+
+/// Rejects bytes left over after a fully decoded message (shared envelope rule).
+fn check_no_trailing(buf: &[u8]) -> Result<()> {
     if buf.has_remaining() {
         return Err(VsError::CodecError(format!(
             "{} trailing bytes after message",
             buf.remaining()
         )));
     }
+    Ok(())
+}
+
+fn decode_inner(bytes: &[u8], src: Option<&Bytes>) -> Result<Message> {
+    let mut buf = bytes;
+    strip_magic(&mut buf)?;
+    let msg = decode_message(&mut buf, src, 0)?;
+    check_no_trailing(buf)?;
     Ok(msg)
 }
 
@@ -132,36 +226,58 @@ fn need(buf: &&[u8], n: usize, what: &str) -> Result<()> {
     }
 }
 
-fn decode_message(buf: &mut &[u8]) -> Result<Message> {
+fn decode_message(buf: &mut &[u8], src: Option<&Bytes>, depth: usize) -> Result<Message> {
+    if depth > MAX_NESTING_DEPTH {
+        return Err(VsError::CodecError(format!(
+            "message nesting exceeds {MAX_NESTING_DEPTH} levels"
+        )));
+    }
     need(buf, 4, "field count")?;
     let count = buf.get_u32() as usize;
-    // Sanity bound: a field needs at least 4 bytes, so `count` cannot exceed what remains.
-    if count > buf.remaining() {
+    if count > buf.remaining() / MIN_FIELD_WIRE_LEN {
         return Err(VsError::CodecError(format!(
             "implausible field count {count} with {} bytes remaining",
             buf.remaining()
         )));
     }
     let mut msg = Message::new();
+    msg.reserve_fields(count.min(MAX_EAGER_FIELDS));
     for _ in 0..count {
-        let (name, value) = decode_field(buf)?;
-        msg.set(&name, value);
+        let (name, value) = decode_field(buf, src, depth)?;
+        // Moves the just-decoded name into the field table (no second allocation); replaces
+        // on duplicate names like `Message::set` would.
+        msg.set_owned(name, value);
     }
     Ok(msg)
 }
 
-fn decode_field(buf: &mut &[u8]) -> Result<(String, Value)> {
+fn decode_field(buf: &mut &[u8], src: Option<&Bytes>, depth: usize) -> Result<(FieldName, Value)> {
     need(buf, 2, "field name length")?;
     let name_len = buf.get_u16() as usize;
     need(buf, name_len, "field name")?;
-    let name = String::from_utf8(buf[..name_len].to_vec())
+    let name = std::str::from_utf8(&buf[..name_len])
         .map_err(|e| VsError::CodecError(format!("field name is not UTF-8: {e}")))?;
+    // Short names (all system fields and typical application fields) build inline with no
+    // heap allocation.
+    let name = FieldName::from(name);
     buf.advance(name_len);
-    let value = decode_value(buf)?;
+    let value = decode_value(buf, src, depth)?;
     Ok((name, value))
 }
 
-fn decode_value(buf: &mut &[u8]) -> Result<Value> {
+/// Re-borrows `&buf[..len]` as a zero-copy slice of `src` when decoding over a shared
+/// buffer, falling back to a copy otherwise.  `buf` must be a sub-slice of `src`.
+fn shared_or_copied(buf: &[u8], len: usize, src: Option<&Bytes>) -> Bytes {
+    match src {
+        Some(src) => {
+            let offset = buf.as_ptr() as usize - src.as_ptr() as usize;
+            src.slice(offset..offset + len)
+        }
+        None => Bytes::copy_from_slice(&buf[..len]),
+    }
+}
+
+fn decode_value(buf: &mut &[u8], src: Option<&Bytes>, depth: usize) -> Result<Value> {
     need(buf, 1, "value tag")?;
     let tag = buf.get_u8();
     let value = match tag {
@@ -185,8 +301,9 @@ fn decode_value(buf: &mut &[u8]) -> Result<Value> {
             need(buf, 4, "string length")?;
             let len = buf.get_u32() as usize;
             need(buf, len, "string body")?;
-            let s = String::from_utf8(buf[..len].to_vec())
-                .map_err(|e| VsError::CodecError(format!("string is not UTF-8: {e}")))?;
+            let s = std::str::from_utf8(&buf[..len])
+                .map_err(|e| VsError::CodecError(format!("string is not UTF-8: {e}")))?
+                .to_owned();
             buf.advance(len);
             Value::Str(s)
         }
@@ -194,7 +311,7 @@ fn decode_value(buf: &mut &[u8]) -> Result<Value> {
             need(buf, 4, "bytes length")?;
             let len = buf.get_u32() as usize;
             need(buf, len, "bytes body")?;
-            let b = buf[..len].to_vec();
+            let b = shared_or_copied(buf, len, src);
             buf.advance(len);
             Value::Bytes(b)
         }
@@ -206,23 +323,343 @@ fn decode_value(buf: &mut &[u8]) -> Result<Value> {
             need(buf, 4, "address list length")?;
             let len = buf.get_u32() as usize;
             need(buf, len * 8, "address list body")?;
-            let mut v = Vec::with_capacity(len);
-            for _ in 0..len {
-                v.push(decode_address(buf.get_u64()));
-            }
+            // Exact-size collect: one allocation, no per-push capacity checks.
+            let v: Vec<_> = buf[..len * 8]
+                .chunks_exact(8)
+                .map(|c| decode_address(u64::from_be_bytes(c.try_into().expect("8-byte chunk"))))
+                .collect();
+            buf.advance(len * 8);
             Value::AddrList(v)
         }
         TAG_U64_LIST => {
             need(buf, 4, "u64 list length")?;
             let len = buf.get_u32() as usize;
             need(buf, len * 8, "u64 list body")?;
-            let mut v = Vec::with_capacity(len);
-            for _ in 0..len {
-                v.push(buf.get_u64());
-            }
+            let v: Vec<u64> = buf[..len * 8]
+                .chunks_exact(8)
+                .map(|c| u64::from_be_bytes(c.try_into().expect("8-byte chunk")))
+                .collect();
+            buf.advance(len * 8);
             Value::U64List(v)
         }
-        TAG_MSG => Value::Msg(Box::new(decode_message(buf)?)),
+        TAG_MSG => Value::Msg(Box::new(decode_message(buf, src, depth + 1)?)),
+        other => {
+            return Err(VsError::CodecError(format!("unknown value tag {other}")));
+        }
+    };
+    Ok(value)
+}
+
+// --- Borrowing decode --------------------------------------------------------------------
+
+/// A list of `u64`s still packed in big-endian wire form, borrowed from the input buffer.
+/// Elements are decoded on access, so a caller that never touches the list pays nothing.
+#[derive(Clone, Copy, Debug)]
+pub struct U64sView<'a> {
+    raw: &'a [u8],
+}
+
+impl<'a> U64sView<'a> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.raw.len() / 8
+    }
+
+    /// True if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Element `i`, if in bounds.
+    pub fn get(&self, i: usize) -> Option<u64> {
+        let chunk = self.raw.get(i * 8..i * 8 + 8)?;
+        Some(u64::from_be_bytes(chunk.try_into().expect("8-byte slice")))
+    }
+
+    /// Iterates the decoded elements.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + 'a {
+        self.raw
+            .chunks_exact(8)
+            .map(|c| u64::from_be_bytes(c.try_into().expect("8-byte chunk")))
+    }
+
+    /// Copies the list out into an owned vector.
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.iter().collect()
+    }
+}
+
+/// A list of addresses still packed in wire form, borrowed from the input buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct AddrsView<'a> {
+    raw: U64sView<'a>,
+}
+
+impl<'a> AddrsView<'a> {
+    /// Number of addresses.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// True if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Address `i`, if in bounds.
+    pub fn get(&self, i: usize) -> Option<Address> {
+        self.raw.get(i).map(decode_address)
+    }
+
+    /// Iterates the decoded addresses.
+    pub fn iter(&self) -> impl Iterator<Item = Address> + 'a {
+        self.raw.iter().map(decode_address)
+    }
+
+    /// Copies the list out into an owned vector.
+    pub fn to_vec(&self) -> Vec<Address> {
+        self.iter().collect()
+    }
+}
+
+/// A field value borrowed from an encoded buffer: strings and byte strings are slices of the
+/// input, lists stay packed until iterated, and only nested structure is heap-allocated.
+#[derive(Clone, Debug)]
+pub enum ValueView<'a> {
+    /// Boolean flag.
+    Bool(bool),
+    /// Signed 64-bit integer.
+    I64(i64),
+    /// Unsigned 64-bit integer.
+    U64(u64),
+    /// IEEE-754 double.
+    F64(f64),
+    /// UTF-8 string, borrowed.
+    Str(&'a str),
+    /// Raw bytes, borrowed.
+    Bytes(&'a [u8]),
+    /// A process or group address.
+    Addr(Address),
+    /// A list of addresses, packed.
+    AddrList(AddrsView<'a>),
+    /// A vector of unsigned integers, packed.
+    U64List(U64sView<'a>),
+    /// A nested message.
+    Msg(Box<MessageView<'a>>),
+}
+
+impl ValueView<'_> {
+    /// Returns the unsigned integer if this is a `U64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            ValueView::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ValueView::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the byte slice if this is a `Bytes`.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            ValueView::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Copies the view out into an owned [`Value`].
+    pub fn to_value(&self) -> Value {
+        match self {
+            ValueView::Bool(v) => Value::Bool(*v),
+            ValueView::I64(v) => Value::I64(*v),
+            ValueView::U64(v) => Value::U64(*v),
+            ValueView::F64(v) => Value::F64(*v),
+            ValueView::Str(s) => Value::Str((*s).to_owned()),
+            ValueView::Bytes(b) => Value::Bytes(Bytes::copy_from_slice(b)),
+            ValueView::Addr(a) => Value::Addr(*a),
+            ValueView::AddrList(v) => Value::AddrList(v.to_vec()),
+            ValueView::U64List(v) => Value::U64List(v.to_vec()),
+            ValueView::Msg(m) => Value::Msg(Box::new(m.to_message())),
+        }
+    }
+}
+
+/// One decoded field borrowing from the input buffer.
+#[derive(Clone, Debug)]
+pub struct FieldView<'a> {
+    /// Field name, borrowed.
+    pub name: &'a str,
+    /// Field value, borrowed.
+    pub value: ValueView<'a>,
+}
+
+/// A message decoded without copying its payload out of the input buffer.
+///
+/// The view validates exactly as much as [`decode`] does (magic byte, UTF-8, bounds,
+/// trailing garbage); [`MessageView::to_message`] is guaranteed to produce the same
+/// [`Message`] the owned decoder would.
+#[derive(Clone, Debug, Default)]
+pub struct MessageView<'a> {
+    fields: Vec<FieldView<'a>>,
+}
+
+impl<'a> MessageView<'a> {
+    /// Number of fields (counting duplicates in the raw encoding separately).
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the message has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Iterates over the fields in wire order.
+    pub fn iter(&self) -> impl Iterator<Item = &FieldView<'a>> {
+        self.fields.iter()
+    }
+
+    /// The value of the *last* field named `name`, mirroring the replace-on-duplicate
+    /// semantics of the owned decoder.
+    pub fn get(&self, name: &str) -> Option<&ValueView<'a>> {
+        self.fields
+            .iter()
+            .rev()
+            .find(|f| f.name == name)
+            .map(|f| &f.value)
+    }
+
+    /// Typed accessor: u64.
+    pub fn get_u64(&self, name: &str) -> Option<u64> {
+        self.get(name).and_then(ValueView::as_u64)
+    }
+
+    /// Typed accessor: string slice.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.get(name).and_then(ValueView::as_str)
+    }
+
+    /// Typed accessor: byte slice.
+    pub fn get_bytes(&self, name: &str) -> Option<&[u8]> {
+        self.get(name).and_then(ValueView::as_bytes)
+    }
+
+    /// Copies the view out into an owned [`Message`] (identical to what [`decode`] returns
+    /// for the same input).
+    pub fn to_message(&self) -> Message {
+        let mut msg = Message::new();
+        msg.reserve_fields(self.fields.len());
+        for f in &self.fields {
+            msg.set_owned(FieldName::from(f.name), f.value.to_value());
+        }
+        msg
+    }
+}
+
+/// Decodes a message *view* from bytes produced by [`encode`], borrowing string, byte and
+/// list payloads from the input instead of copying them.
+pub fn decode_view(bytes: &[u8]) -> Result<MessageView<'_>> {
+    let mut buf = bytes;
+    strip_magic(&mut buf)?;
+    let msg = decode_message_view(&mut buf, 0)?;
+    check_no_trailing(buf)?;
+    Ok(msg)
+}
+
+fn decode_message_view<'a>(buf: &mut &'a [u8], depth: usize) -> Result<MessageView<'a>> {
+    if depth > MAX_NESTING_DEPTH {
+        return Err(VsError::CodecError(format!(
+            "message nesting exceeds {MAX_NESTING_DEPTH} levels"
+        )));
+    }
+    need(buf, 4, "field count")?;
+    let count = buf.get_u32() as usize;
+    if count > buf.remaining() / MIN_FIELD_WIRE_LEN {
+        return Err(VsError::CodecError(format!(
+            "implausible field count {count} with {} bytes remaining",
+            buf.remaining()
+        )));
+    }
+    let mut fields = Vec::with_capacity(count.min(MAX_EAGER_FIELDS));
+    for _ in 0..count {
+        need(buf, 2, "field name length")?;
+        let name_len = buf.get_u16() as usize;
+        need(buf, name_len, "field name")?;
+        let name = std::str::from_utf8(&buf[..name_len])
+            .map_err(|e| VsError::CodecError(format!("field name is not UTF-8: {e}")))?;
+        buf.advance(name_len);
+        let value = decode_value_view(buf, depth)?;
+        fields.push(FieldView { name, value });
+    }
+    Ok(MessageView { fields })
+}
+
+fn decode_value_view<'a>(buf: &mut &'a [u8], depth: usize) -> Result<ValueView<'a>> {
+    need(buf, 1, "value tag")?;
+    let tag = buf.get_u8();
+    let value = match tag {
+        TAG_BOOL => {
+            need(buf, 1, "bool")?;
+            ValueView::Bool(buf.get_u8() != 0)
+        }
+        TAG_I64 => {
+            need(buf, 8, "i64")?;
+            ValueView::I64(buf.get_i64())
+        }
+        TAG_U64 => {
+            need(buf, 8, "u64")?;
+            ValueView::U64(buf.get_u64())
+        }
+        TAG_F64 => {
+            need(buf, 8, "f64")?;
+            ValueView::F64(buf.get_f64())
+        }
+        TAG_STR => {
+            need(buf, 4, "string length")?;
+            let len = buf.get_u32() as usize;
+            need(buf, len, "string body")?;
+            let s = std::str::from_utf8(&buf[..len])
+                .map_err(|e| VsError::CodecError(format!("string is not UTF-8: {e}")))?;
+            buf.advance(len);
+            ValueView::Str(s)
+        }
+        TAG_BYTES => {
+            need(buf, 4, "bytes length")?;
+            let len = buf.get_u32() as usize;
+            need(buf, len, "bytes body")?;
+            let b = &buf[..len];
+            buf.advance(len);
+            ValueView::Bytes(b)
+        }
+        TAG_ADDR => {
+            need(buf, 8, "address")?;
+            ValueView::Addr(decode_address(buf.get_u64()))
+        }
+        TAG_ADDR_LIST => {
+            need(buf, 4, "address list length")?;
+            let len = buf.get_u32() as usize;
+            need(buf, len * 8, "address list body")?;
+            let raw = &buf[..len * 8];
+            buf.advance(len * 8);
+            ValueView::AddrList(AddrsView {
+                raw: U64sView { raw },
+            })
+        }
+        TAG_U64_LIST => {
+            need(buf, 4, "u64 list length")?;
+            let len = buf.get_u32() as usize;
+            need(buf, len * 8, "u64 list body")?;
+            let raw = &buf[..len * 8];
+            buf.advance(len * 8);
+            ValueView::U64List(U64sView { raw })
+        }
+        TAG_MSG => ValueView::Msg(Box::new(decode_message_view(buf, depth + 1)?)),
         other => {
             return Err(VsError::CodecError(format!("unknown value tag {other}")));
         }
@@ -281,6 +718,142 @@ mod tests {
     }
 
     #[test]
+    fn wire_len_is_exact() {
+        for msg in [
+            Message::new(),
+            sample(),
+            Message::with_body(vec![0u8; 4096]),
+        ] {
+            assert_eq!(encode(&msg).len(), wire_len(&msg));
+        }
+    }
+
+    #[test]
+    fn encode_to_reuses_the_scratch_buffer() {
+        let mut scratch = BytesMut::with_capacity(0);
+        let msg = sample();
+        encode_to(&msg, &mut scratch);
+        assert_eq!(decode(&scratch).unwrap(), msg);
+        // A second, smaller message reuses the buffer and leaves no stale tail behind.
+        let small = Message::with_body(1u64);
+        encode_to(&small, &mut scratch);
+        assert_eq!(scratch.len(), wire_len(&small));
+        assert_eq!(decode(&scratch).unwrap(), small);
+    }
+
+    #[test]
+    fn shared_decode_matches_owned_decode_and_aliases_payloads() {
+        let msg = sample();
+        let bytes = encode(&msg);
+        let shared = decode_shared(&bytes).expect("shared decode");
+        assert_eq!(shared, msg, "zero-copy decode is observably identical");
+        // The blob value aliases the encoded buffer rather than copying it.
+        let blob = shared.get_bytes("blob").expect("blob field");
+        let base = bytes.as_ptr() as usize;
+        let ptr = blob.as_ptr() as usize;
+        assert!(ptr >= base && ptr < base + bytes.len(), "aliases input");
+        // The decoded message stays valid after the caller drops its handle.
+        drop(bytes);
+        assert_eq!(shared.get_bytes("blob"), Some(&[1u8, 2, 3, 4, 5][..]));
+    }
+
+    #[test]
+    fn shared_decode_rejects_what_owned_decode_rejects() {
+        let bytes = encode(&sample());
+        for cut in 1..bytes.len() {
+            let prefix = Bytes::copy_from_slice(&bytes[..cut]);
+            assert!(
+                decode_shared(&prefix).is_err(),
+                "shared decode of {cut}-byte prefix should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn view_decode_matches_owned_decode() {
+        let msg = sample();
+        let bytes = encode(&msg);
+        let view = decode_view(&bytes).expect("view decode");
+        assert_eq!(view.to_message(), msg);
+        assert_eq!(view.field_count(), msg.field_count());
+    }
+
+    #[test]
+    fn view_borrows_without_copying_payloads() {
+        let msg = sample();
+        let bytes = encode(&msg);
+        let view = decode_view(&bytes).expect("view decode");
+        let blob = view.get_bytes("blob").expect("blob field");
+        assert_eq!(blob, &[1u8, 2, 3, 4, 5]);
+        // The slice points into the encoded buffer, not a copy.
+        let base = bytes.as_ptr() as usize;
+        let ptr = blob.as_ptr() as usize;
+        assert!(ptr >= base && ptr < base + bytes.len());
+        assert_eq!(view.get_str("name"), Some("emulsion-service"));
+        assert_eq!(view.get_u64("count"), Some(42));
+    }
+
+    #[test]
+    fn view_lists_decode_lazily_and_correctly() {
+        let msg = sample();
+        let bytes = encode(&msg);
+        let view = decode_view(&bytes).expect("view decode");
+        let Some(ValueView::U64List(vt)) = view.get("vt") else {
+            panic!("vt is a u64 list");
+        };
+        assert_eq!(vt.len(), 3);
+        assert_eq!(vt.get(0), Some(1));
+        assert_eq!(vt.get(3), None);
+        assert_eq!(vt.to_vec(), vec![1, 0, 3]);
+        let Some(ValueView::AddrList(members)) = view.get("members") else {
+            panic!("members is an addr list");
+        };
+        assert_eq!(members.len(), 2);
+        assert_eq!(
+            members.get(1),
+            Some(Address::Group(GroupId(77))),
+            "addresses unpack on access"
+        );
+    }
+
+    #[test]
+    fn view_rejects_everything_the_owned_decoder_rejects() {
+        let bytes = encode(&sample()).to_vec();
+        for cut in 1..bytes.len() {
+            assert!(
+                decode_view(&bytes[..cut]).is_err(),
+                "view decode of {cut}-byte prefix should fail"
+            );
+        }
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = 0;
+        assert!(decode_view(&bad_magic).is_err());
+        let mut trailing = bytes;
+        trailing.push(0xFF);
+        assert!(decode_view(&trailing).is_err());
+    }
+
+    #[test]
+    fn duplicate_field_names_replace_in_both_paths() {
+        // Hand-craft: magic, 2 fields both named "x" with different u64 values.
+        let mut buf = BytesMut::new();
+        buf.put_u8(MAGIC);
+        buf.put_u32(2);
+        for v in [1u64, 2u64] {
+            buf.put_u16(1);
+            buf.put_slice(b"x");
+            buf.put_u8(TAG_U64);
+            buf.put_u64(v);
+        }
+        let owned = decode(&buf).expect("owned decode");
+        assert_eq!(owned.field_count(), 1, "duplicate replaces");
+        assert_eq!(owned.get_u64("x"), Some(2));
+        let view = decode_view(&buf).expect("view decode");
+        assert_eq!(view.get_u64("x"), Some(2), "view reads the last duplicate");
+        assert_eq!(view.to_message(), owned);
+    }
+
+    #[test]
     fn rejects_bad_magic() {
         let mut bytes = encode(&sample()).to_vec();
         bytes[0] = 0x00;
@@ -301,6 +874,58 @@ mod tests {
         let mut bytes = encode(&sample()).to_vec();
         bytes.push(0xFF);
         assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_implausible_field_count_without_large_allocation() {
+        // Hand-craft: magic + a header claiming u32::MAX fields followed by 8 junk bytes.
+        // Both decode paths must reject on the count bound (no field could be 0 bytes), and
+        // must do so without reserving count-proportional memory first.
+        let mut buf = BytesMut::new();
+        buf.put_u8(MAGIC);
+        buf.put_u32(u32::MAX);
+        buf.put_slice(&[0u8; 8]);
+        let err = decode(&buf).expect_err("owned decode rejects");
+        assert!(err.to_string().contains("implausible field count"));
+        assert!(decode_view(&buf).is_err(), "view decode rejects");
+        // A count that fits the remaining bytes only if fields were < MIN_FIELD_WIRE_LEN
+        // bytes each is equally implausible.
+        let mut buf = BytesMut::new();
+        buf.put_u8(MAGIC);
+        buf.put_u32(5);
+        buf.put_slice(&[0u8; 4 * 5 - 1]);
+        assert!(decode(&buf).is_err());
+        assert!(decode_view(&buf).is_err());
+    }
+
+    #[test]
+    fn rejects_excessive_nesting_without_stack_overflow() {
+        // A legal message nested to the limit round-trips...
+        let mut msg = Message::with_body(0u64);
+        for i in 0..MAX_NESTING_DEPTH {
+            msg = Message::new().with("inner", msg).with("level", i as u64);
+        }
+        let bytes = encode(&msg);
+        assert_eq!(decode(&bytes).unwrap(), msg);
+        assert!(decode_view(&bytes).is_ok());
+        // ...one level deeper is rejected with an error, not a stack overflow. Hand-craft
+        // the headers so the test does not depend on Message being able to build it:
+        // each level is one field (empty name, TAG_MSG) wrapping the next.
+        let levels = MAX_NESTING_DEPTH + 2;
+        let mut buf = BytesMut::new();
+        buf.put_u8(MAGIC);
+        for _ in 0..levels {
+            buf.put_u32(1); // one field
+            buf.put_u16(0); // empty name
+            buf.put_u8(TAG_MSG);
+        }
+        buf.put_u32(0); // innermost message: zero fields
+        let err = decode(&buf).expect_err("owned decode rejects deep nesting");
+        assert!(err.to_string().contains("nesting"), "{err}");
+        assert!(
+            decode_view(&buf).is_err(),
+            "view decode rejects deep nesting"
+        );
     }
 
     #[test]

@@ -14,7 +14,9 @@
 pub mod codec;
 pub mod fields;
 pub mod message;
+pub mod name;
 pub mod value;
 
 pub use message::{Field, Message};
+pub use name::FieldName;
 pub use value::Value;

@@ -6,13 +6,15 @@ use serde::{Deserialize, Serialize};
 use vsync_util::{Address, EntryId, GroupId, ProcessId, VectorClock, VsError};
 
 use crate::fields;
+use crate::name::FieldName;
 use crate::value::Value;
 
 /// One named, typed field of a message.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Field {
-    /// Field name.  Names beginning with `'@'` are reserved for the toolkit.
-    pub name: String,
+    /// Field name.  Names beginning with `'@'` are reserved for the toolkit.  Short names
+    /// (the overwhelmingly common case) are stored inline without heap allocation.
+    pub name: FieldName,
     /// Field value.
     pub value: Value,
 }
@@ -63,7 +65,7 @@ impl Message {
             f.value = value;
         } else {
             self.fields.push(Field {
-                name: name.to_owned(),
+                name: FieldName::from(name),
                 value,
             });
         }
@@ -74,6 +76,21 @@ impl Message {
     pub fn with(mut self, name: &str, value: impl Into<Value>) -> Self {
         self.set(name, value);
         self
+    }
+
+    /// `set` that takes an already-built [`FieldName`], avoiding the conversion
+    /// [`Message::set`] performs on insert.  Used by the codec's decode path.
+    pub(crate) fn set_owned(&mut self, name: FieldName, value: Value) {
+        if let Some(f) = self.fields.iter_mut().find(|f| f.name == name) {
+            f.value = value;
+        } else {
+            self.fields.push(Field { name, value });
+        }
+    }
+
+    /// Pre-sizes the field table for `additional` upcoming inserts (decode fast path).
+    pub(crate) fn reserve_fields(&mut self, additional: usize) {
+        self.fields.reserve(additional);
     }
 
     /// Removes a field, returning its value if it was present.

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use vsync_util::{Address, GroupId, ProcessId, SiteId};
 
@@ -24,8 +25,9 @@ pub enum Value {
     F64(f64),
     /// UTF-8 string.
     Str(String),
-    /// Raw bytes.
-    Bytes(Vec<u8>),
+    /// Raw bytes.  Held as [`Bytes`] so a decode over a shared buffer can alias the input
+    /// instead of copying (see `codec::decode_shared`); equality follows contents.
+    Bytes(Bytes),
     /// A process or group address.
     Addr(Address),
     /// A list of addresses (destination lists, membership lists, ...).
@@ -217,12 +219,17 @@ impl From<String> for Value {
 }
 impl From<Vec<u8>> for Value {
     fn from(v: Vec<u8>) -> Self {
-        Value::Bytes(v)
+        Value::Bytes(Bytes::from(v))
     }
 }
 impl From<&[u8]> for Value {
     fn from(v: &[u8]) -> Self {
-        Value::Bytes(v.to_vec())
+        Value::Bytes(Bytes::copy_from_slice(v))
+    }
+}
+impl From<Bytes> for Value {
+    fn from(v: Bytes) -> Self {
+        Value::Bytes(v)
     }
 }
 impl From<Address> for Value {

@@ -26,7 +26,7 @@ fn arb_leaf_value() -> impl Strategy<Value = Value> {
         // NaN does not compare equal to itself, so restrict to finite values.
         (-1e15f64..1e15).prop_map(Value::F64),
         ".{0,64}".prop_map(Value::Str),
-        proptest::collection::vec(any::<u8>(), 0..256).prop_map(Value::Bytes),
+        proptest::collection::vec(any::<u8>(), 0..256).prop_map(|v| Value::Bytes(v.into())),
         arb_address().prop_map(Value::Addr),
         proptest::collection::vec(arb_address(), 0..8).prop_map(Value::AddrList),
         proptest::collection::vec(any::<u64>(), 0..16).prop_map(Value::U64List),

@@ -37,11 +37,27 @@ pub trait SiteHandler: Any {
 }
 
 /// Actions a handler wants the engine to perform.
-#[derive(Default)]
 pub struct Outbox {
     sends: Vec<Packet>,
     timers: Vec<(Duration, u64)>,
     traces: Vec<String>,
+    /// Whether trace lines are kept.  The engine propagates its own setting here so
+    /// handlers using [`Outbox::trace_with`] skip even the string formatting when traces
+    /// are not being collected.
+    collect_traces: bool,
+}
+
+impl Default for Outbox {
+    fn default() -> Self {
+        Outbox {
+            sends: Vec::new(),
+            timers: Vec::new(),
+            traces: Vec::new(),
+            // A free-standing outbox (handler unit tests) records traces; inside an engine
+            // the engine's opt-in setting overrides this before every dispatch.
+            collect_traces: true,
+        }
+    }
 }
 
 impl Outbox {
@@ -60,9 +76,27 @@ impl Outbox {
         self.timers.push((after, token));
     }
 
-    /// Records a trace line (collected by the engine, useful in tests and the repro harness).
+    /// Records a trace line (collected by the engine when trace collection is enabled).
+    /// Prefer [`Outbox::trace_with`] on hot paths: it skips building the string entirely
+    /// when traces are off.
     pub fn trace(&mut self, line: impl Into<String>) {
-        self.traces.push(line.into());
+        if self.collect_traces {
+            self.traces.push(line.into());
+        }
+    }
+
+    /// Records a lazily-built trace line; `make` runs only if traces are being collected,
+    /// so disabled tracing costs one branch instead of a `format!` allocation.
+    pub fn trace_with(&mut self, make: impl FnOnce() -> String) {
+        if self.collect_traces {
+            self.traces.push(make());
+        }
+    }
+
+    /// True if trace lines are currently being kept (lets handlers gate extra diagnostic
+    /// work beyond the line itself).
+    pub fn traces_enabled(&self) -> bool {
+        self.collect_traces
     }
 
     /// Returns true if no actions were recorded.
@@ -73,6 +107,11 @@ impl Outbox {
 
 enum EventKind {
     Packet(Packet),
+    /// A run of packets for the *same destination site* arriving at the *same instant*,
+    /// delivered in one handler dispatch.  Produced when a multicast fan-out or reply burst
+    /// plans several deliveries to one site at an identical timestamp; popping one event
+    /// instead of N keeps the heap small and reuses a single outbox for the whole run.
+    PacketBatch(Vec<Packet>),
     Timer {
         site: SiteId,
         token: u64,
@@ -123,7 +162,15 @@ pub struct Engine {
     net: NetworkModel,
     stats: SharedStats,
     traces: Vec<(SimTime, String)>,
+    /// Trace collection is opt-in ([`Engine::set_trace_collection`]): the repro harness and
+    /// benches process millions of events and would otherwise pay for strings they discard.
+    collect_traces: bool,
     events_processed: u64,
+    /// One outbox reused across every dispatch, so steady-state event processing performs
+    /// no per-event vector allocations.
+    scratch: Outbox,
+    /// Scratch for delivery planning in `apply_outbox` (same reuse rationale).
+    plan_scratch: Vec<(SimTime, Packet)>,
 }
 
 impl Engine {
@@ -146,8 +193,16 @@ impl Engine {
             net,
             stats,
             traces: Vec::new(),
+            collect_traces: false,
             events_processed: 0,
+            scratch: Outbox::new(),
+            plan_scratch: Vec::new(),
         }
+    }
+
+    /// Enables or disables trace collection (off by default; see [`Engine::traces`]).
+    pub fn set_trace_collection(&mut self, on: bool) {
+        self.collect_traces = on;
     }
 
     /// The current virtual time.
@@ -170,7 +225,8 @@ impl Engine {
         self.events_processed
     }
 
-    /// Trace lines emitted by handlers, with the time they were emitted.
+    /// Trace lines emitted by handlers, with the time they were emitted.  Empty unless
+    /// [`Engine::set_trace_collection`] enabled collection before the events ran.
     pub fn traces(&self) -> &[(SimTime, String)] {
         &self.traces
     }
@@ -231,14 +287,16 @@ impl Engine {
             return None;
         }
         let mut handler = self.sites[idx].handler.take()?;
-        let mut out = Outbox::new();
+        let mut out = std::mem::take(&mut self.scratch);
+        out.collect_traces = self.collect_traces;
         let now = self.now;
         let result = handler
             .as_any_mut()
             .downcast_mut::<H>()
             .map(|h| f(h, now, &mut out));
         self.sites[idx].handler = Some(handler);
-        self.apply_outbox(site, out);
+        self.apply_outbox(site, &mut out);
+        self.scratch = out;
         result
     }
 
@@ -292,6 +350,16 @@ impl Engine {
                     self.dispatch(site, |h, now, out| h.on_packet(now, pkt, out));
                 }
             }
+            EventKind::PacketBatch(pkts) => {
+                let site = pkts[0].dst.site;
+                if self.site_is_up(site) {
+                    self.dispatch(site, |h, now, out| {
+                        for pkt in pkts {
+                            h.on_packet(now, pkt, out);
+                        }
+                    });
+                }
+            }
             EventKind::Timer { site, token, epoch } => {
                 let current_epoch = self.sites.get(site.index()).map(|s| s.epoch);
                 if self.site_is_up(site) && current_epoch == Some(epoch) {
@@ -313,7 +381,8 @@ impl Engine {
         let Some(mut handler) = self.sites.get_mut(idx).and_then(|s| s.handler.take()) else {
             return;
         };
-        let mut out = Outbox::new();
+        let mut out = std::mem::take(&mut self.scratch);
+        out.collect_traces = self.collect_traces;
         f(handler.as_mut(), self.now, &mut out);
         if let Some(slot) = self.sites.get_mut(idx) {
             // Only put the handler back if the site was not killed while we held it.
@@ -321,15 +390,18 @@ impl Engine {
                 slot.handler = Some(handler);
             }
         }
-        self.apply_outbox(site, out);
+        self.apply_outbox(site, &mut out);
+        self.scratch = out;
     }
 
-    fn apply_outbox(&mut self, origin: SiteId, out: Outbox) {
-        for line in out.traces {
+    /// Converts a dispatch's recorded actions into queued events, draining (not consuming)
+    /// the outbox so its buffers can be reused by the next dispatch.
+    fn apply_outbox(&mut self, origin: SiteId, out: &mut Outbox) {
+        for line in out.traces.drain(..) {
             self.traces.push((self.now, line));
         }
         let epoch = self.sites.get(origin.index()).map(|s| s.epoch).unwrap_or(0);
-        for (after, token) in out.timers {
+        for (after, token) in out.timers.drain(..) {
             let at = self.now + after;
             self.push_event(
                 at,
@@ -340,10 +412,32 @@ impl Engine {
                 },
             );
         }
-        for pkt in out.sends {
+        // Plan every send, then queue runs of adjacent packets that arrive at the same site
+        // at the same instant as one batch event.  Only *adjacent* sends are merged: they
+        // would have been popped as consecutive events anyway (same arrival time, increasing
+        // seq, nothing can sort between them), so batching preserves event order exactly.
+        let mut planned = std::mem::take(&mut self.plan_scratch);
+        planned.extend(out.sends.drain(..).map(|pkt| {
             let plan = self.net.plan_delivery(self.now, &pkt);
-            self.push_event(plan.arrival, EventKind::Packet(pkt));
+            (plan.arrival, pkt)
+        }));
+        let mut run = planned.drain(..).peekable();
+        while let Some((at, pkt)) = run.next() {
+            let site = pkt.dst.site;
+            let same_slot =
+                move |other: &(SimTime, Packet)| other.0 == at && other.1.dst.site == site;
+            if run.peek().map(same_slot).unwrap_or(false) {
+                let mut batch = vec![pkt];
+                while run.peek().map(same_slot).unwrap_or(false) {
+                    batch.push(run.next().expect("peeked").1);
+                }
+                self.push_event(at, EventKind::PacketBatch(batch));
+            } else {
+                self.push_event(at, EventKind::Packet(pkt));
+            }
         }
+        drop(run);
+        self.plan_scratch = planned;
     }
 }
 
@@ -508,6 +602,80 @@ mod tests {
         assert!(eng
             .with_site::<Echo, _>(SiteId(0), |_h, _n, _o| ())
             .is_none());
+    }
+
+    #[test]
+    fn same_site_same_instant_sends_batch_into_one_event() {
+        // Instant profile with zero jitter: both packets to site 1 arrive simultaneously
+        // and adjacent in the outbox, so they must travel as one batch event but still be
+        // delivered individually and in order.
+        let mut eng = Engine::new(2, NetParams::instant(), 0);
+        eng.install_site(SiteId(0), Box::new(Echo::new(SiteId(0))));
+        eng.install_site(SiteId(1), Box::new(Echo::new(SiteId(1))));
+        let a = ProcessId::new(SiteId(0), 0);
+        let b = ProcessId::new(SiteId(1), 0);
+        eng.with_site::<Echo, _>(SiteId(0), |_h, _now, out| {
+            for body in ["one", "two", "three"] {
+                out.send(Packet::new(
+                    a,
+                    b,
+                    PacketKind::Data,
+                    Message::with_body(body),
+                ));
+            }
+        });
+        let before = eng.events_processed();
+        eng.run_until(SimTime(1_000_000));
+        let got: Vec<String> = eng
+            .with_site::<Echo, _>(SiteId(1), |h, _now, _out| {
+                h.received.iter().map(|(_, s)| s.clone()).collect()
+            })
+            .unwrap();
+        assert_eq!(got, vec!["one", "two", "three"], "order preserved");
+        // All three packets arrived as a single queue event (plus the start timers).
+        let packet_events = eng.events_processed() - before;
+        assert!(
+            packet_events < 3 + 2,
+            "batching should collapse the three deliveries, processed {packet_events}"
+        );
+    }
+
+    #[test]
+    fn trace_collection_is_opt_in() {
+        struct Tracer;
+        impl SiteHandler for Tracer {
+            fn on_packet(&mut self, _now: SimTime, _pkt: Packet, _out: &mut Outbox) {}
+            fn on_timer(&mut self, _now: SimTime, _token: u64, out: &mut Outbox) {
+                out.trace("eager line");
+                out.trace_with(|| "lazy line".to_owned());
+            }
+            fn on_start(&mut self, _now: SimTime, out: &mut Outbox) {
+                out.set_timer(Duration::from_millis(1), 1);
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        // Default: no collection.
+        let mut eng = Engine::new(1, NetParams::instant(), 0);
+        eng.install_site(SiteId(0), Box::new(Tracer));
+        eng.run_until(SimTime(10_000));
+        assert!(eng.traces().is_empty(), "traces off by default");
+        // Opt in: both eager and lazy lines are kept.
+        let mut eng = Engine::new(1, NetParams::instant(), 0);
+        eng.set_trace_collection(true);
+        eng.install_site(SiteId(0), Box::new(Tracer));
+        eng.run_until(SimTime(10_000));
+        let lines: Vec<&str> = eng.traces().iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(lines, vec!["eager line", "lazy line"]);
+    }
+
+    #[test]
+    fn free_standing_outbox_records_traces_for_unit_tests() {
+        let mut out = Outbox::new();
+        assert!(out.traces_enabled());
+        out.trace("kept");
+        assert!(!out.is_empty());
     }
 
     #[test]

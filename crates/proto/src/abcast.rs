@@ -17,11 +17,11 @@
 //! If the initiator fails before completing phase two, the view-change flush finalises the
 //! ordering on its behalf using the maximum of the proposals the survivors reported.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use vsync_msg::Message;
 use vsync_net::MsgId;
-use vsync_util::{ProcessId, SiteId};
+use vsync_util::{FastHashMap, ProcessId, SiteId};
 
 /// A totally ordered message ready for delivery to the local members.
 #[derive(Clone, Debug, PartialEq)]
@@ -56,26 +56,49 @@ struct Collecting {
 }
 
 /// Per-view ABCAST state of one group endpoint.
+///
+/// Delivery order is maintained *incrementally*: instead of rescanning the whole holdback
+/// queue for the minimum on every delivery (O(n) per message, O(n²) per drain), the state
+/// keeps two ordered indexes that `on_data`/`decide` update in O(log n) —
+///
+/// * `ready` — decided messages keyed by `(final_priority, id)`, i.e. exactly the delivery
+///   order;
+/// * `undecided` — the undecided frontier keyed by `(proposed_priority, id)`.  A decided
+///   message may be delivered iff its key precedes every undecided key, because a final
+///   priority can only be `>=` the local proposal it replaces.
+///
+/// `drain` then pops from `ready` while its head precedes the head of `undecided`.
 #[derive(Clone, Debug, Default)]
 pub struct AbcastState {
     /// Logical priority clock; proposals are strictly increasing locally.
     priority_clock: u64,
-    /// Messages received (phase one) and not yet delivered.
-    pending: BTreeMap<MsgId, PendingAb>,
+    /// Messages received (phase one) and not yet delivered.  Order never comes from this
+    /// map (the two indexes below own ordering), so O(1) lookup wins over a BTreeMap.
+    pending: FastHashMap<MsgId, PendingAb>,
+    /// Delivery index: decided-but-undelivered messages by `(final_priority, id)`.
+    ready: BTreeSet<(u64, MsgId)>,
+    /// Undecided frontier: messages awaiting phase two, by `(proposed_priority, id)`.
+    undecided: BTreeSet<(u64, MsgId)>,
     /// Messages this endpoint initiated and is still collecting proposals for.
     collecting: BTreeMap<MsgId, Collecting>,
 }
 
 impl AbcastState {
-    /// Creates empty state.
+    /// Creates empty state.  The holdback map is pre-sized so a burst of concurrent
+    /// multicasts does not pay rehashing costs on the delivery path.
     pub fn new() -> Self {
-        AbcastState::default()
+        AbcastState {
+            pending: FastHashMap::with_capacity_and_hasher(128, Default::default()),
+            ..AbcastState::default()
+        }
     }
 
     /// Resets the state for a new view.
     pub fn reset(&mut self) {
         self.priority_clock = 0;
         self.pending.clear();
+        self.ready.clear();
+        self.undecided.clear();
         self.collecting.clear();
     }
 
@@ -111,6 +134,7 @@ impl AbcastState {
                 decided: None,
             },
         );
+        self.undecided.insert((my_proposal, id));
         if peer_sites.is_empty() {
             // Nobody else to ask: our proposal is final.
             self.decide(id, my_proposal, my_site);
@@ -131,20 +155,21 @@ impl AbcastState {
     /// Phase one at a destination: stores the message and returns the priority to propose.
     /// Duplicate deliveries of the same id return the previously proposed priority.
     pub fn on_data(&mut self, id: MsgId, sender: ProcessId, payload: Message) -> u64 {
-        if let Some(p) = self.pending.get(&id) {
-            return p.proposed;
+        match self.pending.entry(id) {
+            std::collections::hash_map::Entry::Occupied(e) => e.get().proposed,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.priority_clock += 1;
+                let proposed = self.priority_clock;
+                e.insert(PendingAb {
+                    sender,
+                    payload,
+                    proposed,
+                    decided: None,
+                });
+                self.undecided.insert((proposed, id));
+                proposed
+            }
         }
-        let proposed = self.next_priority();
-        self.pending.insert(
-            id,
-            PendingAb {
-                sender,
-                payload,
-                proposed,
-                decided: None,
-            },
-        );
-        proposed
     }
 
     /// Phase two input at the initiator: records a proposal from `from_site`.
@@ -177,23 +202,33 @@ impl AbcastState {
     /// collection for any message.  Used when a view change races with an ongoing ABCAST.
     pub fn forget_site(&mut self, site: SiteId) -> Vec<(MsgId, u64, SiteId)> {
         let mut decisions = Vec::new();
-        let ids: Vec<MsgId> = self.collecting.keys().copied().collect();
-        for id in ids {
-            if let Some(c) = self.collecting.get_mut(&id) {
-                c.awaiting.retain(|s| *s != site);
-                if c.awaiting.is_empty() {
-                    decisions.push((id, c.max_seen, c.max_site));
-                    self.collecting.remove(&id);
-                }
+        self.collecting.retain(|id, c| {
+            c.awaiting.retain(|s| *s != site);
+            if c.awaiting.is_empty() {
+                decisions.push((*id, c.max_seen, c.max_site));
+                false
+            } else {
+                true
             }
-        }
+        });
         decisions
     }
 
     /// Phase two at a destination (or locally at the initiator): fixes the final priority.
     pub fn decide(&mut self, id: MsgId, final_priority: u64, tiebreak_site: SiteId) {
         if let Some(p) = self.pending.get_mut(&id) {
+            match p.decided {
+                Some((old, _)) => {
+                    // A repeated decision (e.g. coordinator re-finalising during a flush)
+                    // re-keys the delivery index.
+                    self.ready.remove(&(old, id));
+                }
+                None => {
+                    self.undecided.remove(&(p.proposed, id));
+                }
+            }
             p.decided = Some((final_priority, tiebreak_site));
+            self.ready.insert((final_priority, id));
         }
         // The priority clock must never run behind a decided priority, otherwise a later
         // proposal could be ordered before an already-delivered message.
@@ -210,11 +245,10 @@ impl AbcastState {
     /// The proposals this endpoint has outstanding, as `(id, proposed_priority)` pairs.
     /// Reported in flush acks so the coordinator can finalise orphaned ABCASTs.
     pub fn pending_proposals(&self) -> Vec<(MsgId, u64)> {
-        self.pending
-            .iter()
-            .filter(|(_, p)| p.decided.is_none())
-            .map(|(id, p)| (*id, p.proposed))
-            .collect()
+        // The undecided frontier *is* the answer; no need to filter the whole holdback queue.
+        let mut out = Vec::with_capacity(self.undecided.len());
+        out.extend(self.undecided.iter().map(|&(prop, id)| (id, prop)));
+        out
     }
 
     /// Delivers every message whose final priority is known and cannot be preceded by any
@@ -222,31 +256,23 @@ impl AbcastState {
     /// every member.
     pub fn drain(&mut self) -> Vec<ReadyAb> {
         let mut out = Vec::new();
-        loop {
-            // Find the minimum key over all pending messages, using the proposed priority for
-            // undecided messages (their final priority can only be >= the proposal).
-            let min_key = self
-                .pending
-                .iter()
-                .map(|(id, p)| {
-                    let prio = p.decided.map(|(f, _)| f).unwrap_or(p.proposed);
-                    (prio, *id)
-                })
-                .min();
-            let Some((_, min_id)) = min_key else { break };
-            let decided = self.pending.get(&min_id).and_then(|p| p.decided);
-            match decided {
-                Some((prio, _site)) => {
-                    let p = self.pending.remove(&min_id).expect("pending entry");
-                    out.push(ReadyAb {
-                        id: min_id,
-                        sender: p.sender,
-                        priority: prio,
-                        payload: p.payload,
-                    });
+        // Deliver the head of the `ready` index while no undecided message could precede it
+        // (an undecided message's final priority can only be >= its proposal, so comparing
+        // against the undecided head's proposal key is safe).
+        while let Some(&(prio, id)) = self.ready.first() {
+            if let Some(&frontier) = self.undecided.first() {
+                if frontier < (prio, id) {
+                    break;
                 }
-                None => break,
             }
+            self.ready.pop_first();
+            let p = self.pending.remove(&id).expect("pending entry");
+            out.push(ReadyAb {
+                id,
+                sender: p.sender,
+                priority: prio,
+                payload: p.payload,
+            });
         }
         out
     }
@@ -254,17 +280,33 @@ impl AbcastState {
     /// Force-delivers everything still pending (used at the flush cut after the coordinator
     /// has assigned final priorities to every orphaned message).
     pub fn force_drain(&mut self) -> Vec<ReadyAb> {
-        let mut rest: Vec<(MsgId, PendingAb)> =
-            std::mem::take(&mut self.pending).into_iter().collect();
-        rest.sort_by_key(|(id, p)| (p.decided.map(|(f, _)| f).unwrap_or(p.proposed), *id));
-        rest.into_iter()
-            .map(|(id, p)| ReadyAb {
+        // Both indexes are already sorted by the best-known priority key, so the combined
+        // order is a two-way merge — no re-collecting and re-sorting the holdback queue.
+        let mut out = Vec::with_capacity(self.pending.len());
+        let mut decided = std::mem::take(&mut self.ready).into_iter().peekable();
+        let mut undecided = std::mem::take(&mut self.undecided).into_iter().peekable();
+        loop {
+            let take_decided = match (decided.peek(), undecided.peek()) {
+                (Some(d), Some(u)) => d < u,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (prio, id) = if take_decided {
+                decided.next().expect("peeked")
+            } else {
+                undecided.next().expect("peeked")
+            };
+            let p = self.pending.remove(&id).expect("pending entry");
+            out.push(ReadyAb {
                 id,
                 sender: p.sender,
-                priority: p.decided.map(|(f, _)| f).unwrap_or(p.proposed),
+                priority: prio,
                 payload: p.payload,
-            })
-            .collect()
+            });
+        }
+        debug_assert!(self.pending.is_empty());
+        out
     }
 }
 

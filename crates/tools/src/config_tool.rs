@@ -105,7 +105,9 @@ impl ConfigTool {
         state.values.clear();
         for field in snapshot.iter() {
             if !field.name.starts_with('@') {
-                state.values.insert(field.name.clone(), field.value.clone());
+                state
+                    .values
+                    .insert(field.name.to_string(), field.value.clone());
             }
         }
     }

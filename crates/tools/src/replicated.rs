@@ -145,7 +145,9 @@ impl ReplicatedData {
         state.items.clear();
         for field in snapshot.iter() {
             if !field.name.starts_with('@') {
-                state.items.insert(field.name.clone(), field.value.clone());
+                state
+                    .items
+                    .insert(field.name.to_string(), field.value.clone());
             }
         }
     }

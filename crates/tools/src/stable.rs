@@ -95,8 +95,18 @@ impl StableStore for MemoryStore {
 
 /// A file-backed stable store: each checkpoint is one encoded message file, each log is a
 /// directory of numbered encoded message files, with a JSON index for quick inspection.
+///
+/// A `FileStore` assumes it is the only writer of its root directory while open (the same
+/// assumption the sequential numbering scheme always made); the next log-entry index is
+/// counted from disk once per key and cached across appends.
 pub struct FileStore {
     root: PathBuf,
+    /// Encode scratch reused across writes, so checkpoint/log churn does not allocate a
+    /// fresh buffer per message (see `codec::encode_to`).
+    scratch: RefCell<bytes::BytesMut>,
+    /// Next entry index per (sanitized) log key, so N appends cost one directory listing
+    /// instead of N (a per-append `read_dir().count()` made long logs O(N²)).
+    next_index: RefCell<std::collections::HashMap<String, usize>>,
 }
 
 impl FileStore {
@@ -105,7 +115,11 @@ impl FileStore {
         let root = root.into();
         std::fs::create_dir_all(&root)
             .map_err(|e| VsError::StorageError(format!("create {root:?}: {e}")))?;
-        Ok(FileStore { root })
+        Ok(FileStore {
+            root,
+            scratch: RefCell::new(bytes::BytesMut::new()),
+            next_index: RefCell::new(std::collections::HashMap::new()),
+        })
     }
 
     fn sanitize(key: &str) -> String {
@@ -127,12 +141,60 @@ impl FileStore {
     fn log_dir(&self, key: &str) -> PathBuf {
         self.root.join(format!("{}.log", Self::sanitize(key)))
     }
+
+    /// Reads each entry file of `key`'s log in append order and yields its raw bytes to
+    /// `each`, which returns `false` to stop early.  The single source of truth for entry
+    /// naming, ordering, and error wrapping — `read_log` and `scan_log` both go through it.
+    /// Returns the number of entries yielded.
+    fn for_each_log_entry(
+        &self,
+        key: &str,
+        mut each: impl FnMut(Vec<u8>) -> Result<bool>,
+    ) -> Result<usize> {
+        let dir = self.log_dir(key);
+        if !dir.exists() {
+            return Ok(0);
+        }
+        let mut names: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .map_err(|e| VsError::StorageError(format!("list log {key}: {e}")))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        names.sort();
+        let mut visited = 0;
+        for p in names {
+            let bytes = std::fs::read(&p)
+                .map_err(|e| VsError::StorageError(format!("read log entry {p:?}: {e}")))?;
+            visited += 1;
+            if !each(bytes)? {
+                break;
+            }
+        }
+        Ok(visited)
+    }
+
+    /// Streams the entries of a log through `visit` as *borrowed* decoded views
+    /// ([`codec::decode_view`]), in append order, without materialising owned messages.
+    /// `visit` returns `false` to stop early.  Returns the number of entries visited.
+    ///
+    /// This is the cheap way to inspect a log — count entries, find a sequence number,
+    /// filter by a field — when a full [`StableStore::read_log`] replay is not needed.
+    pub fn scan_log(
+        &self,
+        key: &str,
+        mut visit: impl FnMut(&codec::MessageView<'_>) -> bool,
+    ) -> Result<usize> {
+        self.for_each_log_entry(key, |bytes| {
+            let view = codec::decode_view(&bytes)?;
+            Ok(visit(&view))
+        })
+    }
 }
 
 impl StableStore for FileStore {
     fn write_checkpoint(&self, key: &str, state: &Message) -> Result<()> {
-        let bytes = codec::encode(state);
-        std::fs::write(self.checkpoint_path(key), &bytes)
+        let mut scratch = self.scratch.borrow_mut();
+        codec::encode_to(state, &mut scratch);
+        std::fs::write(self.checkpoint_path(key), &scratch[..])
             .map_err(|e| VsError::StorageError(format!("write checkpoint {key}: {e}")))
     }
 
@@ -143,37 +205,36 @@ impl StableStore for FileStore {
         }
         let bytes = std::fs::read(&path)
             .map_err(|e| VsError::StorageError(format!("read checkpoint {key}: {e}")))?;
-        Ok(Some(codec::decode(&bytes)?))
+        // Zero-copy decode: byte-string payloads alias the freshly read buffer.
+        Ok(Some(codec::decode_shared(&bytes.into())?))
     }
 
     fn append_log(&self, key: &str, entry: &Message) -> Result<()> {
         let dir = self.log_dir(key);
         std::fs::create_dir_all(&dir)
             .map_err(|e| VsError::StorageError(format!("create log dir {key}: {e}")))?;
-        let next = std::fs::read_dir(&dir)
-            .map_err(|e| VsError::StorageError(format!("list log {key}: {e}")))?
-            .count();
-        let bytes = codec::encode(entry);
-        std::fs::write(dir.join(format!("{next:08}.msg")), &bytes)
-            .map_err(|e| VsError::StorageError(format!("append log {key}: {e}")))
+        let cache_key = Self::sanitize(key);
+        let mut next_index = self.next_index.borrow_mut();
+        let next = match next_index.get(&cache_key) {
+            Some(&n) => n,
+            None => std::fs::read_dir(&dir)
+                .map_err(|e| VsError::StorageError(format!("list log {key}: {e}")))?
+                .count(),
+        };
+        let mut scratch = self.scratch.borrow_mut();
+        codec::encode_to(entry, &mut scratch);
+        std::fs::write(dir.join(format!("{next:08}.msg")), &scratch[..])
+            .map_err(|e| VsError::StorageError(format!("append log {key}: {e}")))?;
+        next_index.insert(cache_key, next + 1);
+        Ok(())
     }
 
     fn read_log(&self, key: &str) -> Result<Vec<Message>> {
-        let dir = self.log_dir(key);
-        if !dir.exists() {
-            return Ok(Vec::new());
-        }
-        let mut names: Vec<PathBuf> = std::fs::read_dir(&dir)
-            .map_err(|e| VsError::StorageError(format!("list log {key}: {e}")))?
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .collect();
-        names.sort();
-        let mut out = Vec::with_capacity(names.len());
-        for p in names {
-            let bytes = std::fs::read(&p)
-                .map_err(|e| VsError::StorageError(format!("read log entry {p:?}: {e}")))?;
-            out.push(codec::decode(&bytes)?);
-        }
+        let mut out = Vec::new();
+        self.for_each_log_entry(key, |bytes| {
+            out.push(codec::decode_shared(&bytes.into())?);
+            Ok(true)
+        })?;
         Ok(out)
     }
 
@@ -183,6 +244,7 @@ impl StableStore for FileStore {
             std::fs::remove_dir_all(&dir)
                 .map_err(|e| VsError::StorageError(format!("truncate log {key}: {e}")))?;
         }
+        self.next_index.borrow_mut().remove(&Self::sanitize(key));
         Ok(())
     }
 }
@@ -236,6 +298,57 @@ mod tests {
         let b = a.clone();
         a.append_log("x", &Message::with_body(1u64)).unwrap();
         assert_eq!(b.log_len("x"), 1);
+    }
+
+    #[test]
+    fn file_store_scan_log_visits_views_in_order() {
+        let dir = std::env::temp_dir().join(format!("vsync-scan-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileStore::new(&dir).unwrap();
+        for i in 0..4u64 {
+            store.append_log("seq", &Message::with_body(i)).unwrap();
+        }
+        let mut seen = Vec::new();
+        let visited = store
+            .scan_log("seq", |view| {
+                seen.push(view.get_u64("body").unwrap());
+                true
+            })
+            .unwrap();
+        assert_eq!(visited, 4);
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        // Early stop.
+        let visited = store.scan_log("seq", |_| false).unwrap();
+        assert_eq!(visited, 1);
+        assert_eq!(store.scan_log("absent", |_| true).unwrap(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_store_append_index_survives_truncate_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("vsync-idx-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileStore::new(&dir).unwrap();
+        store.append_log("k", &Message::with_body(1u64)).unwrap();
+        store.append_log("k", &Message::with_body(2u64)).unwrap();
+        // Truncation resets the cached index along with the directory.
+        store.truncate_log("k").unwrap();
+        store.append_log("k", &Message::with_body(3u64)).unwrap();
+        let log = store.read_log("k").unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].get_u64("body"), Some(3));
+        // A fresh store over the same root recounts from disk and appends after, not over,
+        // the existing entries.
+        let reopened = FileStore::new(&dir).unwrap();
+        reopened.append_log("k", &Message::with_body(4u64)).unwrap();
+        let bodies: Vec<u64> = reopened
+            .read_log("k")
+            .unwrap()
+            .iter()
+            .map(|m| m.get_u64("body").unwrap())
+            .collect();
+        assert_eq!(bodies, vec![3, 4]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

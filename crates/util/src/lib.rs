@@ -12,10 +12,12 @@
 //! * [`config`] — latency/bandwidth profiles, including the 1987 profile used to reproduce
 //!   the paper's Figures 2 and 3.
 //! * [`rng`] — a small deterministic RNG so simulations are reproducible from a seed.
+//! * [`hash`] — a fast non-cryptographic hasher for hot-path maps keyed by toolkit ids.
 
 pub mod clock;
 pub mod config;
 pub mod error;
+pub mod hash;
 pub mod ids;
 pub mod rng;
 pub mod time;
@@ -23,6 +25,7 @@ pub mod time;
 pub use clock::{LamportClock, VectorClock};
 pub use config::{LatencyProfile, NetParams};
 pub use error::{Result, VsError};
+pub use hash::{FastHashMap, FastHashSet, IdBuildHasher, IdHasher};
 pub use ids::{Address, EntryId, GroupId, Incarnation, ProcessId, Rank, SiteId, ViewId};
 pub use rng::DetRng;
 pub use time::{Duration, SimTime};

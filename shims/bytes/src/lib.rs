@@ -1,15 +1,20 @@
 //! Minimal stand-in for the `bytes` crate so the workspace builds without network
 //! access.  Implements the subset the vsync codec uses — `Bytes`, `BytesMut`, and
 //! the `Buf`/`BufMut` traits with big-endian integer accessors — with the same
-//! semantics as the real crate (`Bytes` is a cheaply clonable immutable buffer,
-//! `BytesMut::freeze` converts without copying).
+//! semantics as the real crate (`Bytes` is a cheaply clonable immutable buffer
+//! supporting zero-copy `slice`, `BytesMut::freeze` converts without copying).
 
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// A cheaply clonable immutable byte buffer.
-#[derive(Clone, Default, PartialEq, Eq, Hash)]
-pub struct Bytes(Arc<Vec<u8>>);
+/// A cheaply clonable immutable byte buffer: a reference-counted allocation plus a
+/// window into it, so [`Bytes::slice`] shares storage instead of copying.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
 
 impl Bytes {
     pub fn new() -> Self {
@@ -17,26 +22,56 @@ impl Bytes {
     }
 
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Arc::new(data.to_vec()))
+        Bytes::from(data.to_vec())
+    }
+
+    /// Returns a zero-copy sub-buffer sharing this buffer's storage, like the real
+    /// crate's `Bytes::slice`.  Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.end - self.start;
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let finish = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            begin <= finish && finish <= len,
+            "slice {begin}..{finish} out of bounds of {len}-byte Bytes"
+        );
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + begin,
+            end: self.start + finish,
+        }
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::new(v))
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -46,9 +81,23 @@ impl From<&[u8]> for Bytes {
     }
 }
 
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Bytes({} bytes)", self.0.len())
+        write!(f, "Bytes({} bytes)", self.len())
     }
 }
 
@@ -66,11 +115,15 @@ impl BytesMut {
     }
 
     pub fn freeze(self) -> Bytes {
-        Bytes(Arc::new(self.0))
+        Bytes::from(self.0)
     }
 
     pub fn clear(&mut self) {
         self.0.clear();
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.0.reserve(additional);
     }
 }
 
@@ -224,5 +277,37 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_u32(1);
         assert_eq!(&buf[..], &[0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn slice_shares_storage_and_composes() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5, 6, 7]);
+        let mid = b.slice(2..6);
+        assert_eq!(&mid[..], &[2, 3, 4, 5]);
+        // Same backing allocation, not a copy.
+        assert_eq!(mid.as_ptr() as usize, b.as_ptr() as usize + 2);
+        // Slicing a slice stays relative to the inner window.
+        let inner = mid.slice(1..=2);
+        assert_eq!(&inner[..], &[3, 4]);
+        assert_eq!(b.slice(..), b);
+        assert_eq!(b.slice(8..8).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let _ = b.slice(1..5);
+    }
+
+    #[test]
+    fn equality_and_hash_follow_contents() {
+        use std::collections::HashSet;
+        let a = Bytes::from(vec![9u8, 9]);
+        let b = Bytes::copy_from_slice(&[9u8, 9]);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
     }
 }

@@ -110,7 +110,13 @@ impl Default for Criterion {
 }
 
 impl Criterion {
-    pub fn configure_from_args(self) -> Self {
+    /// Applies command-line flags. The real criterion has a full CLI; the shim honours
+    /// just `--quick` (drop to 2 samples for CI smoke runs) and ignores everything else
+    /// (notably the `--bench` filter cargo forwards).
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            self.sample_size = 2;
+        }
         self
     }
 
