@@ -4,14 +4,17 @@
 //! cargo run -p vsync-bench --release --bin baseline                 # full iterations
 //! cargo run -p vsync-bench --release --bin baseline -- --quick     # CI smoke run
 //! cargo run -p vsync-bench --release --bin baseline -- --out BENCH_now.json
+//! cargo run -p vsync-bench --release --bin baseline -- --diff BENCH_pr3_after.json BENCH_now.json
 //! ```
 //!
 //! The benchmarks mirror the criterion benches in `benches/tools.rs` (same names, same
-//! workloads) plus an end-to-end engine workload, but write their results as JSON so CI can
+//! workloads) plus end-to-end engine workloads, but write their results as JSON so CI can
 //! archive them and so the repository can keep a `BENCH_*.json` trajectory across PRs.
+//! `--diff OLD NEW` compares two such files and prints a Markdown delta table (regressions
+//! are flagged, never fatal); CI appends it to the job summary.
 
-use vsync_bench::baseline::Baseline;
-use vsync_bench::BenchCluster;
+use vsync_bench::baseline::{parse_records, render_delta_table, Baseline};
+use vsync_bench::{BenchCluster, MultiGroupCluster};
 use vsync_core::LatencyProfile;
 use vsync_msg::{codec, Message};
 use vsync_net::MsgId;
@@ -44,6 +47,22 @@ fn abcast_round(n: u64) -> Vec<vsync_proto::abcast::ReadyAb> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--diff") {
+        let (Some(old_path), Some(new_path)) = (args.get(i + 1), args.get(i + 2)) else {
+            eprintln!("--diff requires two files\nusage: baseline --diff OLD.json NEW.json");
+            std::process::exit(2);
+        };
+        let read = |p: &str| {
+            std::fs::read_to_string(p).unwrap_or_else(|e| {
+                eprintln!("cannot read {p}: {e}");
+                std::process::exit(2);
+            })
+        };
+        let old = parse_records(&read(old_path));
+        let new = parse_records(&read(new_path));
+        print!("{}", render_delta_table(old_path, &old, &new));
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let out = match args.iter().position(|a| a == "--out") {
         None => "BENCH_baseline.json".to_owned(),
@@ -56,9 +75,9 @@ fn main() {
         },
     };
 
-    // Iteration counts: enough to stabilise the mean in a full run, small enough that the
-    // quick (CI smoke) run finishes in a couple of seconds.
-    let (fast, slow) = if quick { (200, 2) } else { (20_000, 10) };
+    // Iteration counts: enough to stabilise the fastest-batch mean in a full run, small
+    // enough that the quick (CI smoke) run finishes in a couple of seconds.
+    let (fast, slow) = if quick { (200, 5) } else { (20_000, 50) };
 
     let mut b = Baseline::new();
 
@@ -99,13 +118,31 @@ fn main() {
         std::hint::black_box(abcast_round(1_000));
     });
 
-    // End-to-end engine workload: build a three-site cluster and push an async CBCAST burst
-    // through it.  This exercises `net::engine` dispatch, `core::stack` routing and the
-    // protocol state machines together, so dispatch-path regressions are visible even when
-    // the pure state-machine benches above stay flat.
+    // End-to-end engine workloads: build a three-site cluster and push an async CBCAST
+    // burst through it.  This exercises `net::engine` dispatch, `core::stack` routing and
+    // the protocol state machines together, so dispatch-path regressions are visible even
+    // when the pure state-machine benches above stay flat.
     b.measure("engine_cluster_burst_4k", slow, Some(8), || {
         let mut cluster = BenchCluster::new(LatencyProfile::Modern, 3, 1);
         let tp = cluster.async_cbcast_throughput(4096, 8);
+        assert!(tp > 0.0);
+        std::hint::black_box(tp);
+    });
+    // Same shape at 16× the payload: 64 KiB messages fragment on the wire, so this scales
+    // the byte-handling half of the path (frame sharing, fragmentation model) while the
+    // event count stays fixed.  The shared-frame fan-out must hold its win here too.
+    b.measure("engine_cluster_burst_64k", slow, Some(8), || {
+        let mut cluster = BenchCluster::new(LatencyProfile::Modern, 3, 2);
+        let tp = cluster.async_cbcast_throughput(65_536, 8);
+        assert!(tp > 0.0);
+        std::hint::black_box(tp);
+    });
+    // Multi-group burst: four groups over three sites, eight messages per group issued
+    // round-robin, so each site's protocols process interleaves the fan-out frames of four
+    // endpoints in one event queue (the calendar queue's bursty-bucket case).
+    b.measure("engine_multi_group_burst", slow, Some(32), || {
+        let mut cluster = MultiGroupCluster::new(LatencyProfile::Modern, 3, 4, 3);
+        let tp = cluster.burst_throughput(1024, 8);
         assert!(tp > 0.0);
         std::hint::black_box(tp);
     });

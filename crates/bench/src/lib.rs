@@ -181,6 +181,103 @@ impl BenchCluster {
     }
 }
 
+/// A benchmark cluster hosting several independent groups, each spanning every site.
+///
+/// Exercises the engine burst path when one site's protocols process serves multiple
+/// `GroupEndpoint`s at once — the fan-out frames of different groups interleave in the
+/// event queue and the per-tick group sweep touches every endpoint.
+pub struct MultiGroupCluster {
+    /// The simulated system.
+    pub sys: IsisSystem,
+    /// One group id per group, in creation order.
+    pub gids: Vec<vsync_core::GroupId>,
+    /// The rank-0 (sending) member of each group.
+    pub senders: Vec<ProcessId>,
+    /// Count of payload bytes delivered at remote members, across all groups.
+    pub delivered_bytes: Rc<RefCell<u64>>,
+}
+
+impl MultiGroupCluster {
+    /// Builds `num_groups` groups over `num_sites` sites with one member per (group, site).
+    /// Group creators rotate around the sites so coordination load is spread.
+    pub fn new(profile: LatencyProfile, num_sites: usize, num_groups: usize, seed: u64) -> Self {
+        let mut sys = IsisSystem::builder(num_sites)
+            .profile(profile)
+            .seed(seed)
+            .build();
+        let delivered_bytes = Rc::new(RefCell::new(0u64));
+        let mut gids = Vec::new();
+        let mut senders = Vec::new();
+        for g in 0..num_groups {
+            let gid = sys.allocate_group_id();
+            let creator_site = g % num_sites;
+            let mut creator = None;
+            for offset in 0..num_sites {
+                let site = SiteId(((creator_site + offset) % num_sites) as u16);
+                let counter = delivered_bytes.clone();
+                // Only members remote from the group's sender count: the sender's own
+                // (instant) local delivery must not satisfy the completion condition.
+                let is_remote = offset != 0;
+                let pid = sys.spawn(site, move |b| {
+                    b.on_entry(BENCH_ENTRY, move |_ctx, msg| {
+                        if !is_remote {
+                            return;
+                        }
+                        if let Some(bytes) = msg.get_bytes("payload") {
+                            *counter.borrow_mut() += bytes.len() as u64;
+                        }
+                    });
+                });
+                if offset == 0 {
+                    sys.create_group_with_id(&format!("bench-{g}"), gid, pid);
+                    creator = Some(pid);
+                } else {
+                    sys.join_and_wait(gid, pid, None, Duration::from_secs(60))
+                        .expect("multi-group member join");
+                }
+            }
+            gids.push(gid);
+            senders.push(creator.expect("creator spawned"));
+        }
+        sys.run_ms(100);
+        MultiGroupCluster {
+            sys,
+            gids,
+            senders,
+            delivered_bytes,
+        }
+    }
+
+    /// Sends `count` asynchronous CBCASTs of `size` bytes into *every* group (round-robin
+    /// across groups, so the per-site event queue interleaves the fan-outs) and runs until
+    /// every remote member of every group received them all.  Returns aggregate bytes/s.
+    pub fn burst_throughput(&mut self, size: usize, count: usize) -> f64 {
+        *self.delivered_bytes.borrow_mut() = 0;
+        let remote_members = self.sys.sites().len() - 1;
+        let total_msgs = count * self.gids.len();
+        let expected = (size * total_msgs * remote_members) as u64;
+        let start = self.sys.now();
+        for round in 0..count {
+            for (gid, sender) in self.gids.iter().zip(&self.senders) {
+                let payload = Message::new()
+                    .with("payload", vec![0u8; size])
+                    .with("round", round as u64);
+                self.sys
+                    .client_send(*sender, *gid, BENCH_ENTRY, payload, ProtocolKind::Cbcast);
+            }
+        }
+        let bytes = self.delivered_bytes.clone();
+        let ok = self
+            .sys
+            .run_until_condition(Duration::from_secs(600), move |_s| {
+                *bytes.borrow() >= expected
+            });
+        assert!(ok, "multi-group burst never completed");
+        let elapsed = (self.sys.now() - start).as_secs_f64().max(1e-9);
+        (size * total_msgs) as f64 / elapsed
+    }
+}
+
 /// Reproduces Table 1: multicasts required per toolkit routine.
 pub fn table1() -> Report {
     use vsync_tools::{ConfigTool, NewsService, ReplicatedData, SemaphoreTool, UpdateOrdering};
@@ -732,6 +829,16 @@ mod tests {
         let (link, hops, processing) = figure3_breakdown(75.0);
         assert_eq!((link, hops), (48.0, 20.0));
         assert!((processing - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_group_cluster_delivers_every_burst_in_every_group() {
+        let mut c = MultiGroupCluster::new(LatencyProfile::Modern, 3, 2, 1);
+        assert_eq!(c.gids.len(), 2);
+        let tp = c.burst_throughput(256, 2);
+        assert!(tp > 0.0);
+        // size * count * groups * remote members, every byte accounted for.
+        assert_eq!(*c.delivered_bytes.borrow(), 256 * 2 * 2 * 2);
     }
 
     #[test]

@@ -23,11 +23,15 @@ impl StackConfig {
         StackConfig::from_params(&params)
     }
 
-    /// Derives stack timers from explicit network parameters.
+    /// Derives stack timers from explicit network parameters.  The maintenance tick runs at
+    /// the heartbeat period (heartbeat sending is separately rate-limited by
+    /// `heartbeat_interval`, and every timeout the tick enforces — failure detection, RPC
+    /// deadlines, flush watchdogs — is several multiples of it), so an idle site processes
+    /// one timer event per period instead of two.
     pub fn from_params(params: &NetParams) -> Self {
         let hb = params.heartbeat_interval;
         StackConfig {
-            tick_interval: Duration::from_micros((hb.as_micros() / 2).max(1_000)),
+            tick_interval: Duration::from_micros(hb.as_micros().max(1_000)),
             heartbeat_interval: hb,
             failure_timeout: params.failure_timeout,
             rpc_timeout: params.failure_timeout.saturating_mul(4),

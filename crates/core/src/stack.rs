@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use vsync_msg::{fields, Message};
+use vsync_msg::{fields, Frame, Message};
 use vsync_net::{Outbox, Packet, PacketKind, ProtocolKind, SharedStats, SiteHandler};
 use vsync_proto::messages::ProtoMsg;
 use vsync_proto::{Delivery, EndpointOutput, GroupEndpoint, ProtoConfig, View, ViewEvent};
@@ -56,6 +56,19 @@ pub struct SiteStack {
     callbacks: BTreeMap<u64, ReplyCallback>,
     next_session: u64,
     now: SimTime,
+    /// When this stack last broadcast heartbeats.  Heartbeats go out at
+    /// `heartbeat_interval` regardless of how fast the maintenance tick runs: with the
+    /// default config (`StackConfig::from_params`) the tick period *equals* the heartbeat
+    /// period, so this guard only bites for custom configs that tick faster.
+    last_heartbeat: Option<SimTime>,
+    /// Scratch for the per-tick group sweep, reused so an idle tick allocates nothing.
+    group_scratch: Vec<GroupId>,
+    /// Scratch for the per-delivery local-member sweep (same reuse rationale).
+    member_scratch: Vec<ProcessId>,
+    /// Scratch for endpoint outputs, reused across packets/ticks.  Taken (leaving an empty
+    /// vector) for the duration of one pump, so re-entrant pumps fall back to a fresh
+    /// allocation instead of aliasing.
+    eout_scratch: Vec<EndpointOutput>,
 }
 
 impl SiteStack {
@@ -91,6 +104,10 @@ impl SiteStack {
             callbacks: BTreeMap::new(),
             next_session: 0,
             now: SimTime::ZERO,
+            last_heartbeat: None,
+            group_scratch: Vec::new(),
+            member_scratch: Vec::new(),
+            eout_scratch: Vec::new(),
         }
     }
 
@@ -148,7 +165,7 @@ impl SiteStack {
         out: &mut Outbox,
     ) {
         let mut ep = GroupEndpoint::new(group, self.site, self.proto_cfg, self.stats.clone());
-        let mut eouts = Vec::new();
+        let mut eouts = self.take_eouts();
         ep.create(creator, &mut eouts);
         self.endpoints.insert(group, ep);
         self.register_group(name, group, vec![self.site]);
@@ -170,7 +187,7 @@ impl SiteStack {
         let ep = self.endpoints.get(&group).expect("endpoint just ensured");
         if ep.view().is_some() {
             // A member already lives here: submit the join locally.
-            let mut eouts = Vec::new();
+            let mut eouts = self.take_eouts();
             let ep = self.endpoints.get_mut(&group).expect("endpoint exists");
             ep.submit_join(self.now, joiner, credentials, &mut eouts)?;
             self.pump_endpoint_outputs(group, eouts, out);
@@ -184,7 +201,7 @@ impl SiteStack {
             joiner,
             credentials,
         }
-        .encode(group);
+        .encode_frame(group);
         self.send_proto(contact, PacketKind::Flush, wire, out);
         Ok(())
     }
@@ -196,7 +213,7 @@ impl SiteStack {
         member: ProcessId,
         out: &mut Outbox,
     ) -> Result<()> {
-        let mut eouts = Vec::new();
+        let mut eouts = self.take_eouts();
         match self.endpoints.get_mut(&group) {
             Some(ep) if ep.view().is_some() => {
                 ep.submit_leave(self.now, member, &mut eouts)?;
@@ -207,7 +224,7 @@ impl SiteStack {
                 let contact = self
                     .alive_contact(group)
                     .ok_or(VsError::NoSuchGroup(group))?;
-                let wire = ProtoMsg::LeaveReq { member }.encode(group);
+                let wire = ProtoMsg::LeaveReq { member }.encode_frame(group);
                 self.send_proto(contact, PacketKind::Flush, wire, out);
                 Ok(())
             }
@@ -241,18 +258,19 @@ impl SiteStack {
             if !is_member {
                 continue;
             }
-            let mut eouts = Vec::new();
+            let mut eouts = self.take_eouts();
             if let Some(ep) = self.endpoints.get_mut(&g) {
                 ep.report_failures(self.now, &[pid], &mut eouts);
             }
             self.pump_endpoint_outputs(g, eouts, out);
             // Other sites cannot observe a silent local crash; tell every member site so that
             // whichever of them hosts the acting coordinator starts the view change (the
-            // crashed process may itself have been the coordinator).
+            // crashed process may itself have been the coordinator).  One report frame is
+            // fanned out to every peer site.
+            let wire = ProtoMsg::FailReport { failed: vec![pid] }.encode_frame(g);
             for s in peer_sites {
                 if s != self.site {
-                    let wire = ProtoMsg::FailReport { failed: vec![pid] }.encode(g);
-                    self.send_proto(s, PacketKind::Flush, wire, out);
+                    self.send_proto(s, PacketKind::Flush, wire.clone(), out);
                 }
             }
         }
@@ -277,29 +295,35 @@ impl SiteStack {
         self.next_session += 1;
         let session = self.next_session;
 
+        let collecting = !matches!(wanted, ReplyWanted::None);
         let mut msg = payload;
         msg.strip_system_fields();
+        // Five system fields follow; one reservation instead of repeated growth.
+        msg.reserve_fields(5);
         msg.set_sender(caller);
         msg.set_entry(entry);
         msg.set_session(session);
-        msg.set(fields::REPLY_TO, vec![Address::Process(caller)]);
-        msg.set(fields::PROTOCOL, format!("{protocol}"));
-
-        // Work out which concrete processes we expect replies from.
-        let mut awaited: Vec<ProcessId> = Vec::new();
-        let mut open_ended = false;
-        for d in &dests {
-            match d {
-                Address::Process(p) => awaited.push(*p),
-                Address::Group(g) => match self.views.get(g) {
-                    Some(v) => awaited.extend(v.members.iter().copied()),
-                    None => open_ended = true,
-                },
-            }
+        if collecting {
+            // Replies route to `@reply-to` when present and fall back to `@sender` (which
+            // is always the caller here), so fire-and-forget sends skip the field.
+            msg.set(fields::REPLY_TO, vec![Address::Process(caller)]);
         }
+        msg.set(fields::PROTOCOL, protocol.name());
 
         let mut callback = callback;
-        if !matches!(wanted, ReplyWanted::None) {
+        if collecting {
+            // Work out which concrete processes we expect replies from.
+            let mut awaited: Vec<ProcessId> = Vec::new();
+            let mut open_ended = false;
+            for d in &dests {
+                match d {
+                    Address::Process(p) => awaited.push(*p),
+                    Address::Group(g) => match self.views.get(g) {
+                        Some(v) => awaited.extend(v.members.iter().copied()),
+                        None => open_ended = true,
+                    },
+                }
+            }
             let deadline = Some(self.now + self.cfg.rpc_timeout);
             let collector = ReplyCollector::new_with_mode(
                 caller, session, awaited, wanted, deadline, open_ended,
@@ -310,11 +334,19 @@ impl SiteStack {
             }
         }
 
-        for d in dests {
+        // The last destination takes ownership of the message; only fan-outs to several
+        // destinations pay for clones (and the common single-destination call pays none).
+        let last = dests.len().saturating_sub(1);
+        for (i, d) in dests.into_iter().enumerate() {
             match d {
                 Address::Group(g) => {
                     msg.set_group(g);
-                    self.multicast_to_group(caller, g, protocol, msg.clone(), out);
+                    let m = if i == last {
+                        std::mem::take(&mut msg)
+                    } else {
+                        msg.clone()
+                    };
+                    self.multicast_to_group(caller, g, protocol, m, out);
                 }
                 Address::Process(p) => {
                     if p.site == self.site {
@@ -322,7 +354,12 @@ impl SiteStack {
                     } else {
                         self.stats.count_multicast(ProtocolKind::Cbcast);
                     }
-                    out.send(Packet::new(caller, p, PacketKind::Data, msg.clone()));
+                    let m = if i == last {
+                        std::mem::take(&mut msg)
+                    } else {
+                        msg.clone()
+                    };
+                    out.send(Packet::new(caller, p, PacketKind::Data, m));
                 }
             }
         }
@@ -355,7 +392,7 @@ impl SiteStack {
             .map(|ep| ep.view().is_some() && !ep.local_members().is_empty())
             .unwrap_or(false);
         if can_serve_locally {
-            let mut eouts = Vec::new();
+            let mut eouts = self.take_eouts();
             let ep = self.endpoints.get_mut(&group).expect("endpoint exists");
             let res = match protocol {
                 ProtocolKind::Abcast => ep.abcast(self.now, caller, msg, &mut eouts).map(|_| ()),
@@ -379,7 +416,7 @@ impl SiteStack {
                     let mut relay = Message::new();
                     relay.set(CTRL, "relay");
                     relay.set("relay-group", group);
-                    relay.set("relay-proto", format!("{protocol}"));
+                    relay.set("relay-proto", protocol.name());
                     relay.set("relay-payload", msg);
                     out.send(Packet::new(
                         protocols_process(self.site),
@@ -404,7 +441,7 @@ impl SiteStack {
             .or_else(|| candidates.first().copied())
     }
 
-    fn send_proto(&self, dst_site: SiteId, kind: PacketKind, msg: Message, out: &mut Outbox) {
+    fn send_proto(&self, dst_site: SiteId, kind: PacketKind, msg: Frame, out: &mut Outbox) {
         out.send(Packet::new(
             protocols_process(self.site),
             protocols_process(dst_site),
@@ -418,10 +455,10 @@ impl SiteStack {
     fn pump_endpoint_outputs(
         &mut self,
         group: GroupId,
-        outputs: Vec<EndpointOutput>,
+        mut outputs: Vec<EndpointOutput>,
         out: &mut Outbox,
     ) {
-        for o in outputs {
+        for o in outputs.drain(..) {
             match o {
                 EndpointOutput::Send {
                     dst_site,
@@ -438,21 +475,32 @@ impl SiteStack {
                 }
             }
         }
+        // Return the drained buffer to the scratch slot (unless a re-entrant pump already
+        // put a buffer back, or this buffer never grew beyond a fresh allocation).
+        if self.eout_scratch.capacity() < outputs.capacity() {
+            self.eout_scratch = outputs;
+        }
+    }
+
+    /// Takes the reusable endpoint-output buffer (empty, capacity retained).
+    fn take_eouts(&mut self) -> Vec<EndpointOutput> {
+        std::mem::take(&mut self.eout_scratch)
     }
 
     fn deliver_group_message(&mut self, group: GroupId, delivery: Delivery, out: &mut Outbox) {
         self.stats.count_delivery();
-        let members = self
-            .endpoints
-            .get(&group)
-            .map(|ep| ep.local_members())
-            .unwrap_or_default();
         let Some(entry) = delivery.payload.entry() else {
             return;
         };
-        for m in members {
+        let mut members = std::mem::take(&mut self.member_scratch);
+        members.clear();
+        if let Some(ep) = self.endpoints.get(&group) {
+            members.extend_from_slice(ep.local_members());
+        }
+        for m in members.drain(..) {
             self.dispatch_entry(m, entry, &delivery.payload, out);
         }
+        self.member_scratch = members;
     }
 
     fn handle_view_change(&mut self, group: GroupId, ev: ViewEvent, out: &mut Outbox) {
@@ -485,15 +533,18 @@ impl SiteStack {
 
     // -- Handler dispatch ---------------------------------------------------------------------
 
+    // The handler borrows the process entry in place while the `ToolCtx` borrows the view
+    // and directory tables — disjoint fields, so no remove/re-insert round-trip through the
+    // process map per delivery.  Re-entrancy is safe because handlers only *record* actions;
+    // `apply_actions` runs after every borrow is released.
     fn dispatch_entry(&mut self, pid: ProcessId, entry: EntryId, msg: &Message, out: &mut Outbox) {
-        let Some(mut process) = self.processes.remove(&pid) else {
+        let Some(process) = self.processes.get_mut(&pid) else {
             return;
         };
         match process.run_filters(msg) {
             FilterDecision::Accept => {}
             FilterDecision::Reject(why) => {
                 out.trace_with(|| format!("{pid}: filter rejected message at {entry:?}: {why}"));
-                self.processes.insert(pid, process);
                 return;
             }
         }
@@ -504,12 +555,11 @@ impl SiteStack {
             }
             ctx.take_actions()
         };
-        self.processes.insert(pid, process);
         self.apply_actions(pid, actions, out);
     }
 
     fn dispatch_view_event(&mut self, pid: ProcessId, ev: &ViewEvent, out: &mut Outbox) {
-        let Some(mut process) = self.processes.remove(&pid) else {
+        let Some(process) = self.processes.get_mut(&pid) else {
             return;
         };
         let actions = {
@@ -517,7 +567,6 @@ impl SiteStack {
             process.dispatch_view(&mut ctx, ev);
             ctx.take_actions()
         };
-        self.processes.insert(pid, process);
         self.apply_actions(pid, actions, out);
     }
 
@@ -671,7 +720,7 @@ impl SiteStack {
             return;
         };
         let status = match self.collectors.get_mut(&session) {
-            Some(c) => c.on_reply(sender, pkt.payload.clone()),
+            Some(c) => c.on_reply(sender, pkt.payload.to_message()),
             None => return, // Superfluous replies are discarded silently.
         };
         self.finish_collector(session, status, out);
@@ -692,7 +741,7 @@ impl SiteStack {
             if failed_members.is_empty() {
                 continue;
             }
-            let mut eouts = Vec::new();
+            let mut eouts = self.take_eouts();
             if let Some(ep) = self.endpoints.get_mut(&g) {
                 ep.report_failures(self.now, &failed_members, &mut eouts);
             }
@@ -733,15 +782,19 @@ impl SiteStack {
     }
 
     fn handle_proto(&mut self, pkt: &Packet, out: &mut Outbox) {
-        let Ok((group, decoded)) = ProtoMsg::decode(&pkt.payload) else {
+        // One parse per frame: the decode is memoized in the packet's shared frame, so the
+        // endpoint's own `decode_frame` below is a cache hit, and when the frame was fanned
+        // out to several sites only the first receiving stack pays for the parse at all.
+        let Ok((group, decoded)) = ProtoMsg::decode_frame(&pkt.payload) else {
             out.trace_with(|| format!("{}: undecodable protocol message", self.site));
             return;
         };
+        let group = *group;
         // Joins are validated by the protection policy before the protocol layer sees them.
         if let ProtoMsg::JoinReq {
             joiner,
             credentials,
-        } = &decoded
+        } = decoded
         {
             if let Some(policy) = self.policies.get(&group) {
                 if let Err(why) = policy.validate_join(credentials.as_deref()) {
@@ -752,10 +805,10 @@ impl SiteStack {
                 }
             }
         }
+        let mut eouts = self.take_eouts();
         let ep = self.endpoints.entry(group).or_insert_with(|| {
             GroupEndpoint::new(group, self.site, self.proto_cfg, self.stats.clone())
         });
-        let mut eouts = Vec::new();
         if let Err(e) = ep.on_message(self.now, pkt.src.site, &pkt.payload, &mut eouts) {
             out.trace_with(|| format!("{}: protocol error in {group}: {e}", self.site));
         }
@@ -802,17 +855,27 @@ impl SiteHandler for SiteStack {
         if token != TICK {
             return;
         }
-        // Heartbeats to every other site.
-        let mut hb = Message::new();
-        hb.set(CTRL, "hb");
-        for s in self.all_sites.clone() {
-            if s != self.site {
-                out.send(Packet::new(
-                    protocols_process(self.site),
-                    protocols_process(s),
-                    PacketKind::Heartbeat,
-                    hb.clone(),
-                ));
+        // Heartbeats to every other site, rate-limited to the heartbeat period so the
+        // cadence stays correct even under a custom config whose tick runs faster than
+        // `heartbeat_interval`.  One frame, aliased by every packet.
+        let due = match self.last_heartbeat {
+            None => true,
+            Some(last) => now.saturating_since(last) >= self.cfg.heartbeat_interval,
+        };
+        if due {
+            self.last_heartbeat = Some(now);
+            let mut hb = Message::new();
+            hb.set(CTRL, "hb");
+            let hb = Frame::new(hb);
+            for s in &self.all_sites {
+                if *s != self.site {
+                    out.send(Packet::new(
+                        protocols_process(self.site),
+                        protocols_process(*s),
+                        PacketKind::Heartbeat,
+                        hb.clone(),
+                    ));
+                }
             }
         }
         // Failure detection.
@@ -821,15 +884,18 @@ impl SiteHandler for SiteStack {
                 self.handle_site_failure(site, out);
             }
         }
-        // Per-group maintenance.
-        let groups: Vec<GroupId> = self.endpoints.keys().copied().collect();
-        for g in groups {
-            let mut eouts = Vec::new();
+        // Per-group maintenance.  The id sweep reuses one scratch vector across ticks.
+        let mut groups = std::mem::take(&mut self.group_scratch);
+        groups.clear();
+        groups.extend(self.endpoints.keys().copied());
+        for g in groups.drain(..) {
+            let mut eouts = self.take_eouts();
             if let Some(ep) = self.endpoints.get_mut(&g) {
                 ep.on_tick(now, &mut eouts);
             }
             self.pump_endpoint_outputs(g, eouts, out);
         }
+        self.group_scratch = groups;
         // RPC deadlines.
         let sessions: Vec<u64> = self.collectors.keys().copied().collect();
         for s in sessions {

@@ -143,6 +143,12 @@ impl IsisSystem {
         self.engine.now()
     }
 
+    /// Number of simulation events processed so far (progress/liveness measure for tests
+    /// and benchmarks).
+    pub fn events_processed(&self) -> u64 {
+        self.engine.events_processed()
+    }
+
     /// The sites in the cluster.
     pub fn sites(&self) -> &[SiteId] {
         &self.all_sites

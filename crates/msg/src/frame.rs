@@ -1,0 +1,211 @@
+//! Reference-counted wire frames.
+//!
+//! A [`Frame`] is an immutable, cheaply clonable handle to a [`Message`] that has been
+//! prepared for transmission.  Multicasting to N sites used to deep-copy the whole field
+//! tree N times (once per destination packet); with frames the sender encodes once and every
+//! packet aliases the same allocation, so fan-out costs one pointer clone per destination.
+//!
+//! Frames also carry a *memo slot*: a one-shot, type-erased cache that receive paths use to
+//! remember the result of parsing the frame (e.g. the typed protocol message decoded from
+//! the wire form).  Because the slot lives inside the shared allocation, a frame fanned out
+//! to N receivers is parsed once, not N times.  The slot is write-once — the first value
+//! stored wins — and is deliberately dropped by [`Frame::make_mut`], since mutating the
+//! message would invalidate anything derived from it.
+//!
+//! Mutation is copy-on-write: [`Frame::make_mut`] hands out `&mut Message`, cloning the
+//! underlying message first if (and only if) other handles share it.  This is what keeps
+//! deliveries isolated — a receiver that edits its copy can never be observed by another
+//! receiver aliasing the same frame.
+//!
+//! The simulation is single-threaded (see ARCHITECTURE.md), so the handle is an `Rc`; swap
+//! for `Arc` + `OnceLock` if frames ever cross threads.
+
+use std::any::Any;
+use std::cell::OnceCell;
+use std::fmt;
+use std::ops::Deref;
+use std::rc::Rc;
+
+use crate::message::Message;
+
+struct FrameInner {
+    msg: Message,
+    memo: OnceCell<Box<dyn Any>>,
+}
+
+/// A shared, immutable wire frame: one encoded [`Message`] plus a write-once memo slot for
+/// whatever the receive path derives from it.  Cloning is O(1).
+pub struct Frame {
+    inner: Rc<FrameInner>,
+}
+
+impl Frame {
+    /// Wraps a message in a fresh frame (empty memo slot).
+    pub fn new(msg: Message) -> Self {
+        Frame {
+            inner: Rc::new(FrameInner {
+                msg,
+                memo: OnceCell::new(),
+            }),
+        }
+    }
+
+    /// The framed message.
+    pub fn message(&self) -> &Message {
+        &self.inner.msg
+    }
+
+    /// Copies the framed message out into an independent [`Message`].
+    pub fn to_message(&self) -> Message {
+        self.inner.msg.clone()
+    }
+
+    /// Mutable access to the message, copy-on-write: if other handles alias this frame the
+    /// message is cloned first, so the mutation is invisible to them.  The memo slot is
+    /// cleared either way — derived values do not survive mutation.
+    pub fn make_mut(&mut self) -> &mut Message {
+        if Rc::get_mut(&mut self.inner).is_none() {
+            self.inner = Rc::new(FrameInner {
+                msg: self.inner.msg.clone(),
+                memo: OnceCell::new(),
+            });
+        }
+        let inner = Rc::get_mut(&mut self.inner).expect("uniquely owned after copy-on-write");
+        inner.memo = OnceCell::new();
+        &mut inner.msg
+    }
+
+    /// Number of handles (packets, buffers) currently aliasing this frame.  Diagnostic; used
+    /// by tests asserting that fan-out shares rather than copies.
+    pub fn handle_count(&self) -> usize {
+        Rc::strong_count(&self.inner)
+    }
+
+    /// Returns the memoized value of type `T`, if one was stored.
+    pub fn memo_get<T: 'static>(&self) -> Option<&T> {
+        self.inner.memo.get().and_then(|b| b.downcast_ref::<T>())
+    }
+
+    /// Returns the memoized value of type `T`, running `make` to fill the empty slot.  The
+    /// slot is write-once and type-erased: if a value of a *different* type already occupies
+    /// it, `None` is returned and the caller falls back to uncached work (in practice the
+    /// slot has a single user — the protocol decode cache).
+    pub fn memo_get_or_init<T: 'static>(&self, make: impl FnOnce() -> T) -> Option<&T> {
+        self.inner
+            .memo
+            .get_or_init(|| Box::new(make()))
+            .downcast_ref::<T>()
+    }
+}
+
+impl Clone for Frame {
+    fn clone(&self) -> Self {
+        Frame {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl Deref for Frame {
+    type Target = Message;
+    fn deref(&self) -> &Message {
+        &self.inner.msg
+    }
+}
+
+impl From<Message> for Frame {
+    fn from(msg: Message) -> Self {
+        Frame::new(msg)
+    }
+}
+
+impl PartialEq for Frame {
+    fn eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner) || self.inner.msg == other.inner.msg
+    }
+}
+
+// A frame renders as its message: the sharing is an implementation detail and traces/tests
+// compare payload content, not identity.
+impl fmt::Debug for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.inner.msg, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_aliases_instead_of_copying() {
+        let frame = Frame::new(Message::with_body("shared"));
+        assert_eq!(frame.handle_count(), 1);
+        let copies: Vec<Frame> = (0..8).map(|_| frame.clone()).collect();
+        assert_eq!(frame.handle_count(), 9);
+        for c in &copies {
+            assert_eq!(c.get_str("body"), Some("shared"));
+        }
+        drop(copies);
+        assert_eq!(frame.handle_count(), 1);
+    }
+
+    #[test]
+    fn make_mut_is_copy_on_write() {
+        let mut a = Frame::new(Message::with_body(1u64));
+        let b = a.clone();
+        a.make_mut().set("body", 2u64);
+        assert_eq!(a.get_u64("body"), Some(2));
+        assert_eq!(b.get_u64("body"), Some(1), "aliasing handle is untouched");
+        // Uniquely owned: mutation happens in place, no second allocation.
+        let mut c = Frame::new(Message::with_body(3u64));
+        c.make_mut().set("body", 4u64);
+        assert_eq!(c.get_u64("body"), Some(4));
+        assert_eq!(c.handle_count(), 1);
+    }
+
+    #[test]
+    fn memo_slot_is_write_once_and_shared_across_handles() {
+        let a = Frame::new(Message::with_body(1u64));
+        let b = a.clone();
+        assert!(a.memo_get::<u64>().is_none());
+        assert_eq!(a.memo_get_or_init(|| 42u64), Some(&42));
+        // The clone sees the memo without re-running the initializer.
+        let mut ran = false;
+        assert_eq!(
+            b.memo_get_or_init(|| {
+                ran = true;
+                7u64
+            }),
+            Some(&42)
+        );
+        assert!(!ran, "initializer must not run on a warm slot");
+        // A different type cannot displace the stored value.
+        assert!(b.memo_get_or_init(|| "other").is_none());
+        assert_eq!(b.memo_get::<u64>(), Some(&42));
+    }
+
+    #[test]
+    fn make_mut_clears_the_memo() {
+        let mut a = Frame::new(Message::with_body(1u64));
+        a.memo_get_or_init(|| 1u64);
+        a.make_mut().set("body", 2u64);
+        assert!(a.memo_get::<u64>().is_none(), "memo dropped on mutation");
+        // And on the copy-on-write path the *other* handle keeps its memo.
+        let mut b = a.clone();
+        a.memo_get_or_init(|| 9u64);
+        b.make_mut().set("body", 3u64);
+        assert_eq!(a.memo_get::<u64>(), Some(&9));
+        assert!(b.memo_get::<u64>().is_none());
+    }
+
+    #[test]
+    fn equality_compares_content() {
+        let a = Frame::new(Message::with_body(5u64));
+        let b = Frame::new(Message::with_body(5u64));
+        let c = Frame::new(Message::with_body(6u64));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, a.clone());
+    }
+}

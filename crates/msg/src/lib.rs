@@ -13,10 +13,12 @@
 
 pub mod codec;
 pub mod fields;
+pub mod frame;
 pub mod message;
 pub mod name;
 pub mod value;
 
+pub use frame::Frame;
 pub use message::{Field, Message};
 pub use name::FieldName;
 pub use value::Value;

@@ -36,6 +36,15 @@ impl Message {
         Message { fields: Vec::new() }
     }
 
+    /// Creates an empty message whose field table is pre-sized for `fields` inserts.  Hot
+    /// encoders (the protocol wire format) know their field count up front; pre-sizing
+    /// turns the O(log n) growth reallocations of repeated `set` calls into one allocation.
+    pub fn with_field_capacity(fields: usize) -> Self {
+        Message {
+            fields: Vec::with_capacity(fields),
+        }
+    }
+
     /// Creates a message with a single `body` field, a common pattern in examples and tests.
     pub fn with_body(value: impl Into<Value>) -> Self {
         let mut m = Message::new();
@@ -88,8 +97,10 @@ impl Message {
         }
     }
 
-    /// Pre-sizes the field table for `additional` upcoming inserts (decode fast path).
-    pub(crate) fn reserve_fields(&mut self, additional: usize) {
+    /// Pre-sizes the field table for `additional` upcoming inserts.  Used by the codec's
+    /// decode path and by hot senders that stamp a known set of system fields onto a
+    /// message before transmission.
+    pub fn reserve_fields(&mut self, additional: usize) {
         self.fields.reserve(additional);
     }
 

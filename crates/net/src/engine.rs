@@ -12,11 +12,10 @@
 //! fail-stop behaviour the paper assumes (Section 2.1).
 
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 use vsync_util::{Duration, NetParams, SimTime, SiteId};
 
+use crate::calendar::CalendarQueue;
 use crate::model::NetworkModel;
 use crate::packet::Packet;
 use crate::stats::SharedStats;
@@ -122,30 +121,6 @@ enum EventKind {
     Crash(SiteId),
 }
 
-struct QueuedEvent {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for QueuedEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for QueuedEvent {}
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
 struct SiteSlot {
     handler: Option<Box<dyn SiteHandler>>,
     up: bool,
@@ -156,8 +131,11 @@ struct SiteSlot {
 /// The discrete-event simulator.
 pub struct Engine {
     now: SimTime,
-    seq: u64,
-    queue: BinaryHeap<QueuedEvent>,
+    /// Calendar queue: one FIFO bucket per occupied instant, so scheduling into a burst
+    /// (the dominant workload) is O(1) instead of an O(log n) heap sift per event.  Pop
+    /// order — ascending time, insertion order within an instant — matches the old
+    /// `(time, sequence)` binary heap exactly; `net/tests/calendar_props.rs` pins this.
+    queue: CalendarQueue<EventKind>,
     sites: Vec<SiteSlot>,
     net: NetworkModel,
     stats: SharedStats,
@@ -187,8 +165,7 @@ impl Engine {
             .collect();
         Engine {
             now: SimTime::ZERO,
-            seq: 0,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             sites,
             net,
             stats,
@@ -304,13 +281,13 @@ impl Engine {
     /// Returns the number of events processed.
     pub fn run_until(&mut self, limit: SimTime) -> u64 {
         let mut processed = 0;
-        while let Some(ev) = self.queue.peek() {
-            if ev.at > limit {
+        while let Some(at) = self.queue.next_time() {
+            if at > limit {
                 break;
             }
-            let ev = self.queue.pop().expect("peeked");
-            self.now = ev.at.max(self.now);
-            self.process(ev.kind);
+            let (at, kind) = self.queue.pop().expect("peeked");
+            self.now = at.max(self.now);
+            self.process(kind);
             processed += 1;
             self.events_processed += 1;
         }
@@ -334,12 +311,7 @@ impl Engine {
 
     fn push_event(&mut self, at: SimTime, kind: EventKind) {
         let at = at.max(self.now);
-        self.seq += 1;
-        self.queue.push(QueuedEvent {
-            at,
-            seq: self.seq,
-            kind,
-        });
+        self.queue.push(at, kind);
     }
 
     fn process(&mut self, kind: EventKind) {

@@ -159,19 +159,23 @@ impl FailureDetector {
         }
     }
 
-    /// Checks all peers against their timeouts; returns newly suspected sites.
+    /// Checks all peers against their timeouts; returns newly suspected sites.  Runs on
+    /// every maintenance tick of every site, so the healthy path (nobody suspected) must
+    /// not allocate: the timeout is computed inline per peer and the verdict vector only
+    /// allocates when a suspicion actually fires.
     pub fn tick(&mut self, now: SimTime) -> Vec<Verdict> {
         let mut verdicts = Vec::new();
-        let timeouts: Vec<(SiteId, Duration)> = self
-            .peers
-            .keys()
-            .map(|p| (*p, self.timeout_for(*p)))
-            .collect();
-        for (peer, timeout) in timeouts {
-            let state = self.peers.get_mut(&peer).expect("peer exists");
-            if state.alive && now.saturating_since(state.last_heard) > timeout {
+        let base = self.base_timeout;
+        let safety = self.safety_factor;
+        for (peer, state) in self.peers.iter_mut() {
+            if !state.alive {
+                continue;
+            }
+            let adaptive = state.smoothed_interval.mul_f64(safety);
+            let timeout = if adaptive > base { adaptive } else { base };
+            if now.saturating_since(state.last_heard) > timeout {
                 state.alive = false;
-                verdicts.push(Verdict::Suspected(peer));
+                verdicts.push(Verdict::Suspected(*peer));
             }
         }
         verdicts

@@ -12,16 +12,19 @@
 //! * [`stats`] — counters used to regenerate Table 1 (multicasts per toolkit routine) and the
 //!   message-count aspects of Figure 3.
 //! * [`model`] — the latency / loss / fragmentation model.
+//! * [`calendar`] — the bucketed calendar queue backing the engine's event loop.
 //! * [`engine`] — the discrete-event simulator: virtual clock, per-site handlers, timers,
 //!   crash and recovery injection.
 //! * [`fail`] — the heartbeat failure detector with adaptive timeouts (paper Section 3.7).
 
+pub mod calendar;
 pub mod engine;
 pub mod fail;
 pub mod model;
 pub mod packet;
 pub mod stats;
 
+pub use calendar::CalendarQueue;
 pub use engine::{Engine, Outbox, SiteHandler};
 pub use fail::FailureDetector;
 pub use model::NetworkModel;

@@ -12,9 +12,7 @@
 //! packets counted in the statistics).  Delivery between a given pair of processes is FIFO,
 //! like the TCP-style channels ISIS used between sites.
 
-use std::collections::HashMap;
-
-use vsync_util::{Duration, NetParams, ProcessId, SimTime};
+use vsync_util::{Duration, FastHashMap, NetParams, ProcessId, SimTime};
 
 use crate::packet::Packet;
 use crate::stats::SharedStats;
@@ -35,7 +33,8 @@ pub struct NetworkModel {
     stats: SharedStats,
     rng: DetRng,
     /// Last scheduled arrival per (src, dst) pair, to preserve FIFO channel semantics.
-    channel_front: HashMap<(ProcessId, ProcessId), SimTime>,
+    /// Touched once per planned packet; keyed with the toolkit's id hasher.
+    channel_front: FastHashMap<(ProcessId, ProcessId), SimTime>,
 }
 
 impl NetworkModel {
@@ -45,7 +44,7 @@ impl NetworkModel {
             params,
             stats,
             rng: DetRng::new(seed),
-            channel_front: HashMap::new(),
+            channel_front: FastHashMap::default(),
         }
     }
 

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
-use vsync_msg::Message;
+use vsync_msg::{Frame, Message};
 use vsync_util::{ProcessId, SiteId};
 
 /// Globally unique identifier of a multicast message.
@@ -34,7 +34,7 @@ impl fmt::Debug for MsgId {
 
 /// Coarse classification of a packet, used by the statistics layer and by the Figure 3
 /// breakdown (which distinguishes protocol phases of an ABCAST).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum PacketKind {
     /// First phase of a multicast (the data-bearing transmission).
     Data,
@@ -59,7 +59,11 @@ pub enum PacketKind {
 /// An addressed message in flight between two processes.
 ///
 /// Packets always name concrete processes; group expansion happens in the protocol layer
-/// before packets are handed to the network.
+/// before packets are handed to the network.  The payload is a shared [`Frame`]: a multicast
+/// fan-out builds one frame and every destination packet aliases it, so cloning a packet (or
+/// addressing the same message to N destinations) never deep-copies the field tree.  Readers
+/// reach the message through `Deref` (`pkt.payload.get_str(..)`); a handler that wants to
+/// *edit* its copy goes through [`Packet::payload_mut`], which is copy-on-write.
 #[derive(Clone, Debug)]
 pub struct Packet {
     /// Sending process.
@@ -68,19 +72,31 @@ pub struct Packet {
     pub dst: ProcessId,
     /// Classification for statistics and tracing.
     pub kind: PacketKind,
-    /// The payload.
-    pub payload: Message,
+    /// The payload frame (shared across the packets of one fan-out).
+    pub payload: Frame,
 }
 
 impl Packet {
-    /// Creates a packet.
-    pub fn new(src: ProcessId, dst: ProcessId, kind: PacketKind, payload: Message) -> Self {
+    /// Creates a packet.  Accepts a bare [`Message`] (wrapped in a fresh frame) or an
+    /// existing [`Frame`] to alias.
+    pub fn new(
+        src: ProcessId,
+        dst: ProcessId,
+        kind: PacketKind,
+        payload: impl Into<Frame>,
+    ) -> Self {
         Packet {
             src,
             dst,
             kind,
-            payload,
+            payload: payload.into(),
         }
+    }
+
+    /// Mutable access to this packet's payload, copy-on-write: if other packets alias the
+    /// same frame the message is cloned first, so the edit is invisible to them.
+    pub fn payload_mut(&mut self) -> &mut Message {
+        self.payload.make_mut()
     }
 
     /// True if source and destination live on the same site.
@@ -117,6 +133,30 @@ mod tests {
         let remote = Packet::new(s0p, s1p, PacketKind::Data, Message::new());
         assert!(local.is_intra_site());
         assert!(!remote.is_intra_site());
+    }
+
+    #[test]
+    fn shared_payload_edits_are_copy_on_write() {
+        let frame = vsync_msg::Frame::new(Message::with_body("original"));
+        let mut a = Packet::new(
+            ProcessId::new(SiteId(0), 0),
+            ProcessId::new(SiteId(1), 0),
+            PacketKind::Data,
+            frame.clone(),
+        );
+        let b = Packet::new(
+            ProcessId::new(SiteId(0), 0),
+            ProcessId::new(SiteId(2), 0),
+            PacketKind::Data,
+            frame,
+        );
+        a.payload_mut().set("body", "edited");
+        assert_eq!(a.payload.get_str("body"), Some("edited"));
+        assert_eq!(
+            b.payload.get_str("body"),
+            Some("original"),
+            "the aliasing packet must not observe the edit"
+        );
     }
 
     #[test]

@@ -80,13 +80,28 @@ impl CbcastState {
     /// Handles an incoming CBCAST.  Returns every message (possibly including this one and
     /// previously held ones) that has become deliverable, in causal order.
     pub fn receive(&mut self, msg: ReadyCb) -> Vec<ReadyCb> {
+        let mut delivered = Vec::new();
+        self.receive_into(msg, &mut delivered);
+        delivered
+    }
+
+    /// Like [`CbcastState::receive`], but appends the deliverable messages to a
+    /// caller-owned vector — the hot receive path reuses one scratch vector across packets
+    /// instead of allocating per receive.
+    pub fn receive_into(&mut self, msg: ReadyCb, delivered: &mut Vec<ReadyCb>) {
         self.holdback.push(HeldCb { ready: msg });
-        self.drain()
+        self.drain_into(delivered);
     }
 
     /// Delivers every message whose causal predecessors have been delivered.
     pub fn drain(&mut self) -> Vec<ReadyCb> {
         let mut delivered = Vec::new();
+        self.drain_into(&mut delivered);
+        delivered
+    }
+
+    /// Allocation-reusing form of [`CbcastState::drain`].
+    pub fn drain_into(&mut self, delivered: &mut Vec<ReadyCb>) {
         loop {
             let idx = self.holdback.iter().position(|h| {
                 self.delivered_vt
@@ -101,7 +116,6 @@ impl CbcastState {
                 None => break,
             }
         }
-        delivered
     }
 
     /// Delivers everything still held back, in a deterministic order, ignoring unsatisfiable

@@ -13,7 +13,7 @@
 
 use std::collections::BTreeSet;
 
-use vsync_msg::Message;
+use vsync_msg::{Frame, Message};
 use vsync_net::{MsgId, PacketKind, ProtocolKind, SharedStats};
 use vsync_util::{Duration, GroupId, ProcessId, Rank, Result, SimTime, SiteId, VsError};
 
@@ -40,6 +40,15 @@ pub struct GroupEndpoint {
     cfg: ProtoConfig,
     stats: SharedStats,
     view: Option<View>,
+    /// Member sites of the current view excluding this one, refreshed on view install.
+    /// Cached so the per-multicast fan-out iterates a ready list instead of recomputing
+    /// (and re-allocating) the site set from the member list on every send.
+    peer_sites: Vec<SiteId>,
+    /// Members of the current view hosted at this site (same caching rationale: read on
+    /// every local delivery).
+    local_members: Vec<ProcessId>,
+    /// Scratch for CBCAST deliveries, reused across received packets.
+    ready_scratch: Vec<ReadyCb>,
     next_msg_seq: u64,
     flush_attempt: u64,
     cb: CbcastState,
@@ -56,8 +65,9 @@ pub struct GroupEndpoint {
     pending_gbcasts: Vec<Message>,
     /// Application multicasts issued while a flush was in progress.
     buffered_sends: Vec<BufferedSend>,
-    /// Protocol messages that belong to a view we have not installed yet.
-    future_msgs: Vec<(SiteId, Message)>,
+    /// Protocol messages that belong to a view we have not installed yet (frames aliased,
+    /// not copied, from the packets they arrived in).
+    future_msgs: Vec<(SiteId, Frame)>,
     last_gossip: SimTime,
 }
 
@@ -70,6 +80,9 @@ impl GroupEndpoint {
             cfg,
             stats,
             view: None,
+            peer_sites: Vec::new(),
+            local_members: Vec::new(),
+            ready_scratch: Vec::new(),
             next_msg_seq: 0,
             flush_attempt: 0,
             cb: CbcastState::new(0),
@@ -103,11 +116,8 @@ impl GroupEndpoint {
     }
 
     /// Members of the current view hosted at this site.
-    pub fn local_members(&self) -> Vec<ProcessId> {
-        self.view
-            .as_ref()
-            .map(|v| v.members_at(self.site))
-            .unwrap_or_default()
+    pub fn local_members(&self) -> &[ProcessId] {
+        &self.local_members
     }
 
     /// True while a flush (view change / GBCAST) is in progress at this endpoint.
@@ -137,28 +147,41 @@ impl GroupEndpoint {
         payload: Message,
         out: &mut Vec<EndpointOutput>,
     ) -> Result<MsgId> {
-        let Some(view) = self.view.clone() else {
+        if self.view.is_none() {
             return Err(VsError::NotAMember(self.group));
-        };
-        self.stats.count_multicast(ProtocolKind::Cbcast);
+        }
         if self.flush.is_some() {
+            // Not counted in the multicast statistics yet: the re-issue after the flush
+            // commits goes through this method again and counts exactly once there.
             self.buffered_sends
                 .push(BufferedSend::Cb { sender, payload });
             // The id is assigned when the buffered send is re-issued; report a provisional id.
             return Ok(MsgId::new(self.site, u64::MAX));
         }
-        let rank = self.rank_for_sender(&view, sender)?;
+        self.stats.count_multicast(ProtocolKind::Cbcast);
+        // Borrow (never clone) the view: the per-multicast cost of the fast path must not
+        // include copying the member list.
+        let (rank, view_seq) = {
+            let view = self.view.as_ref().expect("checked above");
+            (self.rank_for_sender(view, sender)?, view.seq())
+        };
         let id = self.alloc_msg_id();
         let vt = self.cb.stamp_send(rank);
-        let wire = ProtoMsg::CbData {
+        // Encode once; the stability buffer and every peer-site packet alias this frame.
+        // The payload moves through the typed message and back out for the local delivery,
+        // so the only payload copy made here is the one embedded in the wire frame.
+        let proto = ProtoMsg::CbData {
             id,
             sender,
             sender_rank: rank as u64,
-            view_seq: view.seq(),
-            vt: vt.clone(),
-            payload: payload.clone(),
-        }
-        .encode(self.group);
+            view_seq,
+            vt,
+            payload,
+        };
+        let wire = proto.encode_frame(self.group);
+        let ProtoMsg::CbData { payload, .. } = proto else {
+            unreachable!("constructed as CbData above");
+        };
         self.stab.record_local(
             id,
             StoredMsg {
@@ -166,7 +189,7 @@ impl GroupEndpoint {
                 ab_priority: None,
             },
         );
-        self.send_to_peer_sites(&view, PacketKind::Data, wire, out);
+        self.send_to_peers(PacketKind::Data, wire, out);
         // Deliver locally right away: the caller "can pretend that the message was delivered
         // to its destinations at the moment the CBCAST was issued" (Section 3.4).
         self.delivered.insert(id);
@@ -182,28 +205,29 @@ impl GroupEndpoint {
         payload: Message,
         out: &mut Vec<EndpointOutput>,
     ) -> Result<MsgId> {
-        let Some(view) = self.view.clone() else {
+        let Some(view_seq) = self.view.as_ref().map(View::seq) else {
             return Err(VsError::NotAMember(self.group));
         };
-        self.stats.count_multicast(ProtocolKind::Abcast);
         if self.flush.is_some() {
+            // As in `cbcast`: counted once, at re-issue time, not here.
             self.buffered_sends
                 .push(BufferedSend::Ab { sender, payload });
             return Ok(MsgId::new(self.site, u64::MAX));
         }
+        self.stats.count_multicast(ProtocolKind::Abcast);
         let id = self.alloc_msg_id();
-        let peer_sites: Vec<SiteId> = view
-            .member_sites()
-            .into_iter()
-            .filter(|s| *s != self.site)
-            .collect();
-        let wire = ProtoMsg::AbData {
+        // As in `cbcast`: move the payload through the typed message and back out, so the
+        // only copy made is the one embedded in the wire frame.
+        let proto = ProtoMsg::AbData {
             id,
             sender,
-            view_seq: view.seq(),
-            payload: payload.clone(),
-        }
-        .encode(self.group);
+            view_seq,
+            payload,
+        };
+        let wire = proto.encode_frame(self.group);
+        let ProtoMsg::AbData { payload, .. } = proto else {
+            unreachable!("constructed as AbData above");
+        };
         self.stab.record_local(
             id,
             StoredMsg {
@@ -211,8 +235,10 @@ impl GroupEndpoint {
                 ab_priority: None,
             },
         );
-        let ordered = self.ab.initiate(id, sender, payload, self.site, peer_sites);
-        self.send_to_peer_sites(&view, PacketKind::Data, wire, out);
+        let ordered = self
+            .ab
+            .initiate(id, sender, payload, self.site, self.peer_sites.clone());
+        self.send_to_peers(PacketKind::Data, wire, out);
         if ordered {
             self.drain_abcasts(out);
         }
@@ -238,7 +264,7 @@ impl GroupEndpoint {
             self.pending_gbcasts.push(payload);
             self.start_flush_if_needed(now, out);
         } else {
-            let wire = ProtoMsg::GbcastReq { sender, payload }.encode(self.group);
+            let wire = ProtoMsg::GbcastReq { sender, payload }.encode_frame(self.group);
             self.send_to_site(coord.site, PacketKind::Flush, wire, out);
             let _ = view;
         }
@@ -269,7 +295,7 @@ impl GroupEndpoint {
                 joiner,
                 credentials,
             }
-            .encode(self.group);
+            .encode_frame(self.group);
             self.send_to_site(coord.site, PacketKind::Flush, wire, out);
         }
         Ok(())
@@ -291,7 +317,7 @@ impl GroupEndpoint {
             }
             self.start_flush_if_needed(now, out);
         } else {
-            let wire = ProtoMsg::LeaveReq { member }.encode(self.group);
+            let wire = ProtoMsg::LeaveReq { member }.encode_frame(self.group);
             self.send_to_site(coord.site, PacketKind::Flush, wire, out);
         }
         Ok(())
@@ -330,7 +356,7 @@ impl GroupEndpoint {
             .collect();
         for fs in &failed_sites {
             for (id, final_prio, tiebreak) in self.ab.forget_site(*fs) {
-                self.finish_abcast_order(id, final_prio, tiebreak, &view, out);
+                self.finish_abcast_order(id, final_prio, tiebreak, out);
             }
         }
         // If the flush we were part of was being run by a now-failed member, forget it so the
@@ -361,15 +387,19 @@ impl GroupEndpoint {
     // -- Protocol message handling ------------------------------------------------------------
 
     /// Handles a protocol message from the endpoint at `from_site`.
+    ///
+    /// The wire form arrives as a shared [`Frame`]; decoding goes through the frame's memo
+    /// ([`ProtoMsg::decode_frame`]), so a frame fanned out to N sites is parsed once in
+    /// total, and the hosting stack's own pre-routing decode is never repeated here.
     pub fn on_message(
         &mut self,
         now: SimTime,
         from_site: SiteId,
-        wire: &Message,
+        frame: &Frame,
         out: &mut Vec<EndpointOutput>,
     ) -> Result<()> {
-        let (group, msg) = ProtoMsg::decode(wire)?;
-        if group != self.group {
+        let (group, msg) = ProtoMsg::decode_frame(frame)?;
+        if *group != self.group {
             return Err(VsError::Internal(format!(
                 "message for {group} routed to endpoint of {}",
                 self.group
@@ -377,10 +407,10 @@ impl GroupEndpoint {
         }
         match msg {
             ProtoMsg::CbData { view_seq, .. } | ProtoMsg::AbData { view_seq, .. } => {
-                match self.view_position(view_seq) {
-                    ViewPosition::Current => self.handle_data(now, msg, out),
+                match self.view_position(*view_seq) {
+                    ViewPosition::Current => self.handle_data(now, msg, frame, out),
                     ViewPosition::Future => {
-                        self.future_msgs.push((from_site, wire.clone()));
+                        self.future_msgs.push((from_site, frame.clone()));
                     }
                     ViewPosition::Past => {}
                 }
@@ -391,15 +421,14 @@ impl GroupEndpoint {
                 proposed,
                 proposer_site,
             } => {
-                if self.view_position(view_seq) == ViewPosition::Current {
+                if self.view_position(*view_seq) == ViewPosition::Current {
                     if let Some((final_prio, tiebreak)) =
-                        self.ab.on_proposal(id, proposer_site, proposed)
+                        self.ab.on_proposal(*id, *proposer_site, *proposed)
                     {
-                        let view = self.view.clone().expect("view exists");
-                        self.finish_abcast_order(id, final_prio, tiebreak, &view, out);
+                        self.finish_abcast_order(*id, final_prio, tiebreak, out);
                     }
-                } else if self.view_position(view_seq) == ViewPosition::Future {
-                    self.future_msgs.push((from_site, wire.clone()));
+                } else if self.view_position(*view_seq) == ViewPosition::Future {
+                    self.future_msgs.push((from_site, frame.clone()));
                 }
             }
             ProtoMsg::AbOrder {
@@ -407,43 +436,44 @@ impl GroupEndpoint {
                 view_seq,
                 final_priority,
                 tiebreak_site,
-            } => match self.view_position(view_seq) {
+            } => match self.view_position(*view_seq) {
                 ViewPosition::Current => {
-                    self.ab.decide(id, final_priority, tiebreak_site);
-                    self.stab.set_ab_priority(id, final_priority);
+                    self.ab.decide(*id, *final_priority, *tiebreak_site);
+                    self.stab.set_ab_priority(*id, *final_priority);
                     self.drain_abcasts(out);
                 }
-                ViewPosition::Future => self.future_msgs.push((from_site, wire.clone())),
+                ViewPosition::Future => self.future_msgs.push((from_site, frame.clone())),
                 ViewPosition::Past => {}
             },
             ProtoMsg::JoinReq {
                 joiner,
                 credentials,
             } => {
-                self.submit_join(now, joiner, credentials, out)?;
+                self.submit_join(now, *joiner, credentials.clone(), out)?;
             }
             ProtoMsg::LeaveReq { member } => {
-                self.submit_leave(now, member, out)?;
+                self.submit_leave(now, *member, out)?;
             }
             ProtoMsg::FailReport { failed } => {
+                let failed = failed.clone();
                 self.report_failures(now, &failed, out);
             }
             ProtoMsg::GbcastReq { sender, payload } => {
-                self.gbcast(now, sender, payload, out)?;
+                self.gbcast(now, *sender, payload.clone(), out)?;
             }
             ProtoMsg::FlushReq {
                 target_seq,
                 initiator,
                 attempt,
             } => {
-                self.handle_flush_req(now, target_seq, initiator, attempt, out);
+                self.handle_flush_req(now, *target_seq, *initiator, *attempt, out);
             }
             ProtoMsg::FlushAck {
                 target_seq,
                 from_site,
                 stored,
             } => {
-                self.handle_flush_ack(now, target_seq, from_site, stored, out);
+                self.handle_flush_ack(now, *target_seq, *from_site, stored.clone(), out);
             }
             ProtoMsg::FlushCommit {
                 target_seq,
@@ -451,15 +481,22 @@ impl GroupEndpoint {
                 deliver,
                 gbcasts,
             } => {
-                self.apply_commit(now, target_seq, view, deliver, gbcasts, out);
+                self.apply_commit(
+                    now,
+                    *target_seq,
+                    view.clone(),
+                    deliver.clone(),
+                    gbcasts.clone(),
+                    out,
+                );
             }
             ProtoMsg::Stability {
                 view_seq,
                 from_site,
                 ids,
             } => {
-                if self.view_position(view_seq) == ViewPosition::Current {
-                    self.stab.on_gossip(from_site, &ids);
+                if self.view_position(*view_seq) == ViewPosition::Current {
+                    self.stab.on_gossip(*from_site, ids);
                 }
             }
         }
@@ -468,21 +505,23 @@ impl GroupEndpoint {
 
     /// Periodic maintenance: stability gossip and flush-timeout recovery.
     pub fn on_tick(&mut self, now: SimTime, out: &mut Vec<EndpointOutput>) {
-        let Some(view) = self.view.clone() else {
+        // Runs on every maintenance tick of every site: the idle path (nothing unstable,
+        // no flush in progress) must not clone the view or allocate.
+        let Some(view_seq) = self.view.as_ref().map(View::seq) else {
             return;
         };
         // Stability gossip.
         if now.saturating_since(self.last_gossip) >= self.cfg.stability_interval {
             self.last_gossip = now;
-            let ids = self.stab.local_ids();
-            if !ids.is_empty() && view.member_sites().len() > 1 {
+            if self.stab.held_len() > 0 && !self.peer_sites.is_empty() {
+                let ids = self.stab.local_ids();
                 let wire = ProtoMsg::Stability {
-                    view_seq: view.seq(),
+                    view_seq,
                     from_site: self.site,
                     ids,
                 }
-                .encode(self.group);
-                self.send_to_peer_sites(&view, PacketKind::Stability, wire, out);
+                .encode_frame(self.group);
+                self.send_to_peers(PacketKind::Stability, wire, out);
             }
         }
         // Flush watchdog.
@@ -503,7 +542,7 @@ impl GroupEndpoint {
                             .unwrap_or_else(|| ProcessId::new(self.site, 0)),
                         attempt: c.attempt,
                     }
-                    .encode(self.group);
+                    .encode_frame(self.group);
                     for s in c.awaiting.iter().copied().collect::<Vec<_>>() {
                         self.send_to_site(s, PacketKind::Flush, req.clone(), out);
                     }
@@ -567,7 +606,7 @@ impl GroupEndpoint {
         &self,
         dst_site: SiteId,
         kind: PacketKind,
-        msg: Message,
+        msg: Frame,
         out: &mut Vec<EndpointOutput>,
     ) {
         out.push(EndpointOutput::Send {
@@ -577,17 +616,17 @@ impl GroupEndpoint {
         });
     }
 
-    fn send_to_peer_sites(
-        &self,
-        view: &View,
-        kind: PacketKind,
-        msg: Message,
-        out: &mut Vec<EndpointOutput>,
-    ) {
-        for s in view.member_sites() {
-            if s != self.site {
-                self.send_to_site(s, kind, msg.clone(), out);
-            }
+    /// Fans one wire frame out to every peer site of the current view.  Each `Send` aliases
+    /// the same frame — the per-destination cost is a reference-count bump, not a copy of
+    /// the field tree — and the destination list is the cached `peer_sites`, so nothing is
+    /// recomputed per multicast.
+    fn send_to_peers(&self, kind: PacketKind, msg: Frame, out: &mut Vec<EndpointOutput>) {
+        for s in &self.peer_sites {
+            out.push(EndpointOutput::Send {
+                dst_site: *s,
+                kind,
+                msg: msg.clone(),
+            });
         }
     }
 
@@ -608,7 +647,16 @@ impl GroupEndpoint {
         }));
     }
 
-    fn handle_data(&mut self, _now: SimTime, msg: ProtoMsg, out: &mut Vec<EndpointOutput>) {
+    /// Handles a data-bearing message in the current view.  `msg` is the decoded view of
+    /// `frame`; the stability buffer aliases the frame directly (no re-encode — the received
+    /// wire form *is* the copy a flush would redistribute).
+    fn handle_data(
+        &mut self,
+        _now: SimTime,
+        msg: &ProtoMsg,
+        frame: &Frame,
+        out: &mut Vec<EndpointOutput>,
+    ) {
         match msg {
             ProtoMsg::CbData {
                 id,
@@ -618,37 +666,33 @@ impl GroupEndpoint {
                 payload,
                 ..
             } => {
-                if self.delivered.contains(&id) {
+                if self.delivered.contains(id) {
                     return;
                 }
-                let wire_copy = ProtoMsg::CbData {
-                    id,
-                    sender,
-                    sender_rank,
-                    view_seq: self.view.as_ref().map(|v| v.seq()).unwrap_or(0),
-                    vt: vt.clone(),
-                    payload: payload.clone(),
-                }
-                .encode(self.group);
                 self.stab.record_local(
-                    id,
+                    *id,
                     StoredMsg {
-                        wire: wire_copy,
+                        wire: frame.clone(),
                         ab_priority: None,
                     },
                 );
-                let ready = self.cb.receive(ReadyCb {
-                    id,
-                    sender,
-                    sender_rank: sender_rank as Rank,
-                    vt,
-                    payload,
-                });
-                for r in ready {
+                let mut ready = std::mem::take(&mut self.ready_scratch);
+                self.cb.receive_into(
+                    ReadyCb {
+                        id: *id,
+                        sender: *sender,
+                        sender_rank: *sender_rank as Rank,
+                        vt: vt.clone(),
+                        payload: payload.clone(),
+                    },
+                    &mut ready,
+                );
+                for r in ready.drain(..) {
                     if self.delivered.insert(r.id) {
                         self.emit_delivery(r.id, ProtocolKind::Cbcast, r.payload, out);
                     }
                 }
+                self.ready_scratch = ready;
             }
             ProtoMsg::AbData {
                 id,
@@ -656,31 +700,24 @@ impl GroupEndpoint {
                 payload,
                 view_seq,
             } => {
-                if self.delivered.contains(&id) {
+                if self.delivered.contains(id) {
                     return;
                 }
-                let proposed = self.ab.on_data(id, sender, payload.clone());
-                let wire_copy = ProtoMsg::AbData {
-                    id,
-                    sender,
-                    view_seq,
-                    payload,
-                }
-                .encode(self.group);
+                let proposed = self.ab.on_data(*id, *sender, payload.clone());
                 self.stab.record_local(
-                    id,
+                    *id,
                     StoredMsg {
-                        wire: wire_copy,
+                        wire: frame.clone(),
                         ab_priority: Some(proposed),
                     },
                 );
                 let propose = ProtoMsg::AbPropose {
-                    id,
-                    view_seq,
+                    id: *id,
+                    view_seq: *view_seq,
                     proposed,
                     proposer_site: self.site,
                 }
-                .encode(self.group);
+                .encode_frame(self.group);
                 self.send_to_site(id.origin, PacketKind::Proposal, propose, out);
             }
             _ => unreachable!("handle_data only receives data messages"),
@@ -692,19 +729,18 @@ impl GroupEndpoint {
         id: MsgId,
         final_priority: u64,
         tiebreak: SiteId,
-        view: &View,
         out: &mut Vec<EndpointOutput>,
     ) {
         self.ab.decide(id, final_priority, tiebreak);
         self.stab.set_ab_priority(id, final_priority);
         let order = ProtoMsg::AbOrder {
             id,
-            view_seq: view.seq(),
+            view_seq: self.view.as_ref().map(View::seq).unwrap_or(0),
             final_priority,
             tiebreak_site: tiebreak,
         }
-        .encode(self.group);
-        self.send_to_peer_sites(view, PacketKind::SetOrder, order, out);
+        .encode_frame(self.group);
+        self.send_to_peers(PacketKind::SetOrder, order, out);
         self.drain_abcasts(out);
     }
 
@@ -756,7 +792,7 @@ impl GroupEndpoint {
             initiator: coord,
             attempt: self.flush_attempt,
         }
-        .encode(self.group);
+        .encode_frame(self.group);
         for s in &awaiting {
             self.send_to_site(*s, PacketKind::Flush, req.clone(), out);
         }
@@ -813,7 +849,7 @@ impl GroupEndpoint {
             from_site: self.site,
             stored,
         }
-        .encode(self.group);
+        .encode_frame(self.group);
         self.send_to_site(initiator.site, PacketKind::Flush, ack, out);
     }
 
@@ -880,7 +916,7 @@ impl GroupEndpoint {
             deliver: deliver.clone(),
             gbcasts: gbcasts.clone(),
         }
-        .encode(self.group);
+        .encode_frame(self.group);
         for s in dst_sites {
             if s != self.site {
                 self.send_to_site(s, PacketKind::Flush, commit.clone(), out);
@@ -905,7 +941,7 @@ impl GroupEndpoint {
         }
         // Deliver the agreed cut: everything in the set that we have not delivered yet.
         for stored in deliver {
-            let Ok((_, proto)) = ProtoMsg::decode(&stored.wire) else {
+            let Ok((_, proto)) = ProtoMsg::decode_frame(&stored.wire) else {
                 continue;
             };
             match proto {
@@ -917,15 +953,15 @@ impl GroupEndpoint {
                     payload,
                     ..
                 } => {
-                    if self.delivered.contains(&id) {
+                    if self.delivered.contains(id) {
                         continue;
                     }
                     let ready = self.cb.receive(ReadyCb {
-                        id,
-                        sender,
-                        sender_rank: sender_rank as Rank,
-                        vt,
-                        payload,
+                        id: *id,
+                        sender: *sender,
+                        sender_rank: *sender_rank as Rank,
+                        vt: vt.clone(),
+                        payload: payload.clone(),
                     });
                     for r in ready {
                         if self.delivered.insert(r.id) {
@@ -939,12 +975,12 @@ impl GroupEndpoint {
                     payload,
                     ..
                 } => {
-                    if self.delivered.contains(&id) {
+                    if self.delivered.contains(id) {
                         continue;
                     }
-                    self.ab.on_data(id, sender, payload);
+                    self.ab.on_data(*id, *sender, payload.clone());
                     let prio = stored.ab_priority.unwrap_or(u64::MAX / 2);
-                    self.ab.decide(id, prio, id.origin);
+                    self.ab.decide(*id, prio, id.origin);
                 }
                 _ => {}
             }
@@ -1000,6 +1036,12 @@ impl GroupEndpoint {
     fn install_view(&mut self, view: View) {
         let width = view.len();
         let member_sites = view.member_sites();
+        self.peer_sites = member_sites
+            .iter()
+            .copied()
+            .filter(|s| *s != self.site)
+            .collect();
+        self.local_members = view.members_at(self.site);
         self.cb.reset(width);
         self.ab.reset();
         self.stab.reset(member_sites);

@@ -6,7 +6,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use vsync_msg::Message;
+use vsync_msg::{Frame, Message};
 use vsync_net::{ProtocolKind, SharedStats};
 use vsync_util::{GroupId, ProcessId, SimTime, SiteId};
 
@@ -22,8 +22,9 @@ fn member(site: u16) -> ProcessId {
 
 struct Cluster {
     endpoints: BTreeMap<SiteId, GroupEndpoint>,
-    /// FIFO channel per (destination, source).
-    channels: BTreeMap<(SiteId, SiteId), VecDeque<Message>>,
+    /// FIFO channel per (destination, source).  Carries the shared wire frames the
+    /// endpoints emit, like the real packet layer.
+    channels: BTreeMap<(SiteId, SiteId), VecDeque<Frame>>,
     deliveries: BTreeMap<SiteId, Vec<Delivery>>,
     views: BTreeMap<SiteId, Vec<ViewEvent>>,
     now: SimTime,
@@ -261,7 +262,7 @@ fn cbcast_preserves_causality_under_adversarial_interleaving() {
 }
 
 /// Takes the single queued message on channel (dst, src).
-fn self_channel_take(c: &mut Cluster, dst: SiteId, src: SiteId) -> Message {
+fn self_channel_take(c: &mut Cluster, dst: SiteId, src: SiteId) -> Frame {
     c.channels
         .get_mut(&(dst, src))
         .and_then(|q| q.pop_front())

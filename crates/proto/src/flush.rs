@@ -26,11 +26,13 @@ use vsync_util::{ProcessId, Result, SimTime, SiteId, VsError};
 
 use crate::messages::{ProtoMsg, StoredMsg};
 
-/// Extracts the message id out of a stored (wire-form) data message.
+/// Extracts the message id out of a stored (wire-form) data message.  Goes through the
+/// frame's decode memo, so repeated id lookups over the same held copy (stability overlay,
+/// coordinator merge) parse the wire form at most once.
 pub fn stored_msg_id(stored: &StoredMsg) -> Result<MsgId> {
-    let (_, proto) = ProtoMsg::decode(&stored.wire)?;
+    let (_, proto) = ProtoMsg::decode_frame(&stored.wire)?;
     match proto {
-        ProtoMsg::CbData { id, .. } | ProtoMsg::AbData { id, .. } => Ok(id),
+        ProtoMsg::CbData { id, .. } | ProtoMsg::AbData { id, .. } => Ok(*id),
         other => Err(VsError::Internal(format!(
             "stored message is not a data message: {}",
             other.type_tag()
@@ -167,7 +169,7 @@ mod tests {
                 vt: VectorClock::from_entries(vec![seq]),
                 payload: Message::with_body(body),
             }
-            .encode(GroupId(1)),
+            .encode_frame(GroupId(1)),
             ab_priority: None,
         }
     }
@@ -180,7 +182,7 @@ mod tests {
                 view_seq: 1,
                 payload: Message::with_body(seq),
             }
-            .encode(GroupId(1)),
+            .encode_frame(GroupId(1)),
             ab_priority: Some(proposal),
         }
     }
@@ -199,7 +201,7 @@ mod tests {
             wire: ProtoMsg::LeaveReq {
                 member: ProcessId::new(SiteId(0), 1),
             }
-            .encode(GroupId(1)),
+            .encode_frame(GroupId(1)),
             ab_priority: None,
         };
         assert!(stored_msg_id(&bogus).is_err());

@@ -5,18 +5,55 @@
 //! payloads.  [`ProtoMsg`] is the typed view of those messages; `encode`/`decode` convert
 //! between the two.
 
-use vsync_msg::Message;
+use vsync_msg::{Frame, Message};
 use vsync_net::MsgId;
 use vsync_util::{Address, GroupId, ProcessId, Result, SiteId, VectorClock, VsError};
 
 use crate::view::View;
 
+/// Thread-local counters of frame-level protocol encode/decode work on the packet path.
+///
+/// Only *uncached* work is counted: [`ProtoMsg::encode_frame`] calls and
+/// [`ProtoMsg::decode_frame`] memo misses.  Tests use the deltas to pin the fan-out
+/// invariant — a multicast performs one encode total and at most one parse per
+/// (frame, receiving site) — without instrumenting release builds with shared atomics.
+/// Thread-local because the simulator is single-threaded while `cargo test` runs tests on
+/// parallel threads.
+pub mod wire_stats {
+    use std::cell::Cell;
+
+    thread_local! {
+        static ENCODES: Cell<u64> = const { Cell::new(0) };
+        static DECODES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Wire frames encoded on this thread so far.
+    pub fn frame_encodes() -> u64 {
+        ENCODES.with(|c| c.get())
+    }
+
+    /// Protocol-message parses performed on this thread so far (memo hits excluded).
+    pub fn frame_decodes() -> u64 {
+        DECODES.with(|c| c.get())
+    }
+
+    pub(super) fn note_encode() {
+        ENCODES.with(|c| c.set(c.get() + 1));
+    }
+
+    pub(super) fn note_decode() {
+        DECODES.with(|c| c.set(c.get() + 1));
+    }
+}
+
 /// A multicast message held by an endpoint (received but not yet known stable), in the form
-/// it travels inside flush reports and commits.
+/// it travels inside flush reports and commits.  The wire form is a shared [`Frame`], so
+/// buffering a received multicast (or reporting it in a flush ack) aliases the packet's
+/// frame instead of re-encoding the field tree.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StoredMsg {
-    /// The original data-bearing protocol message (`CbData` or `AbData`), re-encoded.
-    pub wire: Message,
+    /// The original data-bearing protocol message (`CbData` or `AbData`) in wire form.
+    pub wire: Frame,
     /// For ABCAST messages: the priority this endpoint proposed (in an ack) or the final
     /// priority decided by the flush coordinator (in a commit).
     pub ab_priority: Option<u64>,
@@ -139,15 +176,19 @@ pub enum ProtoMsg {
 
 const TYPE_FIELD: &str = "@g-type";
 const GROUP_FIELD: &str = "@g-group";
+// Fixed field names (no per-call `format!`): message ids ride on every data, proposal and
+// order message, so building their field names must not allocate.
+const ID_ORIGIN: &str = "id-origin";
+const ID_SEQ: &str = "id-seq";
 
-fn put_msg_id(msg: &mut Message, prefix: &str, id: MsgId) {
-    msg.set(&format!("{prefix}origin"), id.origin.0 as u64);
-    msg.set(&format!("{prefix}seq"), id.seq);
+fn put_msg_id(msg: &mut Message, id: MsgId) {
+    msg.set(ID_ORIGIN, id.origin.0 as u64);
+    msg.set(ID_SEQ, id.seq);
 }
 
-fn get_msg_id(msg: &Message, prefix: &str) -> Result<MsgId> {
-    let origin = msg.require_u64(&format!("{prefix}origin"))?;
-    let seq = msg.require_u64(&format!("{prefix}seq"))?;
+fn get_msg_id(msg: &Message) -> Result<MsgId> {
+    let origin = msg.require_u64(ID_ORIGIN)?;
+    let seq = msg.require_u64(ID_SEQ)?;
     Ok(MsgId::new(SiteId(origin as u16), seq))
 }
 
@@ -187,7 +228,7 @@ fn pack_stored(stored: &[StoredMsg]) -> Message {
         .iter()
         .map(|s| {
             let mut m = Message::new();
-            m.set("wire", s.wire.clone());
+            m.set("wire", s.wire.to_message());
             if let Some(p) = s.ab_priority {
                 m.set("abp", p);
             }
@@ -206,7 +247,7 @@ fn unpack_stored(list: &Message) -> Result<Vec<StoredMsg>> {
                 .ok_or_else(|| VsError::CodecError("stored message missing wire".into()))?
                 .clone();
             Ok(StoredMsg {
-                wire,
+                wire: Frame::new(wire),
                 ab_priority: m.get_u64("abp"),
             })
         })
@@ -249,7 +290,9 @@ impl ProtoMsg {
 
     /// Encodes the protocol message, tagging it with the group it belongs to.
     pub fn encode(&self, group: GroupId) -> Message {
-        let mut m = Message::new();
+        // Widest variant (CbData) carries 9 fields; pre-size so repeated `set` calls never
+        // grow the field table.
+        let mut m = Message::with_field_capacity(9);
         m.set(TYPE_FIELD, self.type_tag());
         m.set(GROUP_FIELD, group);
         match self {
@@ -261,7 +304,7 @@ impl ProtoMsg {
                 vt,
                 payload,
             } => {
-                put_msg_id(&mut m, "id-", *id);
+                put_msg_id(&mut m, *id);
                 put_process(&mut m, "sender", *sender);
                 m.set("sender-rank", *sender_rank);
                 m.set("view-seq", *view_seq);
@@ -274,7 +317,7 @@ impl ProtoMsg {
                 view_seq,
                 payload,
             } => {
-                put_msg_id(&mut m, "id-", *id);
+                put_msg_id(&mut m, *id);
                 put_process(&mut m, "sender", *sender);
                 m.set("view-seq", *view_seq);
                 m.set("payload", payload.clone());
@@ -285,7 +328,7 @@ impl ProtoMsg {
                 proposed,
                 proposer_site,
             } => {
-                put_msg_id(&mut m, "id-", *id);
+                put_msg_id(&mut m, *id);
                 m.set("view-seq", *view_seq);
                 m.set("proposed", *proposed);
                 m.set("proposer-site", proposer_site.0 as u64);
@@ -296,7 +339,7 @@ impl ProtoMsg {
                 final_priority,
                 tiebreak_site,
             } => {
-                put_msg_id(&mut m, "id-", *id);
+                put_msg_id(&mut m, *id);
                 m.set("view-seq", *view_seq);
                 m.set("final", *final_priority);
                 m.set("tiebreak-site", tiebreak_site.0 as u64);
@@ -368,6 +411,37 @@ impl ProtoMsg {
         m
     }
 
+    /// Encodes the protocol message into a shared wire [`Frame`] ready for fan-out: the
+    /// sender encodes once, and every destination packet (plus the stability buffer) aliases
+    /// the same frame.  This is the packet-path entry point counted by [`wire_stats`].
+    pub fn encode_frame(&self, group: GroupId) -> Frame {
+        wire_stats::note_encode();
+        Frame::new(self.encode(group))
+    }
+
+    /// Decodes a protocol message from a wire frame, parsing **once per frame**: the result
+    /// is memoized in the frame's shared memo slot, so when a multicast fans one frame out
+    /// to N receivers only the first receiver pays for the parse and the rest borrow it.
+    ///
+    /// A debug assertion keeps the cache honest: the typed message must re-encode to exactly
+    /// the wire form it was parsed from, otherwise a memo hit at a later receiver could
+    /// diverge from what a fresh parse would have returned.
+    pub fn decode_frame(frame: &Frame) -> Result<&(GroupId, ProtoMsg)> {
+        if let Some(hit) = frame.memo_get::<(GroupId, ProtoMsg)>() {
+            return Ok(hit);
+        }
+        wire_stats::note_decode();
+        let decoded = ProtoMsg::decode(frame.message())?;
+        debug_assert_eq!(
+            &decoded.1.encode(decoded.0),
+            frame.message(),
+            "ProtoMsg wire round-trip diverged; the decode memo would be unsound"
+        );
+        frame
+            .memo_get_or_init(|| decoded)
+            .ok_or_else(|| VsError::Internal("frame memo slot held by a foreign type".to_owned()))
+    }
+
     /// Decodes a protocol message, returning the group it belongs to alongside the message.
     pub fn decode(m: &Message) -> Result<(GroupId, ProtoMsg)> {
         let group = m
@@ -382,7 +456,7 @@ impl ProtoMsg {
         };
         let msg = match tag {
             "cb-data" => ProtoMsg::CbData {
-                id: get_msg_id(m, "id-")?,
+                id: get_msg_id(m)?,
                 sender: get_process(m, "sender")?,
                 sender_rank: m.require_u64("sender-rank")?,
                 view_seq: m.require_u64("view-seq")?,
@@ -390,19 +464,19 @@ impl ProtoMsg {
                 payload: payload_of(m)?,
             },
             "ab-data" => ProtoMsg::AbData {
-                id: get_msg_id(m, "id-")?,
+                id: get_msg_id(m)?,
                 sender: get_process(m, "sender")?,
                 view_seq: m.require_u64("view-seq")?,
                 payload: payload_of(m)?,
             },
             "ab-propose" => ProtoMsg::AbPropose {
-                id: get_msg_id(m, "id-")?,
+                id: get_msg_id(m)?,
                 view_seq: m.require_u64("view-seq")?,
                 proposed: m.require_u64("proposed")?,
                 proposer_site: SiteId(m.require_u64("proposer-site")? as u16),
             },
             "ab-order" => ProtoMsg::AbOrder {
-                id: get_msg_id(m, "id-")?,
+                id: get_msg_id(m)?,
                 view_seq: m.require_u64("view-seq")?,
                 final_priority: m.require_u64("final")?,
                 tiebreak_site: SiteId(m.require_u64("tiebreak-site")? as u16),
@@ -556,7 +630,7 @@ mod tests {
                     vt: VectorClock::from_entries(vec![0, 1]),
                     payload: Message::with_body("update"),
                 }
-                .encode(GroupId(42)),
+                .encode_frame(GroupId(42)),
                 ab_priority: None,
             },
             StoredMsg {
@@ -566,7 +640,7 @@ mod tests {
                     view_seq: 3,
                     payload: Message::with_body("queue-op"),
                 }
-                .encode(GroupId(42)),
+                .encode_frame(GroupId(42)),
                 ab_priority: Some(12),
             },
         ];
@@ -601,6 +675,40 @@ mod tests {
             from_site: SiteId(3),
             ids: vec![],
         });
+    }
+
+    #[test]
+    fn decode_frame_parses_once_per_frame_and_counts_wire_work() {
+        let msg = ProtoMsg::AbData {
+            id: MsgId::new(SiteId(1), 2),
+            sender: p(1, 1),
+            view_seq: 1,
+            payload: Message::with_body("fan-out"),
+        };
+        let encodes = wire_stats::frame_encodes();
+        let decodes = wire_stats::frame_decodes();
+        let frame = msg.encode_frame(GroupId(9));
+        assert_eq!(wire_stats::frame_encodes() - encodes, 1);
+        // N receivers alias the frame; only the first parse does work.
+        let copies: Vec<_> = (0..4).map(|_| frame.clone()).collect();
+        for c in &copies {
+            let (g, back) = ProtoMsg::decode_frame(c).expect("decode");
+            assert_eq!(*g, GroupId(9));
+            assert_eq!(back, &msg);
+        }
+        assert_eq!(
+            wire_stats::frame_decodes() - decodes,
+            1,
+            "one parse per frame, not per receiver"
+        );
+    }
+
+    #[test]
+    fn decode_frame_rejects_without_poisoning_the_counterpath() {
+        let bogus = Frame::new(Message::with_body(1u64));
+        assert!(ProtoMsg::decode_frame(&bogus).is_err());
+        // A failed parse is not memoized; a later attempt re-reports the error.
+        assert!(ProtoMsg::decode_frame(&bogus).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! the hosting protocol stack (in `vsync-core`) turns them into packets addressed to the peer
 //! site's protocols process, application deliveries, or view-change notifications.
 
-use vsync_msg::Message;
+use vsync_msg::{Frame, Message};
 use vsync_net::{MsgId, PacketKind, ProtocolKind};
 use vsync_util::{GroupId, SiteId};
 
@@ -46,8 +46,10 @@ pub enum EndpointOutput {
         dst_site: SiteId,
         /// Packet classification for statistics and the Figure 3 breakdown.
         kind: PacketKind,
-        /// The protocol message.
-        msg: Message,
+        /// The protocol message in wire form.  A multicast fan-out emits one `Send` per
+        /// peer site, all aliasing the same frame: the hosting stack turns each into a
+        /// packet without copying the field tree.
+        msg: Frame,
     },
     /// Deliver an application message to the local members of the group.
     Deliver(Delivery),

@@ -6,12 +6,21 @@
 //! view-change flush, which keeps flush acks small.  Sites learn about each other's receipts
 //! through periodic gossip of received-message ids.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use vsync_net::MsgId;
 use vsync_util::SiteId;
 
 use crate::messages::StoredMsg;
+
+/// Per-message tracking entry: the buffered copy (once this site has received the message)
+/// and the sites known to have received it.  The ack set is a small unsorted vector, not a
+/// `BTreeSet`: groups span a handful of sites and this is touched on every receive.
+#[derive(Clone, Debug, Default)]
+struct Tracked {
+    copy: Option<StoredMsg>,
+    acked: Vec<SiteId>,
+}
 
 /// Tracks which multicasts this site has received in the current view and which of them are
 /// known to have reached every member site.
@@ -21,10 +30,11 @@ pub struct StabilityTracker {
     member_sites: Vec<SiteId>,
     /// This endpoint's own site.
     my_site: SiteId,
-    /// Messages received here and not yet known stable, with the copies needed for flush.
-    held: BTreeMap<MsgId, StoredMsg>,
-    /// Per-message set of sites known to have received it.
-    acked_by: BTreeMap<MsgId, BTreeSet<SiteId>>,
+    /// One entry per message not yet known stable — the held copy and its ack set live in
+    /// the same node, so the per-receive bookkeeping touches one map, not two.
+    tracked: BTreeMap<MsgId, Tracked>,
+    /// Number of entries whose copy is present (= the held-message count).
+    held_count: usize,
 }
 
 impl StabilityTracker {
@@ -33,48 +43,61 @@ impl StabilityTracker {
         StabilityTracker {
             member_sites,
             my_site,
-            held: BTreeMap::new(),
-            acked_by: BTreeMap::new(),
+            tracked: BTreeMap::new(),
+            held_count: 0,
         }
     }
 
     /// Resets for a new view.
     pub fn reset(&mut self, member_sites: Vec<SiteId>) {
         self.member_sites = member_sites;
-        self.held.clear();
-        self.acked_by.clear();
+        self.tracked.clear();
+        self.held_count = 0;
     }
 
     /// Number of messages currently held as potentially unstable.
     pub fn held_len(&self) -> usize {
-        self.held.len()
+        self.held_count
     }
 
     /// Records that this site received (and is buffering a copy of) a message.
     pub fn record_local(&mut self, id: MsgId, copy: StoredMsg) {
-        self.held.entry(id).or_insert(copy);
-        self.acked_by.entry(id).or_default().insert(self.my_site);
+        let entry = self.tracked.entry(id).or_default();
+        if entry.copy.is_none() {
+            entry.copy = Some(copy);
+            self.held_count += 1;
+        }
+        if !entry.acked.contains(&self.my_site) {
+            entry.acked.push(self.my_site);
+        }
         self.collect(id);
     }
 
     /// Updates the flush-relevant ABCAST priority attached to a held copy (e.g. once the
     /// final order is known).
     pub fn set_ab_priority(&mut self, id: MsgId, priority: u64) {
-        if let Some(copy) = self.held.get_mut(&id) {
+        if let Some(copy) = self.tracked.get_mut(&id).and_then(|t| t.copy.as_mut()) {
             copy.ab_priority = Some(priority);
         }
     }
 
     /// Ids of messages this site has received (sent in stability gossip).
     pub fn local_ids(&self) -> Vec<MsgId> {
-        self.held.keys().copied().collect()
+        self.tracked
+            .iter()
+            .filter(|(_, t)| t.copy.is_some())
+            .map(|(id, _)| *id)
+            .collect()
     }
 
     /// Processes a gossip message from `from_site`; returns ids that became stable.
     pub fn on_gossip(&mut self, from_site: SiteId, ids: &[MsgId]) -> Vec<MsgId> {
         let mut stabilized = Vec::new();
         for id in ids {
-            self.acked_by.entry(*id).or_default().insert(from_site);
+            let entry = self.tracked.entry(*id).or_default();
+            if !entry.acked.contains(&from_site) {
+                entry.acked.push(from_site);
+            }
             if self.collect(*id) {
                 stabilized.push(*id);
             }
@@ -84,22 +107,25 @@ impl StabilityTracker {
 
     /// Returns copies of every message still considered unstable, for a flush ack.
     pub fn unstable(&self) -> Vec<StoredMsg> {
-        self.held.values().cloned().collect()
+        self.tracked
+            .values()
+            .filter_map(|t| t.copy.clone())
+            .collect()
     }
 
     /// Returns true if the id was held here and has already been garbage-collected as stable.
     pub fn is_stable(&self, id: &MsgId) -> bool {
-        !self.held.contains_key(id) && !self.acked_by.contains_key(id)
+        !self.tracked.contains_key(id)
     }
 
     fn collect(&mut self, id: MsgId) -> bool {
-        let Some(acks) = self.acked_by.get(&id) else {
+        let Some(entry) = self.tracked.get(&id) else {
             return false;
         };
-        let all = self.member_sites.iter().all(|s| acks.contains(s));
-        if all && self.held.contains_key(&id) {
-            self.held.remove(&id);
-            self.acked_by.remove(&id);
+        let all = self.member_sites.iter().all(|s| entry.acked.contains(s));
+        if all && entry.copy.is_some() {
+            self.tracked.remove(&id);
+            self.held_count -= 1;
             true
         } else {
             false
@@ -114,7 +140,7 @@ mod tests {
 
     fn copy(n: u64) -> StoredMsg {
         StoredMsg {
-            wire: Message::with_body(n),
+            wire: Message::with_body(n).into(),
             ab_priority: None,
         }
     }

@@ -24,6 +24,14 @@ pub struct View {
     pub departed: Vec<ProcessId>,
 }
 
+/// Rebuilds `buf` as `{prefix}{suffix}` without allocating per field — the one helper both
+/// wire directions use, so encode and decode can never disagree on a view field name.
+fn view_field(buf: &mut String, prefix: &str, suffix: &str) {
+    buf.clear();
+    buf.push_str(prefix);
+    buf.push_str(suffix);
+}
+
 impl View {
     /// Creates the founding view of a group with a single creator member.
     pub fn founding(group: GroupId, creator: ProcessId) -> Self {
@@ -121,25 +129,33 @@ impl View {
     }
 
     /// Serialises the view into message fields (prefixed with `prefix`) for the wire.
+    /// Field names are assembled in one reused buffer instead of a `format!` per field —
+    /// every flush commit carries a view, so this runs on the view-change path.
     pub fn encode_into(&self, msg: &mut Message, prefix: &str) {
-        msg.set(&format!("{prefix}group"), self.id.group);
-        msg.set(&format!("{prefix}seq"), self.id.seq);
+        let mut name = String::with_capacity(prefix.len() + 8);
+        view_field(&mut name, prefix, "group");
+        msg.set(&name, self.id.group);
+        view_field(&mut name, prefix, "seq");
+        msg.set(&name, self.id.seq);
+        view_field(&mut name, prefix, "members");
         msg.set(
-            &format!("{prefix}members"),
+            &name,
             self.members
                 .iter()
                 .map(|m| Address::Process(*m))
                 .collect::<Vec<_>>(),
         );
+        view_field(&mut name, prefix, "joined");
         msg.set(
-            &format!("{prefix}joined"),
+            &name,
             self.joined
                 .iter()
                 .map(|m| Address::Process(*m))
                 .collect::<Vec<_>>(),
         );
+        view_field(&mut name, prefix, "departed");
         msg.set(
-            &format!("{prefix}departed"),
+            &name,
             self.departed
                 .iter()
                 .map(|m| Address::Process(*m))
@@ -149,18 +165,27 @@ impl View {
 
     /// Parses a view previously written by [`View::encode_into`].
     pub fn decode_from(msg: &Message, prefix: &str) -> Option<View> {
-        let group = msg.get_addr(&format!("{prefix}group"))?.as_group()?;
-        let seq = msg.get_u64(&format!("{prefix}seq"))?;
+        let mut name = String::with_capacity(prefix.len() + 8);
+        view_field(&mut name, prefix, "group");
+        let group = msg.get_addr(&name)?.as_group()?;
+        view_field(&mut name, prefix, "seq");
+        let seq = msg.get_u64(&name)?;
         let decode_list = |name: &str| -> Vec<ProcessId> {
             msg.get_addr_list(name)
                 .map(|l| l.iter().filter_map(|a| a.as_process()).collect())
                 .unwrap_or_default()
         };
+        view_field(&mut name, prefix, "members");
+        let members = decode_list(&name);
+        view_field(&mut name, prefix, "joined");
+        let joined = decode_list(&name);
+        view_field(&mut name, prefix, "departed");
+        let departed = decode_list(&name);
         Some(View {
             id: ViewId { group, seq },
-            members: decode_list(&format!("{prefix}members")),
-            joined: decode_list(&format!("{prefix}joined")),
-            departed: decode_list(&format!("{prefix}departed")),
+            members,
+            joined,
+            departed,
         })
     }
 }
