@@ -146,6 +146,28 @@ fn main() {
         assert!(tp > 0.0);
         std::hint::black_box(tp);
     });
+    // Threaded-runtime throughput: 4 sites on 4 OS threads × 2 groups spanning all of
+    // them, 64 async CBCASTs per group — 512 real application deliveries per operation,
+    // with packets crossing lock-protected channels in wire form.  One operation includes
+    // cluster setup (spawns, joins) and teardown, so the recorded ns/op and msgs/s track
+    // the *end-to-end scenario* (regressions in join latency, channel wakeups or shutdown
+    // all move it); the delivery window alone is printed separately below so the
+    // steady-state rate stays visible too.
+    let rt_iters = if quick { 1 } else { 5 };
+    b.measure("rt_throughput_4x2", rt_iters, Some(512), || {
+        let report = vsync_rt::rt_throughput(4, 2, 64);
+        assert_eq!(
+            report.delivered, report.expected,
+            "threaded run lost deliveries"
+        );
+        std::hint::black_box(&report);
+    });
+    // One extra (untimed) run to report the delivery-window rate, which excludes setup.
+    let window = vsync_rt::rt_throughput(4, 2, 64);
+    println!(
+        "  (rt_throughput_4x2 delivery window alone: {:.0} deliveries/s)",
+        window.deliveries_per_sec
+    );
 
     let path = std::path::Path::new(&out);
     b.write(path).expect("write baseline JSON");

@@ -102,6 +102,29 @@ impl Outbox {
     pub fn is_empty(&self) -> bool {
         self.sends.is_empty() && self.timers.is_empty() && self.traces.is_empty()
     }
+
+    /// Enables or disables trace collection on a free-standing outbox.  Inside an
+    /// [`Engine`] this is overridden before every dispatch; runtime drivers outside the
+    /// engine (the `vsync-rt` node loop) configure it once at construction.
+    pub fn set_trace_collection(&mut self, on: bool) {
+        self.collect_traces = on;
+    }
+
+    /// Drains the queued packet sends.  Used by runtime drivers that flush a dispatch's
+    /// actions into a transport; the buffer's capacity is retained for reuse.
+    pub fn drain_sends(&mut self) -> std::vec::Drain<'_, Packet> {
+        self.sends.drain(..)
+    }
+
+    /// Drains the queued timer requests (`(after, token)` pairs).
+    pub fn drain_timers(&mut self) -> std::vec::Drain<'_, (Duration, u64)> {
+        self.timers.drain(..)
+    }
+
+    /// Drains the recorded trace lines.
+    pub fn drain_traces(&mut self) -> std::vec::Drain<'_, String> {
+        self.traces.drain(..)
+    }
 }
 
 enum EventKind {

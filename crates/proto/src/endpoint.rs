@@ -513,7 +513,11 @@ impl GroupEndpoint {
         // Stability gossip.
         if now.saturating_since(self.last_gossip) >= self.cfg.stability_interval {
             self.last_gossip = now;
-            if self.stab.held_len() > 0 && !self.peer_sites.is_empty() {
+            // Gossip while there is anything to advertise — held copies *or* ack
+            // tombstones: a site that stabilized a message before ever gossiping it must
+            // still tell the origin, or the origin's ack set never completes (see
+            // `stability::Tracked::stable_for`).
+            if self.stab.has_reportable() && !self.peer_sites.is_empty() {
                 let ids = self.stab.local_ids();
                 let wire = ProtoMsg::Stability {
                     view_seq,
@@ -523,6 +527,7 @@ impl GroupEndpoint {
                 .encode_frame(self.group);
                 self.send_to_peers(PacketKind::Stability, wire, out);
             }
+            self.stab.note_gossip_round();
         }
         // Flush watchdog.
         let stalled = self

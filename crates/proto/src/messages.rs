@@ -202,11 +202,37 @@ fn get_process(msg: &Message, name: &str) -> Result<ProcessId> {
         .ok_or_else(|| VsError::CodecError(format!("field {name:?} is not a process address")))
 }
 
+// Element field names for packed message lists.  Flush-era packing (`FlushAck` stored
+// messages, `FlushCommit` deliver/gbcast lists) names one field per element; building
+// `i{N}` through `format!` allocated a string per element per encode *and* per decode,
+// which dominated the multi-group burst profile.  Small indices — the overwhelmingly
+// common case — come from this static table; larger ones reuse one scratch buffer.
+const IDX_NAMES: [&str; 64] = [
+    "i0", "i1", "i2", "i3", "i4", "i5", "i6", "i7", "i8", "i9", "i10", "i11", "i12", "i13", "i14",
+    "i15", "i16", "i17", "i18", "i19", "i20", "i21", "i22", "i23", "i24", "i25", "i26", "i27",
+    "i28", "i29", "i30", "i31", "i32", "i33", "i34", "i35", "i36", "i37", "i38", "i39", "i40",
+    "i41", "i42", "i43", "i44", "i45", "i46", "i47", "i48", "i49", "i50", "i51", "i52", "i53",
+    "i54", "i55", "i56", "i57", "i58", "i59", "i60", "i61", "i62", "i63",
+];
+
+fn idx_name(i: usize, scratch: &mut String) -> &str {
+    match IDX_NAMES.get(i) {
+        Some(name) => name,
+        None => {
+            use std::fmt::Write as _;
+            scratch.clear();
+            let _ = write!(scratch, "i{i}");
+            scratch
+        }
+    }
+}
+
 fn pack_msg_list(items: &[Message]) -> Message {
-    let mut list = Message::new();
+    let mut list = Message::with_field_capacity(items.len() + 1);
     list.set("n", items.len() as u64);
+    let mut scratch = String::new();
     for (i, item) in items.iter().enumerate() {
-        list.set(&format!("i{i}"), item.clone());
+        list.set(idx_name(i, &mut scratch), item.clone());
     }
     list
 }
@@ -214,9 +240,11 @@ fn pack_msg_list(items: &[Message]) -> Message {
 fn unpack_msg_list(list: &Message) -> Result<Vec<Message>> {
     let n = list.require_u64("n")? as usize;
     let mut items = Vec::with_capacity(n);
+    let mut scratch = String::new();
     for i in 0..n {
+        let name = idx_name(i, &mut scratch);
         let item = list
-            .get_msg(&format!("i{i}"))
+            .get_msg(name)
             .ok_or_else(|| VsError::CodecError(format!("missing list item i{i}")))?;
         items.push(item.clone());
     }
@@ -675,6 +703,18 @@ mod tests {
             from_site: SiteId(3),
             ids: vec![],
         });
+    }
+
+    #[test]
+    fn long_msg_lists_roundtrip_past_the_static_name_table() {
+        // 80 elements: indices 0..63 use the static `i{N}` table, 64..79 the scratch path.
+        let items: Vec<Message> = (0..80u64).map(Message::with_body).collect();
+        let packed = pack_msg_list(&items);
+        let back = unpack_msg_list(&packed).expect("unpack");
+        assert_eq!(back, items);
+        // The last static name and the first scratch-built name are both present.
+        assert!(packed.get_msg("i63").is_some());
+        assert!(packed.get_msg("i64").is_some());
     }
 
     #[test]

@@ -20,7 +20,33 @@ use crate::messages::StoredMsg;
 struct Tracked {
     copy: Option<StoredMsg>,
     acked: Vec<SiteId>,
+    /// `Some(n)` once the message is stable *here*: the copy has been dropped but the
+    /// entry lingers as an **ack tombstone** for `n` more gossip rounds, so our gossip
+    /// keeps telling slower sites that we received it.  Without the tombstone a site that
+    /// stabilizes on the origin's gossip before ever gossiping itself silently strands
+    /// the origin: it stops advertising the id, the origin never completes its ack set,
+    /// and the message stays "unstable" there forever — which every later view-change
+    /// flush then redistributes.  Invisible in the simulator (all sites tick at the same
+    /// virtual instants, so gossip always crosses symmetrically); the threaded runtime's
+    /// unaligned clocks hit it on most runs.
+    stable_for: Option<u8>,
+    /// Gossip rounds this entry has existed as a *remote-ack-only* record (no local copy,
+    /// not locally acked): either the message is still in flight to us, or a peer's late
+    /// tombstone gossip arrived after our own entry was dropped.  Aged out after
+    /// `ORPHAN_ROUNDS` so such records cannot accumulate for the lifetime of a view.
+    orphan_rounds: u8,
 }
+
+/// Gossip rounds an ack tombstone is re-advertised after stabilization.  Each round is one
+/// `stability_interval`, so this gives a slow peer several full gossip exchanges (plus
+/// retransmission delays) to pick the ack up before the entry is finally dropped.
+const TOMBSTONE_ROUNDS: u8 = 4;
+
+/// Gossip rounds a remote-ack-only entry is remembered while waiting for our own copy.
+/// Generous enough to cover worst-case in-flight time (a full retransmission ladder);
+/// expiring early is safe — the ack is simply forgotten and the message stays unstable
+/// until the next flush accounts for it.
+const ORPHAN_ROUNDS: u8 = 32;
 
 /// Tracks which multicasts this site has received in the current view and which of them are
 /// known to have reached every member site.
@@ -63,6 +89,10 @@ impl StabilityTracker {
     /// Records that this site received (and is buffering a copy of) a message.
     pub fn record_local(&mut self, id: MsgId, copy: StoredMsg) {
         let entry = self.tracked.entry(id).or_default();
+        if entry.stable_for.is_some() {
+            // A retransmitted copy of a message already known stable; do not resurrect it.
+            return;
+        }
         if entry.copy.is_none() {
             entry.copy = Some(copy);
             self.held_count += 1;
@@ -81,13 +111,47 @@ impl StabilityTracker {
         }
     }
 
-    /// Ids of messages this site has received (sent in stability gossip).
+    /// Ids of messages this site has received (sent in stability gossip).  Includes ack
+    /// tombstones: stable messages are still advertised for `TOMBSTONE_ROUNDS` gossip
+    /// rounds so every peer can complete its own ack set.
     pub fn local_ids(&self) -> Vec<MsgId> {
         self.tracked
             .iter()
-            .filter(|(_, t)| t.copy.is_some())
+            .filter(|(_, t)| t.acked.contains(&self.my_site))
             .map(|(id, _)| *id)
             .collect()
+    }
+
+    /// True if gossip has anything to advertise (held copies or ack tombstones).
+    pub fn has_reportable(&self) -> bool {
+        self.held_count > 0
+            || self
+                .tracked
+                .values()
+                .any(|t| t.acked.contains(&self.my_site))
+    }
+
+    /// Marks one gossip round as elapsed: ack tombstones age and are dropped once every
+    /// peer has had `TOMBSTONE_ROUNDS` chances to hear them.  Call once per gossip
+    /// interval, after sending.
+    pub fn note_gossip_round(&mut self) {
+        let my_site = self.my_site;
+        self.tracked.retain(|_, t| {
+            if let Some(rounds) = &mut t.stable_for {
+                if *rounds >= TOMBSTONE_ROUNDS {
+                    return false;
+                }
+                *rounds += 1;
+                return true;
+            }
+            if t.copy.is_none() && !t.acked.contains(&my_site) {
+                if t.orphan_rounds >= ORPHAN_ROUNDS {
+                    return false;
+                }
+                t.orphan_rounds += 1;
+            }
+            true
+        });
     }
 
     /// Processes a gossip message from `from_site`; returns ids that became stable.
@@ -113,18 +177,26 @@ impl StabilityTracker {
             .collect()
     }
 
-    /// Returns true if the id was held here and has already been garbage-collected as stable.
+    /// Returns true if the id is known stable here (its copy has been released; the entry
+    /// may still linger as an ack tombstone) or was never tracked at all.
     pub fn is_stable(&self, id: &MsgId) -> bool {
-        !self.tracked.contains_key(id)
+        self.tracked
+            .get(id)
+            .map(|t| t.stable_for.is_some())
+            .unwrap_or(true)
     }
 
     fn collect(&mut self, id: MsgId) -> bool {
-        let Some(entry) = self.tracked.get(&id) else {
+        let Some(entry) = self.tracked.get_mut(&id) else {
             return false;
         };
         let all = self.member_sites.iter().all(|s| entry.acked.contains(s));
         if all && entry.copy.is_some() {
-            self.tracked.remove(&id);
+            // Release the buffered copy but keep the entry as an ack tombstone (see
+            // `Tracked::stable_for`): our gossip must keep advertising the receipt until
+            // every peer has had a chance to complete its own ack set.
+            entry.copy = None;
+            entry.stable_for = Some(0);
             self.held_count -= 1;
             true
         } else {
@@ -199,6 +271,63 @@ mod tests {
         t.on_gossip(SiteId(1), &[id(1, 1)]);
         t.record_local(id(1, 1), copy(3));
         assert_eq!(t.held_len(), 0, "stable as soon as our copy arrives");
+    }
+
+    #[test]
+    fn stabilized_receiver_keeps_acking_until_the_origin_converges() {
+        // The threaded-runtime regression: origin site 0 holds m; site 1 receives m and
+        // hears the origin's gossip *before ever gossiping itself*, so it stabilizes
+        // immediately.  Pre-tombstone, site 1 then stopped advertising m and the origin
+        // could never complete its ack set — m stayed "unstable" forever and every later
+        // view-change flush redistributed it.
+        let mut origin = StabilityTracker::new(SiteId(0), vec![SiteId(0), SiteId(1)]);
+        let mut receiver = StabilityTracker::new(SiteId(1), vec![SiteId(0), SiteId(1)]);
+        origin.record_local(id(0, 1), copy(1));
+        receiver.record_local(id(0, 1), copy(1));
+        // Site 1 hears the origin first and stabilizes at once.
+        receiver.on_gossip(SiteId(0), &origin.local_ids());
+        assert_eq!(receiver.held_len(), 0);
+        // Its own next gossip must still advertise the id (ack tombstone)...
+        let advertised = receiver.local_ids();
+        assert_eq!(advertised, vec![id(0, 1)]);
+        // ...so the origin converges instead of holding m unstable forever.
+        origin.on_gossip(SiteId(1), &advertised);
+        assert_eq!(origin.held_len(), 0);
+        assert!(origin.unstable().is_empty());
+        // Tombstones age out after a few gossip rounds and gossip goes quiet.
+        for _ in 0..=TOMBSTONE_ROUNDS {
+            receiver.note_gossip_round();
+            origin.note_gossip_round();
+        }
+        assert!(!receiver.has_reportable());
+        assert!(!origin.has_reportable());
+    }
+
+    #[test]
+    fn remote_only_entries_age_out_instead_of_leaking() {
+        // A peer's gossip (possibly a late tombstone after our own entry was dropped)
+        // creates a remote-ack-only record.  It must not live for the rest of the view.
+        let mut t = StabilityTracker::new(SiteId(0), vec![SiteId(0), SiteId(1)]);
+        t.on_gossip(SiteId(1), &[id(1, 1)]);
+        for _ in 0..=ORPHAN_ROUNDS {
+            t.note_gossip_round();
+        }
+        // The remembered ack expired; when the copy finally arrives the message is simply
+        // unstable again (the flush accounts for it) rather than instantly stable.
+        t.record_local(id(1, 1), copy(3));
+        assert_eq!(t.held_len(), 1, "expired remote ack no longer counts");
+    }
+
+    #[test]
+    fn retransmits_of_stable_messages_are_not_resurrected() {
+        let mut t = StabilityTracker::new(SiteId(0), vec![SiteId(0), SiteId(1)]);
+        t.record_local(id(0, 1), copy(1));
+        t.on_gossip(SiteId(1), &[id(0, 1)]);
+        assert_eq!(t.held_len(), 0);
+        // A duplicate (retransmitted) copy of the now-stable message arrives.
+        t.record_local(id(0, 1), copy(1));
+        assert_eq!(t.held_len(), 0, "tombstoned entries must not re-buffer");
+        assert!(t.is_stable(&id(0, 1)));
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! A blocking MPSC channel built on the vendored `parking_lot` mutex.
+//!
+//! This is the inter-node wire of the threaded backend: every node owns one [`Receiver`] and
+//! the router holds one [`Sender`] per live node.  The queue itself sits behind a
+//! `parking_lot::Mutex` (the shim vendored under `shims/`, API-compatible with the real
+//! crate), and blocking uses `std::thread::park` / `unpark` — the same primitive real
+//! channel implementations use — so a parked node costs nothing until traffic or a timer
+//! deadline wakes it.
+//!
+//! Shutdown semantics mirror a crashed network interface rather than an error-propagating
+//! RPC pipe:
+//!
+//! * sending to a channel whose receiver is gone silently drops the message and reports
+//!   `false` — exactly what happens to a packet addressed to a crashed site;
+//! * a receiver whose senders are all gone gets [`Recv::Disconnected`] once the queue is
+//!   drained, which is how a node learns it has been disconnected from the cluster and
+//!   should exit (even if it still has timers pending).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::thread::{self, Thread};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Outcome of a receive attempt.
+pub enum Recv<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The deadline passed (or the call was non-blocking) with nothing queued.
+    TimedOut,
+    /// Every sender is gone and the queue is drained; nothing will ever arrive.
+    Disconnected,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    /// The parked receiver thread, registered just before it parks so a sender can wake it.
+    waiting: Option<Thread>,
+    receiver_alive: bool,
+    senders: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+}
+
+/// The sending half; cloneable, shareable across threads.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half; exactly one per channel.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Creates a channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            waiting: None,
+            receiver_alive: true,
+            senders: 1,
+        }),
+    });
+    (
+        Sender {
+            inner: inner.clone(),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues an item, waking the receiver if it is parked.  Returns `false` (dropping
+    /// the item) if the receiver is gone.
+    pub fn send(&self, item: T) -> bool {
+        let waiter = {
+            let mut st = self.inner.state.lock();
+            if !st.receiver_alive {
+                return false;
+            }
+            st.queue.push_back(item);
+            st.waiting.take()
+        };
+        if let Some(t) = waiter {
+            t.unpark();
+        }
+        true
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().senders += 1;
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let waiter = {
+            let mut st = self.inner.state.lock();
+            st.senders -= 1;
+            if st.senders == 0 {
+                st.waiting.take()
+            } else {
+                None
+            }
+        };
+        // The last sender wakes the receiver so it observes the disconnect promptly.
+        if let Some(t) = waiter {
+            t.unpark();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Recv<T> {
+        let mut st = self.inner.state.lock();
+        match st.queue.pop_front() {
+            Some(item) => Recv::Item(item),
+            None if st.senders == 0 => Recv::Disconnected,
+            None => Recv::TimedOut,
+        }
+    }
+
+    /// Blocking receive.  Waits until an item arrives, every sender disconnects, or the
+    /// `deadline` (if any) passes.  `None` means wait indefinitely.
+    pub fn recv_deadline(&self, deadline: Option<Instant>) -> Recv<T> {
+        loop {
+            let now = {
+                let mut st = self.inner.state.lock();
+                if let Some(item) = st.queue.pop_front() {
+                    return Recv::Item(item);
+                }
+                if st.senders == 0 {
+                    return Recv::Disconnected;
+                }
+                let now = Instant::now();
+                if let Some(d) = deadline {
+                    if now >= d {
+                        return Recv::TimedOut;
+                    }
+                }
+                // Register for wakeup *before* releasing the lock: a sender that enqueues
+                // after this point will see the handle and unpark us, and an unpark that
+                // races our park just makes park return immediately.
+                st.waiting = Some(thread::current());
+                now
+            };
+            match deadline {
+                None => thread::park(),
+                Some(d) => thread::park_timeout(d - now),
+            }
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock();
+        st.receiver_alive = false;
+        st.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn items_flow_in_fifo_order() {
+        let (tx, rx) = channel();
+        assert!(tx.send(1));
+        assert!(tx.send(2));
+        assert!(matches!(rx.try_recv(), Recv::Item(1)));
+        assert!(matches!(rx.try_recv(), Recv::Item(2)));
+        assert!(matches!(rx.try_recv(), Recv::TimedOut));
+    }
+
+    #[test]
+    fn send_to_a_dropped_receiver_reports_false() {
+        let (tx, rx) = channel();
+        drop(rx);
+        assert!(!tx.send(1));
+    }
+
+    #[test]
+    fn receiver_observes_disconnect_after_draining() {
+        let (tx, rx) = channel();
+        tx.send(7);
+        drop(tx);
+        assert!(matches!(rx.try_recv(), Recv::Item(7)));
+        assert!(matches!(rx.try_recv(), Recv::Disconnected));
+        assert!(matches!(rx.recv_deadline(None), Recv::Disconnected));
+    }
+
+    #[test]
+    fn blocking_receive_wakes_on_cross_thread_send() {
+        let (tx, rx) = channel();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            tx.send(42u64);
+        });
+        match rx.recv_deadline(Some(Instant::now() + Duration::from_secs(5))) {
+            Recv::Item(v) => assert_eq!(v, 42),
+            _ => panic!("expected the sent item"),
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_expires_without_traffic() {
+        let (_tx, rx) = channel::<u64>();
+        let start = Instant::now();
+        let r = rx.recv_deadline(Some(start + Duration::from_millis(20)));
+        assert!(matches!(r, Recv::TimedOut));
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn last_sender_drop_wakes_a_parked_receiver() {
+        let (tx, rx) = channel::<u64>();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            drop(tx);
+        });
+        let r = rx.recv_deadline(Some(Instant::now() + Duration::from_secs(5)));
+        assert!(matches!(r, Recv::Disconnected));
+        t.join().unwrap();
+    }
+}

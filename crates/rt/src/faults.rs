@@ -1,0 +1,176 @@
+//! Fault injection for the threaded backend.
+//!
+//! The discrete-event simulator injects delay, loss and reordering through
+//! [`vsync_net::NetworkModel`]; real threads need the same knobs or the failure-scenario
+//! tests could only run under simulation.  A [`FaultPlan`] is evaluated by the *sending*
+//! transport for every cross-node packet, producing an extra delivery delay (and possibly
+//! an exemption from the per-channel FIFO clamp, which is what lets later packets overtake).
+//!
+//! Loss follows the simulator's model exactly: the channel stays reliable — the paper's
+//! system "tolerates message loss, but not partitioning", i.e. lost packets are recovered by
+//! retransmission — so a "dropped" packet is charged one retransmission timeout per lost
+//! attempt instead of disappearing.  Disappearing messages are modelled where the paper
+//! models them: by crashing whole sites ([`crate::threaded::ThreadedCluster::kill_site`]).
+//!
+//! Decisions are drawn from a deterministic RNG seeded per node, so a node's *sequence* of
+//! fault decisions is reproducible even though thread interleaving is not (see the
+//! "where determinism ends" section of ARCHITECTURE.md).
+
+use vsync_util::{DetRng, Duration};
+
+/// What the fault injector decided for one packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Extra one-way delay beyond "now".
+    pub extra: Duration,
+    /// Whether the packet skips the per-channel FIFO clamp (deliberate reordering).
+    pub reordered: bool,
+}
+
+/// Configurable delay / loss / reordering injection for the threaded backend.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// Fixed one-way delay added to every cross-node packet.
+    pub delay: Duration,
+    /// Extra uniformly distributed delay in `[0, jitter)`.
+    pub jitter: Duration,
+    /// Probability that a packet attempt is lost and recovered by retransmission.
+    pub drop_probability: f64,
+    /// Timeout charged per lost attempt.
+    pub retransmit_timeout: Duration,
+    /// Probability that a packet is deliberately reordered: it bypasses the FIFO clamp and
+    /// is additionally held for `reorder_extra`, letting packets sent after it arrive first.
+    pub reorder_probability: f64,
+    /// Extra hold applied to reordered packets.
+    pub reorder_extra: Duration,
+}
+
+impl FaultPlan {
+    /// No injected faults: packets arrive as fast as the channels carry them, in FIFO
+    /// order per (src, dst) channel.
+    pub fn none() -> Self {
+        FaultPlan {
+            delay: Duration::ZERO,
+            jitter: Duration::ZERO,
+            drop_probability: 0.0,
+            retransmit_timeout: Duration::from_millis(5),
+            reorder_probability: 0.0,
+            reorder_extra: Duration::ZERO,
+        }
+    }
+
+    /// A mildly adversarial LAN: sub-millisecond delay and jitter, occasional loss
+    /// (recovered by retransmission) and reordering.  Used by the failure-scenario tests.
+    pub fn lan() -> Self {
+        FaultPlan {
+            delay: Duration::from_micros(100),
+            jitter: Duration::from_micros(400),
+            drop_probability: 0.01,
+            retransmit_timeout: Duration::from_millis(2),
+            reorder_probability: 0.02,
+            reorder_extra: Duration::from_millis(1),
+        }
+    }
+
+    /// Sets the fixed delay.
+    pub fn with_delay(mut self, d: Duration) -> Self {
+        self.delay = d;
+        self
+    }
+
+    /// Sets the jitter bound.
+    pub fn with_jitter(mut self, d: Duration) -> Self {
+        self.jitter = d;
+        self
+    }
+
+    /// Sets the loss probability (clamped to `[0, 0.999]`).
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop_probability = p.clamp(0.0, 0.999);
+        self
+    }
+
+    /// Sets the reorder probability (clamped to `[0, 1]`) and the extra hold.
+    pub fn with_reorder(mut self, p: f64, extra: Duration) -> Self {
+        self.reorder_probability = p.clamp(0.0, 1.0);
+        self.reorder_extra = extra;
+        self
+    }
+
+    /// Decides one packet's fate.
+    pub fn decide(&self, rng: &mut DetRng) -> FaultDecision {
+        let mut extra = self.delay;
+        if self.jitter > Duration::ZERO {
+            extra += Duration::from_micros(rng.next_below(self.jitter.as_micros()));
+        }
+        if self.drop_probability > 0.0 {
+            // Same shape as NetworkModel: each lost attempt costs one retransmission
+            // timeout, capped so a pathological probability cannot stall forever.
+            let mut attempts = 0u64;
+            while rng.chance(self.drop_probability) && attempts < 16 {
+                attempts += 1;
+            }
+            extra += self.retransmit_timeout.saturating_mul(attempts);
+        }
+        let reordered = self.reorder_probability > 0.0 && rng.chance(self.reorder_probability);
+        if reordered {
+            extra += self.reorder_extra;
+        }
+        FaultDecision { extra, reordered }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_means_no_delay_and_no_reorder() {
+        let mut rng = DetRng::new(1);
+        for _ in 0..100 {
+            let d = FaultPlan::none().decide(&mut rng);
+            assert_eq!(d.extra, Duration::ZERO);
+            assert!(!d.reordered);
+        }
+    }
+
+    #[test]
+    fn jitter_stays_within_its_bound() {
+        let plan = FaultPlan::none()
+            .with_delay(Duration::from_micros(100))
+            .with_jitter(Duration::from_micros(50));
+        let mut rng = DetRng::new(2);
+        for _ in 0..200 {
+            let d = plan.decide(&mut rng);
+            assert!(d.extra >= Duration::from_micros(100));
+            assert!(d.extra < Duration::from_micros(150));
+        }
+    }
+
+    #[test]
+    fn loss_charges_retransmission_timeouts() {
+        let plan = FaultPlan::none().with_drop(0.9);
+        let mut rng = DetRng::new(3);
+        let delayed = (0..200)
+            .filter(|_| plan.decide(&mut rng).extra > Duration::ZERO)
+            .count();
+        assert!(delayed > 100, "90% loss must delay most packets: {delayed}");
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let plan = FaultPlan::lan();
+        let run = |seed| {
+            let mut rng = DetRng::new(seed);
+            (0..64).map(|_| plan.decide(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

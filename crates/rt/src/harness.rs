@@ -1,0 +1,668 @@
+//! Backend-generic construction and driving of ISIS protocol stacks.
+//!
+//! [`IsisRuntime`] is the small surface a test, example or benchmark needs to run a cluster
+//! of [`SiteStack`]s on *any* backend: schedule a closure against a site's stack, let time
+//! pass, and crash/recover sites.  [`SimRuntime`] implements it over the deterministic
+//! [`SimCluster`]; [`ThreadedRuntime`] over real OS threads.  [`IsisHarness`] then builds
+//! the familiar toolkit operations (spawn, `pg_create`/`pg_join`, multicast, group RPC) on
+//! top of that surface once, so the same scenario — including the cross-backend conformance
+//! suite — runs unchanged on both.
+//!
+//! The threaded implementation answers queries by round-tripping a closure through the
+//! node's event loop and an `mpsc` reply channel; the simulated one executes it
+//! synchronously at the current virtual time.  Everything shipped into a stack job must be
+//! `Send`: plain data, [`Message`]s (whose byte values are `Arc`-backed) and channel
+//! senders all qualify, while `Rc`-based protocol state cannot leave its node even by
+//! accident.
+
+use std::sync::mpsc;
+
+use vsync_core::process::ReplyCallback;
+use vsync_core::{
+    Address, Message, ProcessBuilder, ProtectionPolicy, ProtocolKind, ReplyWanted, RpcOutcome,
+    SiteStack, StackConfig, ToolCtx, View,
+};
+use vsync_net::{NetStats, Outbox, SharedStats};
+use vsync_proto::ProtoConfig;
+use vsync_util::{
+    Duration, EntryId, GroupId, NetParams, ProcessId, Result, SimTime, SiteId, VsError,
+};
+
+use crate::faults::FaultPlan;
+use crate::sim::SimCluster;
+use crate::threaded::{NodeReport, ThreadedCluster};
+use crate::transport::invoke_fn;
+
+/// A closure scheduled against one site's protocol stack.
+pub type StackJob = Box<dyn FnOnce(&mut SiteStack, SimTime, &mut Outbox) + Send>;
+
+/// The backend surface the harness drives: stack access, time, and failure injection.
+pub trait IsisRuntime {
+    /// Number of sites in the cluster.
+    fn num_sites(&self) -> usize;
+
+    /// The backend's current time (virtual or wall-clock microseconds since start).
+    fn now(&self) -> SimTime;
+
+    /// Schedules `job` to run with exclusive access to the site's stack.  Simulated
+    /// backends run it synchronously; threaded backends enqueue it into the node's event
+    /// loop.  Returns `false` (dropping the job) if the site is down.
+    fn with_stack_job(&mut self, site: SiteId, job: StackJob) -> bool;
+
+    /// Lets roughly `d` of backend time pass (runs the event loop / sleeps).
+    fn advance(&mut self, d: Duration);
+
+    /// Crashes a site (fail-stop).
+    fn kill_site(&mut self, site: SiteId);
+
+    /// Recovers a crashed site with a fresh, empty protocols process.
+    fn recover_site(&mut self, site: SiteId);
+
+    /// True if the site is currently operational.
+    fn site_is_up(&self, site: SiteId) -> bool;
+}
+
+// ---------------------------------------------------------------------------------------
+// Simulated backend
+// ---------------------------------------------------------------------------------------
+
+/// [`IsisRuntime`] over the deterministic [`SimCluster`].
+pub struct SimRuntime {
+    cluster: SimCluster,
+    all_sites: Vec<SiteId>,
+    stack_cfg: StackConfig,
+    proto_cfg: ProtoConfig,
+}
+
+impl SimRuntime {
+    /// Builds a simulated cluster with one protocols process per site.
+    pub fn new(
+        num_sites: usize,
+        params: NetParams,
+        stack_cfg: StackConfig,
+        proto_cfg: ProtoConfig,
+        seed: u64,
+    ) -> Self {
+        let cluster = SimCluster::new(num_sites, params, seed);
+        let all_sites: Vec<SiteId> = (0..num_sites as u16).map(SiteId).collect();
+        let mut rt = SimRuntime {
+            cluster,
+            all_sites: all_sites.clone(),
+            stack_cfg,
+            proto_cfg,
+        };
+        for s in all_sites {
+            rt.install_stack(s);
+        }
+        rt
+    }
+
+    fn install_stack(&mut self, site: SiteId) {
+        let stack = SiteStack::new(
+            site,
+            self.all_sites.clone(),
+            self.stack_cfg,
+            self.proto_cfg,
+            self.cluster.stats(),
+        );
+        self.cluster.install(site, Box::new(stack));
+    }
+
+    /// Cluster-wide statistics snapshot.
+    pub fn stats(&self) -> NetStats {
+        self.cluster.stats().snapshot()
+    }
+
+    /// The underlying cluster (event counts, direct node access).
+    pub fn cluster(&self) -> &SimCluster {
+        &self.cluster
+    }
+}
+
+impl IsisRuntime for SimRuntime {
+    fn num_sites(&self) -> usize {
+        self.cluster.num_sites()
+    }
+
+    fn now(&self) -> SimTime {
+        self.cluster.now()
+    }
+
+    fn with_stack_job(&mut self, site: SiteId, job: StackJob) -> bool {
+        self.cluster
+            .with_node::<SiteStack, _>(site, |stack, now, out| job(stack, now, out))
+            .is_some()
+    }
+
+    fn advance(&mut self, d: Duration) {
+        self.cluster.run_for(d);
+    }
+
+    fn kill_site(&mut self, site: SiteId) {
+        self.cluster.kill(site);
+    }
+
+    fn recover_site(&mut self, site: SiteId) {
+        self.install_stack(site);
+    }
+
+    fn site_is_up(&self, site: SiteId) -> bool {
+        self.cluster.site_is_up(site)
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Threaded backend
+// ---------------------------------------------------------------------------------------
+
+/// [`IsisRuntime`] over real OS threads ([`ThreadedCluster`]).
+pub struct ThreadedRuntime {
+    cluster: ThreadedCluster,
+    all_sites: Vec<SiteId>,
+    stack_cfg: StackConfig,
+    proto_cfg: ProtoConfig,
+}
+
+impl ThreadedRuntime {
+    /// Builds a threaded cluster with one protocols process per site, each on its own OS
+    /// thread with its own statistics counters (no cross-thread counter contention).
+    pub fn new(
+        num_sites: usize,
+        stack_cfg: StackConfig,
+        proto_cfg: ProtoConfig,
+        faults: FaultPlan,
+        seed: u64,
+    ) -> Self {
+        let mut rt = ThreadedRuntime {
+            cluster: ThreadedCluster::new(num_sites, faults, seed),
+            all_sites: (0..num_sites as u16).map(SiteId).collect(),
+            stack_cfg,
+            proto_cfg,
+        };
+        for s in rt.all_sites.clone() {
+            rt.spawn_stack(s);
+        }
+        rt
+    }
+
+    /// Stack timers suited to in-process threads: fast enough that lifecycle tests finish
+    /// in tens of milliseconds of wall-clock, with a failure timeout generous enough that
+    /// scheduler stalls on a loaded machine do not read as site crashes.
+    pub fn fast_local_config() -> StackConfig {
+        StackConfig {
+            tick_interval: Duration::from_millis(2),
+            heartbeat_interval: Duration::from_millis(10),
+            failure_timeout: Duration::from_millis(300),
+            rpc_timeout: Duration::from_millis(1500),
+        }
+    }
+
+    fn spawn_stack(&mut self, site: SiteId) {
+        let all = self.all_sites.clone();
+        let stack_cfg = self.stack_cfg;
+        let proto_cfg = self.proto_cfg;
+        self.cluster.spawn_site(site, move |_now| {
+            Box::new(SiteStack::new(
+                site,
+                all,
+                stack_cfg,
+                proto_cfg,
+                SharedStats::new(),
+            ))
+        });
+    }
+
+    /// Cluster-wide statistics: merges every live node's counters (each node counts on its
+    /// own thread; see [`NetStats::merge`]).
+    pub fn stats(&mut self) -> NetStats {
+        let mut total = NetStats::new();
+        for site in self.all_sites.clone() {
+            let (tx, rx) = mpsc::channel();
+            let sent = self.cluster.invoke(
+                site,
+                invoke_fn(move |h, _now, _out| {
+                    if let Some(stack) = h.as_any_mut().downcast_mut::<SiteStack>() {
+                        let _ = tx.send(stack.stats().snapshot());
+                    }
+                }),
+            );
+            if sent {
+                if let Ok(snap) = rx.recv_timeout(std::time::Duration::from_secs(5)) {
+                    total.merge(&snap);
+                }
+            }
+        }
+        total
+    }
+
+    /// Stops every node and returns the per-node reports.
+    pub fn shutdown(self) -> Vec<NodeReport> {
+        self.cluster.shutdown()
+    }
+}
+
+impl IsisRuntime for ThreadedRuntime {
+    fn num_sites(&self) -> usize {
+        self.cluster.num_sites()
+    }
+
+    fn now(&self) -> SimTime {
+        self.cluster.now()
+    }
+
+    fn with_stack_job(&mut self, site: SiteId, job: StackJob) -> bool {
+        self.cluster.invoke(
+            site,
+            invoke_fn(move |h, now, out| {
+                if let Some(stack) = h.as_any_mut().downcast_mut::<SiteStack>() {
+                    job(stack, now, out);
+                }
+            }),
+        )
+    }
+
+    fn advance(&mut self, d: Duration) {
+        std::thread::sleep(std::time::Duration::from_micros(d.as_micros()));
+    }
+
+    fn kill_site(&mut self, site: SiteId) {
+        self.cluster.kill_site(site);
+    }
+
+    fn recover_site(&mut self, site: SiteId) {
+        self.spawn_stack(site);
+    }
+
+    fn site_is_up(&self, site: SiteId) -> bool {
+        self.cluster.site_is_up(site)
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// The generic harness
+// ---------------------------------------------------------------------------------------
+
+/// Toolkit-level operations over any [`IsisRuntime`]: the backend-generic equivalent of
+/// [`vsync_core::IsisSystem`].
+pub struct IsisHarness<R: IsisRuntime> {
+    /// The underlying runtime, reachable for backend-specific calls.
+    pub rt: R,
+    next_group: u64,
+    next_local: Vec<u32>,
+}
+
+impl<R: IsisRuntime> IsisHarness<R> {
+    /// Wraps a runtime.
+    pub fn new(rt: R) -> Self {
+        let next_local = vec![1; rt.num_sites()];
+        IsisHarness {
+            rt,
+            next_group: 0,
+            next_local,
+        }
+    }
+
+    /// The sites of the cluster.
+    pub fn sites(&self) -> Vec<SiteId> {
+        (0..self.rt.num_sites() as u16).map(SiteId).collect()
+    }
+
+    /// Drives the runtime in 1 ms steps until `poll` yields a value or `max_wait` of
+    /// runtime time passes.  The single pacing loop behind [`IsisHarness::query`],
+    /// [`IsisHarness::client_call`] and [`IsisHarness::wait_until`], so their
+    /// step/deadline bookkeeping cannot drift apart.
+    fn drive<T>(
+        &mut self,
+        max_wait: Duration,
+        mut poll: impl FnMut(&mut Self) -> Option<T>,
+    ) -> Option<T> {
+        let step = Duration::from_millis(1);
+        let mut waited = Duration::ZERO;
+        loop {
+            if let Some(v) = poll(self) {
+                return Some(v);
+            }
+            if waited >= max_wait {
+                return None;
+            }
+            self.rt.advance(step);
+            waited += step;
+        }
+    }
+
+    /// Runs `f` against a site's stack and waits (driving the runtime) for its result.
+    /// `None` if the site is down or the job was lost to a crash.
+    pub fn query<T: Send + 'static>(
+        &mut self,
+        site: SiteId,
+        f: impl FnOnce(&mut SiteStack, SimTime, &mut Outbox) -> T + Send + 'static,
+    ) -> Option<T> {
+        let (tx, rx) = mpsc::channel();
+        let sent = self.rt.with_stack_job(
+            site,
+            Box::new(move |stack, now, out| {
+                let _ = tx.send(f(stack, now, out));
+            }),
+        );
+        if !sent {
+            return None;
+        }
+        self.drive(Duration::from_secs(10), |_h| match rx.try_recv() {
+            Ok(v) => Some(Some(v)),
+            // The job died with its node: no result will ever come.
+            Err(mpsc::TryRecvError::Disconnected) => Some(None),
+            Err(mpsc::TryRecvError::Empty) => None,
+        })
+        .flatten()
+    }
+
+    /// Spawns a client process at `site`.  The `configure` closure runs on the site's node
+    /// (thread) to build the handlers, so handler state never crosses threads.
+    pub fn spawn(
+        &mut self,
+        site: SiteId,
+        configure: impl FnOnce(&mut ProcessBuilder) + Send + 'static,
+    ) -> ProcessId {
+        let local = self.next_local[site.index()];
+        self.next_local[site.index()] += 1;
+        let pid = ProcessId::new(site, local);
+        let sent = self.rt.with_stack_job(
+            site,
+            Box::new(move |stack, _now, _out| {
+                let mut b = ProcessBuilder::new(pid);
+                configure(&mut b);
+                stack.add_process(b.build());
+            }),
+        );
+        // Mirrors `IsisSystem::spawn`'s "site is up" expectation: returning a pid for a
+        // process that was silently never created only defers the failure to a confusing
+        // join/RPC timeout later.
+        assert!(sent, "spawn at {site:?}: site is down");
+        pid
+    }
+
+    /// Pre-allocates a group id (for tools that must know it before the group exists).
+    pub fn allocate_group_id(&mut self) -> GroupId {
+        self.next_group += 1;
+        GroupId(self.next_group)
+    }
+
+    /// Creates a group with `creator` as founding member; registers the name everywhere.
+    pub fn create_group(&mut self, name: &str, creator: ProcessId) -> GroupId {
+        let gid = self.allocate_group_id();
+        self.create_group_with_id(name, gid, creator);
+        gid
+    }
+
+    /// Creates a group using a pre-allocated id.
+    pub fn create_group_with_id(&mut self, name: &str, gid: GroupId, creator: ProcessId) {
+        let n = name.to_owned();
+        self.query(creator.site, move |stack, _now, out| {
+            stack.set_policy(gid, ProtectionPolicy::open());
+            stack.create_group(&n, gid, creator, out);
+        });
+        for s in self.sites() {
+            let n = name.to_owned();
+            self.rt.with_stack_job(
+                s,
+                Box::new(move |stack, _now, _out| {
+                    stack.register_group(&n, gid, vec![creator.site]);
+                }),
+            );
+        }
+    }
+
+    /// The view a site currently has of a group.
+    pub fn view_of(&mut self, site: SiteId, gid: GroupId) -> Option<View> {
+        self.query(site, move |stack, _now, _out| stack.view_of(gid).cloned())
+            .flatten()
+    }
+
+    /// Submits a join and drives the runtime until the joiner appears in its site's view.
+    pub fn join_and_wait(
+        &mut self,
+        gid: GroupId,
+        joiner: ProcessId,
+        credentials: Option<String>,
+        max_wait: Duration,
+    ) -> Result<()> {
+        let submitted = self
+            .query(joiner.site, move |stack, _now, out| {
+                stack.join_group(gid, joiner, credentials, out)
+            })
+            .ok_or(VsError::NoSuchProcess(joiner))?;
+        submitted?;
+        let ok = self.wait_until(max_wait, |h| {
+            h.view_of(joiner.site, gid)
+                .map(|v| v.contains(joiner))
+                .unwrap_or(false)
+        });
+        if ok {
+            Ok(())
+        } else {
+            Err(VsError::Timeout(format!("join of {joiner} to {gid}")))
+        }
+    }
+
+    /// Fire-and-forget multicast from `caller` (dropped silently if its site crashed).
+    pub fn client_send(
+        &mut self,
+        caller: ProcessId,
+        dest: impl Into<Address>,
+        entry: EntryId,
+        payload: Message,
+        protocol: ProtocolKind,
+    ) {
+        let dest = dest.into();
+        self.rt.with_stack_job(
+            caller.site,
+            Box::new(move |stack, _now, out| {
+                stack.issue_call(
+                    caller,
+                    vec![dest],
+                    entry,
+                    payload,
+                    protocol,
+                    ReplyWanted::None,
+                    None,
+                    out,
+                );
+            }),
+        );
+    }
+
+    /// Group RPC from outside a handler: multicasts and drives the runtime until reply
+    /// collection completes or `max_wait` passes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn client_call(
+        &mut self,
+        caller: ProcessId,
+        dests: Vec<Address>,
+        entry: EntryId,
+        payload: Message,
+        protocol: ProtocolKind,
+        wanted: ReplyWanted,
+        max_wait: Duration,
+    ) -> RpcOutcome {
+        let (tx, rx) = mpsc::channel();
+        let sent = self.rt.with_stack_job(
+            caller.site,
+            Box::new(move |stack, _now, out| {
+                let callback: ReplyCallback =
+                    Box::new(move |_ctx: &mut ToolCtx<'_>, outcome: RpcOutcome| {
+                        let _ = tx.send(outcome);
+                    });
+                stack.issue_call(
+                    caller,
+                    dests,
+                    entry,
+                    payload,
+                    protocol,
+                    wanted,
+                    Some(callback),
+                    out,
+                );
+            }),
+        );
+        let failed = |why: &str| RpcOutcome {
+            replies: Vec::new(),
+            responders: Vec::new(),
+            error: Some(VsError::Timeout(why.into())),
+        };
+        if !sent {
+            return failed("caller site is down");
+        }
+        self.drive(max_wait, |_h| match rx.try_recv() {
+            Ok(outcome) => Some(outcome),
+            // The reply sender died without an outcome: the caller's site crashed (or
+            // dropped the callback), so no outcome can ever arrive — fail immediately
+            // instead of sleeping out the deadline.
+            Err(mpsc::TryRecvError::Disconnected) => {
+                Some(failed("caller crashed before the call completed"))
+            }
+            Err(mpsc::TryRecvError::Empty) => None,
+        })
+        .unwrap_or_else(|| failed("client call never completed"))
+    }
+
+    /// Drives the runtime in 1 ms steps until `cond` holds or `max_wait` of runtime time
+    /// passes; returns whether the condition was met.
+    pub fn wait_until(
+        &mut self,
+        max_wait: Duration,
+        mut cond: impl FnMut(&mut Self) -> bool,
+    ) -> bool {
+        self.drive(max_wait, |h| cond(h).then_some(())).is_some()
+    }
+
+    /// Lets `d` of runtime time pass.
+    pub fn settle(&mut self, d: Duration) {
+        self.rt.advance(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const ECHO: EntryId = EntryId(40);
+
+    fn sim_harness(n: usize) -> IsisHarness<SimRuntime> {
+        let params = NetParams::modern();
+        IsisHarness::new(SimRuntime::new(
+            n,
+            params,
+            StackConfig::from_params(&params),
+            ProtoConfig::fast(),
+            42,
+        ))
+    }
+
+    #[test]
+    fn sim_group_formation_and_rpc_through_the_harness() {
+        let mut h = sim_harness(3);
+        let members: Vec<ProcessId> = (0..3)
+            .map(|i| {
+                h.spawn(SiteId(i), |b| {
+                    b.on_entry(ECHO, |ctx, msg| {
+                        ctx.reply(
+                            msg,
+                            Message::with_body(msg.get_u64("body").unwrap_or(0) + 1),
+                        );
+                    });
+                })
+            })
+            .collect();
+        let gid = h.create_group("svc", members[0]);
+        for m in &members[1..] {
+            h.join_and_wait(gid, *m, None, Duration::from_secs(5))
+                .expect("join");
+        }
+        let v = h.view_of(SiteId(0), gid).expect("view");
+        assert_eq!(v.members, members);
+        let client = h.spawn(SiteId(2), |_| {});
+        let outcome = h.client_call(
+            client,
+            vec![Address::Group(gid)],
+            ECHO,
+            Message::with_body(9u64),
+            ProtocolKind::Cbcast,
+            ReplyWanted::Count(3),
+            Duration::from_secs(5),
+        );
+        assert!(outcome.error.is_none(), "rpc failed: {:?}", outcome.error);
+        let mut got: Vec<u64> = outcome
+            .replies
+            .iter()
+            .filter_map(|r| r.get_u64("body"))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 10, 10]);
+    }
+
+    #[test]
+    fn sim_crash_shrinks_the_view_through_the_harness() {
+        let mut h = sim_harness(3);
+        let members: Vec<ProcessId> = (0..3).map(|i| h.spawn(SiteId(i), |_| {})).collect();
+        let gid = h.create_group("shrink", members[0]);
+        for m in &members[1..] {
+            h.join_and_wait(gid, *m, None, Duration::from_secs(5))
+                .expect("join");
+        }
+        h.rt.kill_site(SiteId(2));
+        let ok = h.wait_until(Duration::from_secs(10), |h| {
+            h.view_of(SiteId(0), gid)
+                .map(|v| v.len() == 2)
+                .unwrap_or(false)
+        });
+        assert!(ok, "survivors never installed the two-member view");
+    }
+
+    #[test]
+    fn threaded_group_formation_and_multicast() {
+        let mut h = IsisHarness::new(ThreadedRuntime::new(
+            3,
+            ThreadedRuntime::fast_local_config(),
+            ProtoConfig::fast(),
+            FaultPlan::none(),
+            7,
+        ));
+        let delivered = Arc::new(AtomicU64::new(0));
+        let members: Vec<ProcessId> = (0..3)
+            .map(|i| {
+                let d = delivered.clone();
+                h.spawn(SiteId(i), move |b| {
+                    b.on_entry(ECHO, move |_ctx, _msg| {
+                        d.fetch_add(1, Ordering::Relaxed);
+                    });
+                })
+            })
+            .collect();
+        let gid = h.create_group("tsvc", members[0]);
+        for m in &members[1..] {
+            h.join_and_wait(gid, *m, None, Duration::from_secs(10))
+                .expect("threaded join");
+        }
+        for i in 0..4u64 {
+            h.client_send(
+                members[(i % 3) as usize],
+                gid,
+                ECHO,
+                Message::with_body(i),
+                ProtocolKind::Cbcast,
+            );
+        }
+        let ok = h.wait_until(Duration::from_secs(10), |_| {
+            delivered.load(Ordering::Relaxed) >= 12
+        });
+        assert!(
+            ok,
+            "12 deliveries expected, saw {}",
+            delivered.load(Ordering::Relaxed)
+        );
+        let stats = h.rt.stats();
+        assert!(stats.deliveries >= 12);
+    }
+}

@@ -1,0 +1,52 @@
+//! Runtime backends for the vsync stack: the step from "reproduction" to "system".
+//!
+//! Everything below `vsync-core` is sans-io: protocol endpoints and site stacks react to
+//! packets and timers by recording actions in an outbox.  Until this crate existed, the only
+//! thing that could *drive* them was the single-threaded discrete-event simulator in
+//! `vsync-net`.  This crate decouples the stack from the simulator behind a small
+//! [`Transport`] abstraction and ships two interchangeable backends:
+//!
+//! * [`sim`] — the simulation, re-hosted behind the trait: deterministic virtual time, the
+//!   same calendar queue and network model the legacy engine uses.  Properties are proved
+//!   here.
+//! * [`threaded`] — one OS thread per site; packets are serialized through the toolkit
+//!   codec and flow over lock-protected channels (`parking_lot` mutexes), with configurable
+//!   delay / loss / reordering injection at the sending side.  Properties are *exercised
+//!   under real concurrency* here.
+//!
+//! Layering:
+//!
+//! * [`transport`] — the [`Transport`] trait and the [`Node`] driver loop both backends
+//!   share.
+//! * [`chan`] — the blocking MPSC channel (parking_lot mutex + thread parking) that serves
+//!   as the threaded backend's wire.
+//! * [`wire`] — packet serialization for thread-boundary crossings; keeps every `Rc`-based
+//!   protocol structure provably thread-local.
+//! * [`faults`] — delay / loss / reorder injection for the threaded backend.
+//! * [`harness`] — backend-generic stack construction and toolkit operations
+//!   ([`IsisHarness`]), so scenarios (including the cross-backend conformance tests) are
+//!   written once.
+//! * [`throughput`] — the `rt_throughput` benchmark workload (N threads × M groups).
+//!
+//! Determinism ends at the threaded backend's scheduler: fault *decisions* stay seeded and
+//! reproducible per node, but thread interleaving is the operating system's.  The
+//! conformance suite therefore checks *invariants* (identical per-group delivery orders
+//! relative to views) rather than identical schedules — see ARCHITECTURE.md's "Runtime"
+//! section.
+
+pub mod chan;
+pub mod faults;
+pub mod harness;
+pub mod sim;
+pub mod threaded;
+pub mod throughput;
+pub mod transport;
+pub mod wire;
+
+pub use faults::{FaultDecision, FaultPlan};
+pub use harness::{IsisHarness, IsisRuntime, SimRuntime, StackJob, ThreadedRuntime};
+pub use sim::{SimCluster, SimTransport};
+pub use threaded::{NodeReport, ThreadedCluster, ThreadedTransport};
+pub use throughput::{rt_throughput, ThroughputReport, THROUGHPUT_ENTRY};
+pub use transport::{Event, InvokeFn, Node, Transport};
+pub use wire::WirePacket;

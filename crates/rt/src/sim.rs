@@ -1,0 +1,386 @@
+//! The discrete-event simulation backend behind the [`Transport`] trait.
+//!
+//! This is `net::engine`'s machinery — the [`CalendarQueue`] event loop and the
+//! [`NetworkModel`] latency/loss/fragmentation model — re-hosted behind the per-node
+//! [`Transport`] interface, so the *same* [`Node`] driver that runs on an OS thread in the
+//! threaded backend runs here under a deterministic scheduler.  Virtual time, seeded
+//! randomness and single-threaded execution make every run exactly reproducible, which is
+//! what the cross-backend conformance tests lean on: prove a property here, then check the
+//! threaded backend preserves it under real concurrency.
+//!
+//! (The original [`vsync_net::Engine`] remains the tuned fast path for the legacy
+//! [`vsync_core::IsisSystem`] harness; this module is the trait-shaped equivalent new code
+//! should target.  Both are thin drivers over the same `net` components.)
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use vsync_net::{CalendarQueue, NetworkModel, Outbox, Packet, SharedStats, SiteHandler};
+use vsync_util::{Duration, NetParams, SimTime, SiteId};
+
+use crate::transport::{Event, Node, Transport};
+
+/// An event in the shared calendar queue.
+enum SimEv {
+    /// A packet en route to its destination site.
+    Pkt(Packet),
+    /// A timer armed by a site; `epoch` guards against firing on a later incarnation.
+    Timer {
+        site: SiteId,
+        token: u64,
+        epoch: u64,
+    },
+}
+
+/// State shared by every [`SimTransport`] of one cluster (single-threaded, hence `Rc`).
+struct SimCore {
+    now: SimTime,
+    queue: CalendarQueue<SimEv>,
+    net: NetworkModel,
+    /// Per-site incarnation counters; bumped on kill so stale timers are discarded.
+    epochs: Vec<u64>,
+    stats: SharedStats,
+}
+
+/// The simulated per-node transport: sends plan deliveries through the network model into
+/// the shared calendar queue; receives pop from a per-node inbox the scheduler fills.
+pub struct SimTransport {
+    site: SiteId,
+    core: Rc<RefCell<SimCore>>,
+    inbox: Rc<RefCell<VecDeque<Event>>>,
+}
+
+impl Transport for SimTransport {
+    fn site(&self) -> SiteId {
+        self.site
+    }
+
+    fn now(&self) -> SimTime {
+        self.core.borrow().now
+    }
+
+    fn send(&mut self, pkt: Packet) {
+        let mut core = self.core.borrow_mut();
+        let now = core.now;
+        let plan = core.net.plan_delivery(now, &pkt);
+        core.queue.push(plan.arrival, SimEv::Pkt(pkt));
+    }
+
+    fn set_timer(&mut self, after: Duration, token: u64) {
+        let mut core = self.core.borrow_mut();
+        let at = core.now + after;
+        let epoch = core.epochs[self.site.index()];
+        core.queue.push(
+            at,
+            SimEv::Timer {
+                site: self.site,
+                token,
+                epoch,
+            },
+        );
+    }
+
+    fn recv(&mut self, _block: bool) -> Option<Event> {
+        // The scheduler guarantees readiness: blocking would never have to wait.
+        self.inbox.borrow_mut().pop_front()
+    }
+}
+
+/// A simulated cluster of [`Node`]s sharing one calendar queue and network model.
+pub struct SimCluster {
+    core: Rc<RefCell<SimCore>>,
+    nodes: Vec<Option<Node<SimTransport>>>,
+    inboxes: Vec<Rc<RefCell<VecDeque<Event>>>>,
+    events_processed: u64,
+}
+
+impl SimCluster {
+    /// Creates a cluster with `num_sites` empty slots.
+    pub fn new(num_sites: usize, params: NetParams, seed: u64) -> Self {
+        let stats = SharedStats::new();
+        let core = SimCore {
+            now: SimTime::ZERO,
+            queue: CalendarQueue::new(),
+            net: NetworkModel::new(params, stats.clone(), seed),
+            epochs: vec![0; num_sites],
+            stats,
+        };
+        SimCluster {
+            core: Rc::new(RefCell::new(core)),
+            nodes: (0..num_sites).map(|_| None).collect(),
+            inboxes: (0..num_sites)
+                .map(|_| Rc::new(RefCell::new(VecDeque::new())))
+                .collect(),
+            events_processed: 0,
+        }
+    }
+
+    /// Number of site slots.
+    pub fn num_sites(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.borrow().now
+    }
+
+    /// The cluster-wide statistics counters (shared with the network model; pass a clone
+    /// into handlers that count multicasts and deliveries).
+    pub fn stats(&self) -> SharedStats {
+        self.core.borrow().stats.clone()
+    }
+
+    /// Events dispatched so far (progress measure, mirrors `Engine::events_processed`).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// True if the site currently has a node installed.
+    pub fn site_is_up(&self, site: SiteId) -> bool {
+        self.nodes
+            .get(site.index())
+            .map(|n| n.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Installs (or replaces, on recovery) the node for `site` and runs its start hook.
+    /// Replacing a live node retires the old incarnation first, so its pending timers can
+    /// never fire into the replacement handler (same epoch discipline as a kill).
+    pub fn install(&mut self, site: SiteId, handler: Box<dyn SiteHandler>) {
+        let idx = site.index();
+        assert!(idx < self.nodes.len(), "site {site:?} out of range");
+        if self.nodes[idx].is_some() {
+            self.core.borrow_mut().epochs[idx] += 1;
+        }
+        let transport = SimTransport {
+            site,
+            core: self.core.clone(),
+            inbox: self.inboxes[idx].clone(),
+        };
+        self.inboxes[idx].borrow_mut().clear();
+        let mut node = Node::new(transport, handler);
+        node.start();
+        self.nodes[idx] = Some(node);
+    }
+
+    /// Crashes a site: the node is dropped, its pending timers are invalidated through the
+    /// epoch counter, and in-flight packets toward it will be discarded on arrival.
+    pub fn kill(&mut self, site: SiteId) {
+        let idx = site.index();
+        if let Some(slot) = self.nodes.get_mut(idx) {
+            *slot = None;
+            self.core.borrow_mut().epochs[idx] += 1;
+            self.inboxes[idx].borrow_mut().clear();
+        }
+    }
+
+    /// Runs `f` against a site's concrete handler at the current virtual time, flushing
+    /// whatever actions it records.  `None` if the site is down or the type mismatches.
+    pub fn with_node<H: SiteHandler, R>(
+        &mut self,
+        site: SiteId,
+        f: impl FnOnce(&mut H, SimTime, &mut Outbox) -> R,
+    ) -> Option<R> {
+        self.nodes.get_mut(site.index())?.as_mut()?.with_handler(f)
+    }
+
+    /// Runs the event loop until the queue empties or virtual time would pass `limit`.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, limit: SimTime) -> u64 {
+        let mut processed = 0;
+        loop {
+            let popped = {
+                let mut core = self.core.borrow_mut();
+                match core.queue.next_time() {
+                    Some(at) if at <= limit => {
+                        let (at, ev) = core.queue.pop().expect("peeked");
+                        if at > core.now {
+                            core.now = at;
+                        }
+                        Some(ev)
+                    }
+                    _ => None,
+                }
+            };
+            let Some(ev) = popped else { break };
+            processed += 1;
+            self.events_processed += 1;
+            match ev {
+                SimEv::Pkt(pkt) => {
+                    let idx = pkt.dst.site.index();
+                    if let Some(node) = self.nodes.get_mut(idx).and_then(|n| n.as_mut()) {
+                        self.inboxes[idx].borrow_mut().push_back(Event::Packet(pkt));
+                        node.poll();
+                    }
+                }
+                SimEv::Timer { site, token, epoch } => {
+                    let idx = site.index();
+                    let live = self.core.borrow().epochs[idx] == epoch;
+                    if live {
+                        if let Some(node) = self.nodes.get_mut(idx).and_then(|n| n.as_mut()) {
+                            self.inboxes[idx]
+                                .borrow_mut()
+                                .push_back(Event::Timer(token));
+                            node.poll();
+                        }
+                    }
+                }
+            }
+        }
+        let mut core = self.core.borrow_mut();
+        if core.now < limit {
+            core.now = limit;
+        }
+        processed
+    }
+
+    /// Runs for `d` of virtual time from the current instant.
+    pub fn run_for(&mut self, d: Duration) -> u64 {
+        let target = self.now() + d;
+        self.run_until(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+    use vsync_msg::Message;
+    use vsync_net::PacketKind;
+    use vsync_util::ProcessId;
+
+    struct Echo {
+        received: Vec<(SimTime, String)>,
+        timers: Vec<u64>,
+    }
+
+    impl Echo {
+        fn boxed() -> Box<dyn SiteHandler> {
+            Box::new(Echo {
+                received: Vec::new(),
+                timers: Vec::new(),
+            })
+        }
+    }
+
+    impl SiteHandler for Echo {
+        fn on_start(&mut self, _now: SimTime, out: &mut Outbox) {
+            out.set_timer(Duration::from_millis(5), 1);
+        }
+        fn on_packet(&mut self, now: SimTime, pkt: Packet, out: &mut Outbox) {
+            let body = pkt.payload.get_str("body").unwrap_or("").to_owned();
+            self.received.push((now, body.clone()));
+            if body == "ping" {
+                out.send(Packet::new(
+                    pkt.dst,
+                    pkt.src,
+                    PacketKind::Reply,
+                    Message::with_body("pong"),
+                ));
+            }
+        }
+        fn on_timer(&mut self, _now: SimTime, token: u64, _out: &mut Outbox) {
+            self.timers.push(token);
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_sites() -> SimCluster {
+        let mut c = SimCluster::new(2, NetParams::paper1987(), 7);
+        c.install(SiteId(0), Echo::boxed());
+        c.install(SiteId(1), Echo::boxed());
+        c
+    }
+
+    #[test]
+    fn ping_pong_obeys_the_latency_model() {
+        let mut c = two_sites();
+        let a = ProcessId::new(SiteId(0), 0);
+        let b = ProcessId::new(SiteId(1), 0);
+        c.with_node::<Echo, _>(SiteId(0), |_h, _now, out| {
+            out.send(Packet::new(
+                a,
+                b,
+                PacketKind::Data,
+                Message::with_body("ping"),
+            ));
+        });
+        c.run_until(SimTime(200_000));
+        let ping = c
+            .with_node::<Echo, _>(SiteId(1), |h, _n, _o| h.received.clone())
+            .unwrap();
+        let pong = c
+            .with_node::<Echo, _>(SiteId(0), |h, _n, _o| h.received.clone())
+            .unwrap();
+        assert_eq!(ping.len(), 1);
+        assert_eq!(pong.len(), 1);
+        // The 1987 profile charges at least 16 ms per inter-site hop.
+        assert!(ping[0].0.as_millis_f64() >= 16.0);
+        assert!(pong[0].0.as_millis_f64() >= 32.0);
+    }
+
+    #[test]
+    fn timers_fire_and_epochs_gate_stale_ones() {
+        let mut c = two_sites();
+        c.run_until(SimTime(50_000));
+        let timers = c
+            .with_node::<Echo, _>(SiteId(0), |h, _n, _o| h.timers.clone())
+            .unwrap();
+        assert_eq!(timers, vec![1]);
+        // Kill and recover before the (already-armed) start timer of the old incarnation
+        // would fire again; the new node sees only its own timer.
+        c.kill(SiteId(1));
+        assert!(!c.site_is_up(SiteId(1)));
+        c.install(SiteId(1), Echo::boxed());
+        c.run_until(SimTime(100_000));
+        let timers = c
+            .with_node::<Echo, _>(SiteId(1), |h, _n, _o| h.timers.clone())
+            .unwrap();
+        assert_eq!(timers, vec![1], "exactly the fresh incarnation's timer");
+    }
+
+    #[test]
+    fn killed_sites_discard_in_flight_traffic() {
+        let mut c = two_sites();
+        let a = ProcessId::new(SiteId(0), 0);
+        let b = ProcessId::new(SiteId(1), 0);
+        c.with_node::<Echo, _>(SiteId(0), |_h, _now, out| {
+            out.send(Packet::new(
+                a,
+                b,
+                PacketKind::Data,
+                Message::with_body("ping"),
+            ));
+        });
+        c.kill(SiteId(1));
+        c.run_until(SimTime(1_000_000));
+        let got = c
+            .with_node::<Echo, _>(SiteId(0), |h, _n, _o| h.received.len())
+            .unwrap();
+        assert_eq!(got, 0, "no pong from a dead site");
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = |seed: u64| {
+            let mut c = SimCluster::new(2, NetParams::modern().with_loss(0.1), seed);
+            c.install(SiteId(0), Echo::boxed());
+            c.install(SiteId(1), Echo::boxed());
+            let a = ProcessId::new(SiteId(0), 0);
+            let b = ProcessId::new(SiteId(1), 0);
+            c.with_node::<Echo, _>(SiteId(0), |_h, _now, out| {
+                for i in 0..10u64 {
+                    out.send(Packet::new(a, b, PacketKind::Data, Message::with_body(i)));
+                }
+            });
+            c.run_until(SimTime(1_000_000));
+            c.with_node::<Echo, _>(SiteId(1), |h, _n, _o| h.received.clone())
+                .unwrap()
+        };
+        assert_eq!(run(9), run(9), "identical seeds replay identically");
+    }
+}

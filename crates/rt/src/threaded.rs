@@ -1,0 +1,683 @@
+//! The multi-threaded in-process backend: one OS thread per site.
+//!
+//! Topology: a shared [`Router`] holds one channel [`crate::chan::Sender`] per live site
+//! behind a `parking_lot::RwLock`; each node's thread owns the matching receiver inside its
+//! [`ThreadedTransport`] and parks in [`Node::run`] until traffic or a timer deadline wakes
+//! it.  Packets cross threads in wire form ([`WirePacket`]), so every `Rc`-based protocol
+//! structure stays strictly thread-local — ownership of all mutable state is per-thread by
+//! construction, and the only shared state is the router table and the channel queues, both
+//! lock-protected.
+//!
+//! Time is wall-clock: [`Router::now`] maps `Instant::now()` onto microseconds since
+//! cluster start, the same [`vsync_util::SimTime`] axis the simulator uses, so the protocol
+//! stacks run unmodified.
+//!
+//! Failure injection: [`ThreadedCluster::kill_site`] drops the site's channel sender.  The
+//! node drains whatever was already queued (a crash is never instantaneous on a real
+//! network either), then observes the disconnect and exits — abandoning its pending timers,
+//! exactly like a fail-stop site.  Subsequent sends to the site are silently dropped at the
+//! router, and [`ThreadedCluster::spawn_site`] on the empty slot models site recovery.
+//! Link-level faults (delay / loss / reordering) are injected by the sending transport
+//! according to a [`FaultPlan`].
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+
+use vsync_net::{Packet, SiteHandler};
+use vsync_util::{DetRng, Duration, FastHashMap, ProcessId, SimTime, SiteId};
+
+use crate::chan::{self, Receiver, Recv, Sender};
+use crate::faults::FaultPlan;
+use crate::transport::{Event, InvokeFn, Node, Transport};
+use crate::wire::WirePacket;
+
+/// A message on a node's channel.
+enum NodeMsg {
+    /// A packet from another node, in wire form.
+    Packet(WirePacket),
+    /// A control-plane closure to run on the node's thread.
+    Invoke(InvokeFn),
+}
+
+/// The shared routing table: clock origin plus one sender per live site.
+pub struct Router {
+    start: Instant,
+    slots: RwLock<Vec<Option<Sender<NodeMsg>>>>,
+}
+
+impl Router {
+    fn new(num_sites: usize) -> Self {
+        Router {
+            start: Instant::now(),
+            slots: RwLock::new((0..num_sites).map(|_| None).collect()),
+        }
+    }
+
+    /// Microseconds since cluster start, on the same axis as simulated time.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.start.elapsed().as_micros() as u64)
+    }
+
+    /// Maps a cluster timestamp back onto the wall clock (for channel wait deadlines).
+    fn instant_of(&self, t: SimTime) -> Instant {
+        self.start + std::time::Duration::from_micros(t.0)
+    }
+
+    /// Sends to a site's channel; `false` (message dropped) if the site is down.
+    fn send_to(&self, site: SiteId, msg: NodeMsg) -> bool {
+        match self.slots.read().get(site.index()) {
+            Some(Some(tx)) => tx.send(msg),
+            _ => false,
+        }
+    }
+
+    fn is_up(&self, site: SiteId) -> bool {
+        matches!(self.slots.read().get(site.index()), Some(Some(_)))
+    }
+}
+
+/// A pending local timer, min-ordered by `(due, seq)`.
+struct TimerEntry {
+    due: SimTime,
+    seq: u64,
+    token: u64,
+}
+
+/// A cross-node packet held until its delivery instant, min-ordered by `(due, seq)`.
+struct HeldPacket {
+    due: SimTime,
+    seq: u64,
+    wire: WirePacket,
+}
+
+macro_rules! min_heap_order {
+    ($ty:ident) => {
+        impl PartialEq for $ty {
+            fn eq(&self, other: &Self) -> bool {
+                self.due == other.due && self.seq == other.seq
+            }
+        }
+        impl Eq for $ty {}
+        impl PartialOrd for $ty {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for $ty {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Reversed: BinaryHeap is a max-heap and we want the earliest entry on top.
+                (other.due, other.seq).cmp(&(self.due, self.seq))
+            }
+        }
+    };
+}
+
+min_heap_order!(TimerEntry);
+min_heap_order!(HeldPacket);
+
+/// The per-node transport of the threaded backend.  Constructed *inside* the node's thread
+/// (it holds thread-local `Rc`-based packets in its loopback queue, so it is deliberately
+/// never sent across threads).
+pub struct ThreadedTransport {
+    site: SiteId,
+    router: Arc<Router>,
+    rx: Receiver<NodeMsg>,
+    faults: FaultPlan,
+    rng: DetRng,
+    timers: BinaryHeap<TimerEntry>,
+    held: BinaryHeap<HeldPacket>,
+    /// Same-site loopback: local traffic never crosses the wire (or the codec).
+    local: VecDeque<Packet>,
+    /// Latest promised delivery instant per (src, dst) channel, so injected jitter cannot
+    /// reorder a channel that the network model would keep FIFO (mirrors
+    /// `NetworkModel::channel_front`); deliberate reordering bypasses the clamp.
+    channel_front: FastHashMap<(ProcessId, ProcessId), SimTime>,
+    seq: u64,
+}
+
+impl ThreadedTransport {
+    fn new(
+        site: SiteId,
+        router: Arc<Router>,
+        rx: Receiver<NodeMsg>,
+        faults: FaultPlan,
+        seed: u64,
+    ) -> Self {
+        ThreadedTransport {
+            site,
+            router,
+            rx,
+            faults,
+            rng: DetRng::new(seed),
+            timers: BinaryHeap::new(),
+            held: BinaryHeap::new(),
+            local: VecDeque::new(),
+            channel_front: FastHashMap::default(),
+            seq: 0,
+        }
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Files an incoming channel message; packets wait in the held heap until due.
+    fn accept(&mut self, msg: NodeMsg) -> Option<Event> {
+        match msg {
+            NodeMsg::Packet(wire) => {
+                let entry = HeldPacket {
+                    due: wire.deliver_at,
+                    seq: self.next_seq(),
+                    wire,
+                };
+                self.held.push(entry);
+                None
+            }
+            NodeMsg::Invoke(f) => Some(Event::Invoke(f)),
+        }
+    }
+
+    /// Pops whichever of (due timer, due held packet) comes first, if any is due at `now`.
+    fn pop_due(&mut self, now: SimTime) -> Option<Event> {
+        loop {
+            let timer_due = self.timers.peek().map(|t| t.due);
+            let packet_due = self.held.peek().map(|p| p.due);
+            match (timer_due, packet_due) {
+                (Some(td), pd) if td <= now && pd.map(|p| td <= p).unwrap_or(true) => {
+                    let t = self.timers.pop().expect("peeked");
+                    return Some(Event::Timer(t.token));
+                }
+                (_, Some(pd)) if pd <= now => {
+                    let p = self.held.pop().expect("peeked");
+                    match p.wire.into_packet() {
+                        Ok(pkt) => return Some(Event::Packet(pkt)),
+                        // An undecodable wire packet is dropped like a corrupt datagram.
+                        Err(_) => continue,
+                    }
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// The earliest future deadline among pending timers and held packets.
+    fn next_deadline(&self) -> Option<SimTime> {
+        let t = self.timers.peek().map(|t| t.due);
+        let p = self.held.peek().map(|p| p.due);
+        match (t, p) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+impl Transport for ThreadedTransport {
+    fn site(&self) -> SiteId {
+        self.site
+    }
+
+    fn now(&self) -> SimTime {
+        self.router.now()
+    }
+
+    fn send(&mut self, pkt: Packet) {
+        if pkt.dst.site == self.site {
+            self.local.push_back(pkt);
+            return;
+        }
+        let decision = self.faults.decide(&mut self.rng);
+        let mut deliver_at = self.now() + decision.extra;
+        let key = (pkt.src, pkt.dst);
+        if decision.reordered {
+            // Deliberately reordered: bypass the FIFO clamp *and leave it untouched*, so
+            // packets sent later keep their earlier delivery instants and can overtake.
+            // Folding this packet's (inflated) instant into the clamp would push every
+            // later packet behind it and quietly restore FIFO.
+        } else if let Some(front) = self.channel_front.get_mut(&key) {
+            if deliver_at < *front {
+                deliver_at = *front;
+            } else {
+                *front = deliver_at;
+            }
+        } else {
+            self.channel_front.insert(key, deliver_at);
+        }
+        let wire = WirePacket::from_packet(&pkt, deliver_at);
+        self.router.send_to(pkt.dst.site, NodeMsg::Packet(wire));
+    }
+
+    fn set_timer(&mut self, after: Duration, token: u64) {
+        let entry = TimerEntry {
+            due: self.now() + after,
+            seq: self.next_seq(),
+            token,
+        };
+        self.timers.push(entry);
+    }
+
+    fn recv(&mut self, block: bool) -> Option<Event> {
+        loop {
+            if let Some(pkt) = self.local.pop_front() {
+                return Some(Event::Packet(pkt));
+            }
+            if let Some(ev) = self.pop_due(self.now()) {
+                return Some(ev);
+            }
+            if !block {
+                // Pull in whatever already sits on the channel (it may be immediately
+                // due), but never wait.
+                match self.rx.try_recv() {
+                    Recv::Item(msg) => {
+                        if let Some(ev) = self.accept(msg) {
+                            return Some(ev);
+                        }
+                    }
+                    Recv::TimedOut | Recv::Disconnected => return None,
+                }
+                continue;
+            }
+            let deadline = self.next_deadline().map(|t| self.router.instant_of(t));
+            match self.rx.recv_deadline(deadline) {
+                Recv::Item(msg) => {
+                    if let Some(ev) = self.accept(msg) {
+                        return Some(ev);
+                    }
+                }
+                // A deadline passed: loop around and fire the now-due timer/packet.
+                Recv::TimedOut => {}
+                // Disconnected from the cluster: exit even though timers may be pending —
+                // a crashed site's timers die with it.
+                Recv::Disconnected => return None,
+            }
+        }
+    }
+}
+
+/// Final accounting returned by a node's thread.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeReport {
+    /// The site the node ran.
+    pub site: SiteId,
+    /// Events (packets, timers, invokes) dispatched into the handler.
+    pub events: u64,
+}
+
+/// A cluster of nodes, one OS thread each.
+pub struct ThreadedCluster {
+    router: Arc<Router>,
+    faults: FaultPlan,
+    seed: u64,
+    spawned: u64,
+    handles: Vec<Option<JoinHandle<NodeReport>>>,
+    reports: Vec<NodeReport>,
+}
+
+impl ThreadedCluster {
+    /// Creates a cluster shell with `num_sites` empty slots.  Sites start when
+    /// [`ThreadedCluster::spawn_site`] installs a handler factory.
+    pub fn new(num_sites: usize, faults: FaultPlan, seed: u64) -> Self {
+        ThreadedCluster {
+            router: Arc::new(Router::new(num_sites)),
+            faults,
+            seed,
+            spawned: 0,
+            handles: (0..num_sites).map(|_| None).collect(),
+            reports: Vec::new(),
+        }
+    }
+
+    /// Number of site slots.
+    pub fn num_sites(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Microseconds since cluster start.
+    pub fn now(&self) -> SimTime {
+        self.router.now()
+    }
+
+    /// True if the site currently has a live node.
+    pub fn site_is_up(&self, site: SiteId) -> bool {
+        self.router.is_up(site)
+    }
+
+    /// Starts a node for `site` on its own OS thread.  `make` runs *on that thread* and
+    /// builds the site's handler (so `Rc`-based stack state never crosses threads); only
+    /// the factory itself must be `Send`.  Panics if the slot is already occupied.
+    pub fn spawn_site<F>(&mut self, site: SiteId, make: F)
+    where
+        F: FnOnce(SimTime) -> Box<dyn SiteHandler> + Send + 'static,
+    {
+        let idx = site.index();
+        assert!(idx < self.handles.len(), "site {site:?} out of range");
+        assert!(
+            !self.site_is_up(site) && self.handles[idx].is_none(),
+            "site {site:?} already has a live node"
+        );
+        let (tx, rx) = chan::channel();
+        self.router.slots.write()[idx] = Some(tx);
+        self.spawned += 1;
+        // Per-incarnation fault seed: deterministic per node, distinct across recoveries.
+        let seed = self
+            .seed
+            .wrapping_add((idx as u64 + 1).wrapping_mul(0x9E37_79B9))
+            .wrapping_add(self.spawned << 32);
+        let router = self.router.clone();
+        let faults = self.faults;
+        let handle = std::thread::Builder::new()
+            .name(format!("vsync-node-{}", site.0))
+            .spawn(move || {
+                let transport = ThreadedTransport::new(site, router, rx, faults, seed);
+                let now = transport.now();
+                let mut node = Node::new(transport, make(now));
+                node.start();
+                let events = node.run();
+                NodeReport { site, events }
+            })
+            .expect("spawn node thread");
+        self.handles[idx] = Some(handle);
+    }
+
+    /// Injects a control-plane closure into a node's event loop.  Returns `false` if the
+    /// site is down (the closure is dropped, like any packet to a crashed site).
+    pub fn invoke(&self, site: SiteId, f: InvokeFn) -> bool {
+        self.router.send_to(site, NodeMsg::Invoke(f))
+    }
+
+    /// Crashes a site: its channel closes, the node drains its backlog, observes the
+    /// disconnect and exits; pending timers die with it.  Blocks until the thread has
+    /// finished and returns its report.  No-op returning `None` if the site is down.
+    pub fn kill_site(&mut self, site: SiteId) -> Option<NodeReport> {
+        let idx = site.index();
+        // Dropping the slot's sender is the kill: the receiver observes the disconnect
+        // once its queue drains and the run loop exits.
+        self.router.slots.write().get_mut(idx)?.take()?;
+        let handle = self.handles.get_mut(idx)?.take()?;
+        match handle.join() {
+            Ok(report) => {
+                self.reports.push(report);
+                Some(report)
+            }
+            Err(payload) => {
+                // Re-raise a node-thread panic — unless this join runs during an unwind
+                // (e.g. `Drop` after a failed test assertion), where a second panic would
+                // abort the process and eat the original failure message.
+                if std::thread::panicking() {
+                    eprintln!("node thread for {site:?} panicked (suppressed: already unwinding)");
+                    None
+                } else {
+                    std::panic::resume_unwind(payload)
+                }
+            }
+        }
+    }
+
+    /// Stops every live node and returns the reports of all nodes this cluster ever ran.
+    pub fn shutdown(mut self) -> Vec<NodeReport> {
+        self.shutdown_all();
+        std::mem::take(&mut self.reports)
+    }
+
+    fn shutdown_all(&mut self) {
+        for i in 0..self.handles.len() {
+            self.kill_site(SiteId(i as u16));
+        }
+    }
+}
+
+impl Drop for ThreadedCluster {
+    fn drop(&mut self) {
+        // Never leak node threads: a dropped cluster (test failure, early return) still
+        // closes every channel and joins every thread.
+        self.shutdown_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+    use std::sync::mpsc;
+    use vsync_msg::Message;
+    use vsync_net::{Outbox, PacketKind};
+
+    /// Echoes every "ping" back to its sender and reports everything it sees.
+    struct Echo {
+        me: SiteId,
+        seen: mpsc::Sender<(SiteId, String)>,
+    }
+
+    impl SiteHandler for Echo {
+        fn on_start(&mut self, _now: SimTime, out: &mut Outbox) {
+            out.set_timer(Duration::from_millis(1), 7);
+        }
+        fn on_packet(&mut self, _now: SimTime, pkt: Packet, out: &mut Outbox) {
+            let body = pkt.payload.get_str("body").unwrap_or("").to_owned();
+            if body == "ping" {
+                out.send(Packet::new(
+                    pkt.dst,
+                    pkt.src,
+                    PacketKind::Reply,
+                    Message::with_body("pong"),
+                ));
+            }
+            let _ = self.seen.send((self.me, body));
+        }
+        fn on_timer(&mut self, _now: SimTime, token: u64, _out: &mut Outbox) {
+            let _ = self.seen.send((self.me, format!("timer{token}")));
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn echo_cluster(n: usize) -> (ThreadedCluster, mpsc::Receiver<(SiteId, String)>) {
+        let (tx, rx) = mpsc::channel();
+        let mut cluster = ThreadedCluster::new(n, FaultPlan::none(), 11);
+        for i in 0..n {
+            let tx = tx.clone();
+            cluster.spawn_site(SiteId(i as u16), move |_now| {
+                Box::new(Echo {
+                    me: SiteId(i as u16),
+                    seen: tx,
+                })
+            });
+        }
+        (cluster, rx)
+    }
+
+    fn wait_for(rx: &mpsc::Receiver<(SiteId, String)>, what: &str) -> Option<(SiteId, String)> {
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while Instant::now() < deadline {
+            if let Ok(ev) = rx.recv_timeout(std::time::Duration::from_millis(50)) {
+                if ev.1 == what {
+                    return Some(ev);
+                }
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn ping_pong_crosses_threads() {
+        let (cluster, rx) = echo_cluster(2);
+        let a = ProcessId::new(SiteId(0), 1);
+        let b = ProcessId::new(SiteId(1), 1);
+        assert!(cluster.invoke(
+            SiteId(0),
+            Box::new(move |_h, _now, out| {
+                out.send(Packet::new(
+                    a,
+                    b,
+                    PacketKind::Data,
+                    Message::with_body("ping"),
+                ));
+            })
+        ));
+        let ping = wait_for(&rx, "ping").expect("site 1 saw the ping");
+        assert_eq!(ping.0, SiteId(1));
+        let pong = wait_for(&rx, "pong").expect("site 0 saw the pong");
+        assert_eq!(pong.0, SiteId(0));
+        let reports = cluster.shutdown();
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.events > 0));
+    }
+
+    #[test]
+    fn timers_fire_on_real_threads() {
+        let (cluster, rx) = echo_cluster(1);
+        assert!(wait_for(&rx, "timer7").is_some(), "start timer fired");
+        drop(cluster);
+    }
+
+    #[test]
+    fn killed_sites_drop_traffic_and_recovery_restores_it() {
+        let (mut cluster, rx) = echo_cluster(2);
+        assert!(wait_for(&rx, "timer7").is_some());
+        let report = cluster.kill_site(SiteId(1)).expect("was up");
+        assert_eq!(report.site, SiteId(1));
+        assert!(!cluster.site_is_up(SiteId(1)));
+        // Sends toward the dead site are dropped at the router.
+        let a = ProcessId::new(SiteId(0), 1);
+        let b = ProcessId::new(SiteId(1), 1);
+        assert!(cluster.invoke(
+            SiteId(0),
+            Box::new(move |_h, _now, out| {
+                out.send(Packet::new(
+                    a,
+                    b,
+                    PacketKind::Data,
+                    Message::with_body("ping"),
+                ));
+            })
+        ));
+        assert!(!cluster.invoke(SiteId(1), Box::new(|_h, _n, _o| {})));
+        // Recovery: a fresh node occupies the slot and answers again.
+        let (tx2, rx2) = mpsc::channel();
+        cluster.spawn_site(SiteId(1), move |_now| {
+            Box::new(Echo {
+                me: SiteId(1),
+                seen: tx2,
+            })
+        });
+        assert!(cluster.site_is_up(SiteId(1)));
+        assert!(cluster.invoke(
+            SiteId(0),
+            Box::new(move |_h, _now, out| {
+                out.send(Packet::new(
+                    a,
+                    b,
+                    PacketKind::Data,
+                    Message::with_body("ping"),
+                ));
+            })
+        ));
+        assert!(wait_for(&rx2, "ping").is_some(), "recovered node receives");
+        drop(rx);
+    }
+
+    #[test]
+    fn reorder_injection_actually_reorders() {
+        let (tx, rx) = mpsc::channel();
+        let mut cluster = ThreadedCluster::new(
+            2,
+            // ~30% of packets skip the FIFO clamp and are held 3 ms extra, long past the
+            // sub-millisecond spacing of a burst — they must land out of order.
+            FaultPlan::none().with_reorder(0.3, Duration::from_millis(3)),
+            21,
+        );
+        for i in 0..2 {
+            let tx = tx.clone();
+            cluster.spawn_site(SiteId(i as u16), move |_now| {
+                Box::new(Echo {
+                    me: SiteId(i as u16),
+                    seen: tx,
+                })
+            });
+        }
+        let a = ProcessId::new(SiteId(0), 1);
+        let b = ProcessId::new(SiteId(1), 1);
+        cluster.invoke(
+            SiteId(0),
+            Box::new(move |_h, _now, out| {
+                for i in 0..30u64 {
+                    out.send(Packet::new(
+                        a,
+                        b,
+                        PacketKind::Data,
+                        Message::with_body(format!("m{i:02}")),
+                    ));
+                }
+            }),
+        );
+        let mut got = Vec::new();
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while got.len() < 30 && Instant::now() < deadline {
+            if let Ok((site, body)) = rx.recv_timeout(std::time::Duration::from_millis(50)) {
+                if site == SiteId(1) && body.starts_with('m') {
+                    got.push(body);
+                }
+            }
+        }
+        let want: Vec<String> = (0..30).map(|i| format!("m{i:02}")).collect();
+        let mut sorted = got.clone();
+        sorted.sort();
+        assert_eq!(sorted, want, "every packet still delivered exactly once");
+        assert_ne!(
+            got, want,
+            "with reorder injection the arrival order must differ"
+        );
+    }
+
+    #[test]
+    fn jittered_channels_still_deliver_in_fifo_order() {
+        // Heavy jitter, but no deliberate reordering: the per-channel clamp must keep one
+        // sender's stream in order.
+        let (tx, rx) = mpsc::channel();
+        let mut cluster = ThreadedCluster::new(
+            2,
+            FaultPlan::none().with_jitter(Duration::from_millis(2)),
+            5,
+        );
+        for i in 0..2 {
+            let tx = tx.clone();
+            cluster.spawn_site(SiteId(i as u16), move |_now| {
+                Box::new(Echo {
+                    me: SiteId(i as u16),
+                    seen: tx,
+                })
+            });
+        }
+        let a = ProcessId::new(SiteId(0), 1);
+        let b = ProcessId::new(SiteId(1), 1);
+        cluster.invoke(
+            SiteId(0),
+            Box::new(move |_h, _now, out| {
+                for i in 0..20u64 {
+                    out.send(Packet::new(
+                        a,
+                        b,
+                        PacketKind::Data,
+                        Message::with_body(format!("m{i}")),
+                    ));
+                }
+            }),
+        );
+        let mut got = Vec::new();
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while got.len() < 20 && Instant::now() < deadline {
+            if let Ok((site, body)) = rx.recv_timeout(std::time::Duration::from_millis(50)) {
+                if site == SiteId(1) && body.starts_with('m') {
+                    got.push(body);
+                }
+            }
+        }
+        let want: Vec<String> = (0..20).map(|i| format!("m{i}")).collect();
+        assert_eq!(got, want, "per-channel FIFO under jitter");
+    }
+}

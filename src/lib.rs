@@ -13,6 +13,9 @@
 //! * [`proto`] — CBCAST / ABCAST / GBCAST sans-io protocol state machines.
 //! * [`core`] — the user-facing toolkit core: processes, group RPC, the protocol
 //!   stack, and [`IsisSystem`](vsync_core::IsisSystem).
+//! * [`rt`](mod@rt) — runtime backends behind the `Transport` abstraction: the
+//!   deterministic simulation and the multi-threaded in-process runtime (one OS
+//!   thread per site, lock-protected channels, fault injection).
 //! * [`tools`] — the ISIS tool suite (coordinator–cohort, replicated data,
 //!   semaphores, monitoring, recovery, state transfer, news, bulletin board).
 //! * [`apps`] — worked applications: twenty questions (paper Section 5) and the
@@ -26,5 +29,6 @@ pub use vsync_core as core;
 pub use vsync_msg as msg;
 pub use vsync_net as net;
 pub use vsync_proto as proto;
+pub use vsync_rt as rt;
 pub use vsync_tools as tools;
 pub use vsync_util as util;

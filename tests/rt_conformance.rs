@@ -1,0 +1,274 @@
+//! Cross-backend conformance: the same seeded group scenario runs on the deterministic
+//! simulation backend and on the multi-threaded backend, and both must satisfy the
+//! virtual-synchrony invariants the simulator tests pin — identical per-group delivery
+//! orders relative to views (paper Section 2.4).
+//!
+//! What "the same" can mean differs by backend: the simulation replays one exact schedule;
+//! the threaded run is scheduled by the OS (with seeded delay/jitter injection on top), so
+//! its interleaving is not reproducible.  The conformance contract is therefore the
+//! *invariant*, not the schedule:
+//!
+//! * every member observes the same sequence of views;
+//! * between any two consecutive views, every member delivers exactly the same messages in
+//!   exactly the same order (the traffic is ABCAST, so the order must be total);
+//! * messages sent by survivors are delivered exactly once, atomically, at every survivor;
+//! * across backends, survivors deliver the same *set* of messages (the order may differ
+//!   between backends — both are valid total orders).
+
+use std::sync::mpsc;
+
+use vsync::core::{Duration, EntryId, Message, ProcessId, ProtocolKind, SiteId, StackConfig};
+use vsync::proto::ProtoConfig;
+use vsync::rt::{FaultPlan, IsisHarness, IsisRuntime, SimRuntime, ThreadedRuntime};
+use vsync::util::NetParams;
+
+const APPLY: EntryId = EntryId(5);
+
+/// One observation from a member process, tagged with the member's site.  Observations
+/// from one member arrive in its local order (handlers run sequentially on the member's
+/// node), so filtering the shared stream by member reconstructs each member's event log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Obs {
+    Delivered { member: u16, body: u64 },
+    ViewInstalled { member: u16, seq: u64, len: usize },
+}
+
+/// Per-member event log: deliveries partitioned by the views they happened in.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct MemberLog {
+    /// `(view_seq_at_delivery_time, body)` in local delivery order.
+    deliveries: Vec<(u64, u64)>,
+    /// View sequence numbers in installation order.
+    views: Vec<u64>,
+}
+
+fn member_logs(observations: &[Obs], members: &[u16]) -> Vec<MemberLog> {
+    members
+        .iter()
+        .map(|m| {
+            let mut log = MemberLog::default();
+            let mut current_view = 0;
+            for obs in observations {
+                match obs {
+                    Obs::ViewInstalled { member, seq, .. } if member == m => {
+                        current_view = *seq;
+                        log.views.push(*seq);
+                    }
+                    Obs::Delivered { member, body } if member == m => {
+                        log.deliveries.push((current_view, *body));
+                    }
+                    _ => {}
+                }
+            }
+            log
+        })
+        .collect()
+}
+
+/// Runs the scenario: a three-member group over sites 0-2, a first ABCAST burst from every
+/// member, a crash of site 2 once the burst is fully delivered, a second burst from the
+/// survivors, and a drain.  Returns the collected observations.
+fn run_scenario<R: IsisRuntime>(mut h: IsisHarness<R>) -> Vec<Obs> {
+    let (tx, rx) = mpsc::channel::<Obs>();
+    let gid_slot = h.allocate_group_id();
+    let members: Vec<ProcessId> = (0..3u16)
+        .map(|site| {
+            let tx = tx.clone();
+            h.spawn(SiteId(site), move |b| {
+                let tx2 = tx.clone();
+                b.on_entry(APPLY, move |_ctx, msg| {
+                    let _ = tx.send(Obs::Delivered {
+                        member: site,
+                        body: msg.get_u64("body").unwrap_or(u64::MAX),
+                    });
+                });
+                b.on_view_change(gid_slot, move |_ctx, ev| {
+                    let _ = tx2.send(Obs::ViewInstalled {
+                        member: site,
+                        seq: ev.view.seq(),
+                        len: ev.view.len(),
+                    });
+                });
+            })
+        })
+        .collect();
+    h.create_group_with_id("conf", gid_slot, members[0]);
+    for m in &members[1..] {
+        h.join_and_wait(gid_slot, *m, None, Duration::from_secs(20))
+            .expect("join");
+    }
+
+    // Barrier: every member site has installed the fully-formed view (seq 3: create plus
+    // two joins) before any traffic flows, so all sixteen messages belong to views every
+    // member participates in.
+    let ok = h.wait_until(Duration::from_secs(20), |h| {
+        (0..3u16).all(|s| {
+            h.view_of(SiteId(s), gid_slot)
+                .map(|v| v.seq() == 3 && v.len() == 3)
+                .unwrap_or(false)
+        })
+    });
+    assert!(ok, "three-member view never installed everywhere");
+
+    // Phase one: eight ABCASTs, senders rotating over all three members.
+    for i in 0..8u64 {
+        h.client_send(
+            members[(i % 3) as usize],
+            gid_slot,
+            APPLY,
+            Message::with_body(i),
+            ProtocolKind::Abcast,
+        );
+    }
+    // Wait until all 24 phase-one deliveries (8 messages × 3 members) are observed, so the
+    // crash cannot take phase-one messages with it and both backends settle on one set.
+    let mut observations: Vec<Obs> = Vec::new();
+    let all_phase_one = |obs: &[Obs]| {
+        obs.iter()
+            .filter(|o| matches!(o, Obs::Delivered { .. }))
+            .count()
+            >= 24
+    };
+    let ok = h.wait_until(Duration::from_secs(20), |_h| {
+        while let Ok(o) = rx.try_recv() {
+            observations.push(o);
+        }
+        all_phase_one(&observations)
+    });
+    assert!(ok, "phase-one deliveries incomplete: {observations:?}");
+
+    // Crash the third member's site; survivors must flush and install the 2-member view.
+    h.rt.kill_site(SiteId(2));
+    let ok = h.wait_until(Duration::from_secs(30), |h| {
+        [0u16, 1].iter().all(|s| {
+            h.view_of(SiteId(*s), gid_slot)
+                .map(|v| v.len() == 2)
+                .unwrap_or(false)
+        })
+    });
+    assert!(ok, "survivors never installed the post-crash view");
+
+    // Phase two: eight more ABCASTs from the survivors only.
+    for i in 8..16u64 {
+        h.client_send(
+            members[(i % 2) as usize],
+            gid_slot,
+            APPLY,
+            Message::with_body(i),
+            ProtocolKind::Abcast,
+        );
+    }
+    let ok = h.wait_until(Duration::from_secs(20), |_h| {
+        while let Ok(o) = rx.try_recv() {
+            observations.push(o);
+        }
+        // 24 phase-one + 16 phase-two survivor deliveries; the crashed member may have
+        // logged some phase-one deliveries of its own on top.
+        let survivor_deliveries = observations
+            .iter()
+            .filter(|o| matches!(o, Obs::Delivered { member, .. } if *member < 2))
+            .count();
+        survivor_deliveries >= 16 + 16
+    });
+    // Final drain of anything still in flight.
+    h.settle(Duration::from_millis(50));
+    while let Ok(o) = rx.try_recv() {
+        observations.push(o);
+    }
+    assert!(ok, "phase-two deliveries incomplete: {observations:?}");
+    observations
+}
+
+/// The virtual-synchrony checks both backends must pass.
+fn check_virtual_synchrony(observations: &[Obs]) -> Vec<u64> {
+    let logs = member_logs(observations, &[0, 1]);
+    // Survivors observe the same view sequence from the fully-formed view onward (before
+    // that their histories legitimately differ: each member starts observing the group at
+    // its own join).
+    let views_from_full =
+        |log: &MemberLog| -> Vec<u64> { log.views.iter().copied().filter(|s| *s >= 3).collect() };
+    assert_eq!(
+        views_from_full(&logs[0]),
+        views_from_full(&logs[1]),
+        "survivors disagree on the view sequence"
+    );
+    // Identical delivery orders relative to views: every delivery is tagged with the view
+    // it was delivered in, and the full tagged sequences must match — same total order
+    // (ABCAST) and same partitioning across view boundaries (the virtual synchrony cut).
+    assert_eq!(
+        logs[0].deliveries, logs[1].deliveries,
+        "survivors disagree on delivery order relative to views"
+    );
+    // Exactly-once: no body repeats.
+    let mut bodies: Vec<u64> = logs[0].deliveries.iter().map(|(_, b)| *b).collect();
+    let order = bodies.clone();
+    bodies.sort_unstable();
+    let before = bodies.len();
+    bodies.dedup();
+    assert_eq!(before, bodies.len(), "duplicate deliveries");
+    // All sixteen messages (both phases came from processes that stayed alive through
+    // their sends and the waits) are delivered.
+    assert_eq!(bodies, (0..16).collect::<Vec<u64>>(), "lost deliveries");
+    order
+}
+
+#[test]
+fn simulated_backend_preserves_virtual_synchrony() {
+    let params = NetParams::modern();
+    let h = IsisHarness::new(SimRuntime::new(
+        3,
+        params,
+        StackConfig::from_params(&params),
+        ProtoConfig::fast(),
+        2026,
+    ));
+    let obs = run_scenario(h);
+    check_virtual_synchrony(&obs);
+}
+
+#[test]
+fn threaded_backend_preserves_virtual_synchrony() {
+    // Delay + jitter injection on top of real threads; the FIFO clamp keeps channels
+    // in order, the protocols do the rest.
+    let faults = FaultPlan::none()
+        .with_delay(Duration::from_micros(100))
+        .with_jitter(Duration::from_micros(300));
+    let h = IsisHarness::new(ThreadedRuntime::new(
+        3,
+        ThreadedRuntime::fast_local_config(),
+        ProtoConfig::fast(),
+        faults,
+        2026,
+    ));
+    let obs = run_scenario(h);
+    check_virtual_synchrony(&obs);
+}
+
+#[test]
+fn both_backends_deliver_the_same_message_set() {
+    let params = NetParams::modern();
+    let sim_obs = run_scenario(IsisHarness::new(SimRuntime::new(
+        3,
+        params,
+        StackConfig::from_params(&params),
+        ProtoConfig::fast(),
+        2026,
+    )));
+    let sim_order = check_virtual_synchrony(&sim_obs);
+    let thr_obs = run_scenario(IsisHarness::new(ThreadedRuntime::new(
+        3,
+        ThreadedRuntime::fast_local_config(),
+        ProtoConfig::fast(),
+        FaultPlan::none(),
+        2026,
+    )));
+    let thr_order = check_virtual_synchrony(&thr_obs);
+    // Both backends deliver exactly the same set; each backend's order is a valid total
+    // order but the two need not coincide (the threaded schedule is the OS's).
+    let set = |v: &[u64]| {
+        let mut s = v.to_vec();
+        s.sort_unstable();
+        s
+    };
+    assert_eq!(set(&sim_order), set(&thr_order));
+}

@@ -1,0 +1,229 @@
+//! End-to-end group lifecycle over the **threaded** backend: join, concurrent CBCAST and
+//! ABCAST traffic under load, a member-site crash, the flush, the new view, and a state
+//! transfer to a late joiner — the full sequence the simulator tests pin, now on real OS
+//! threads with packets crossing lock-protected channels.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+
+use vsync::core::{Duration, EntryId, Message, ProcessId, ProtocolKind, SiteId};
+use vsync::proto::ProtoConfig;
+use vsync::rt::{FaultPlan, IsisHarness, IsisRuntime, ThreadedRuntime};
+use vsync::tools::StateTransfer;
+
+const APPLY: EntryId = EntryId(2);
+
+fn threaded_harness(n: usize, faults: FaultPlan) -> IsisHarness<ThreadedRuntime> {
+    IsisHarness::new(ThreadedRuntime::new(
+        n,
+        ThreadedRuntime::fast_local_config(),
+        ProtoConfig::fast(),
+        faults,
+        99,
+    ))
+}
+
+/// Spawns a member whose counter state is updated by multicast, transferred on join, and
+/// observable from the test thread through an atomic mirror.
+fn spawn_counter_member(
+    h: &mut IsisHarness<ThreadedRuntime>,
+    site: SiteId,
+    gid: vsync::core::GroupId,
+    ready: bool,
+) -> (ProcessId, Arc<AtomicU64>) {
+    let mirror = Arc::new(AtomicU64::new(0));
+    let mirror2 = mirror.clone();
+    let pid = h.spawn(site, move |b| {
+        // Thread-local state plus the transfer tool, all built on the node's own thread.
+        let counter: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
+        let c_encode = counter.clone();
+        let c_apply = counter.clone();
+        let m_apply = mirror2.clone();
+        let xfer = StateTransfer::new(
+            gid,
+            move || vec![Message::new().with("counter", *c_encode.borrow())],
+            move |_ctx, block| {
+                if let Some(v) = block.get_u64("counter") {
+                    *c_apply.borrow_mut() = v;
+                    m_apply.store(v, Ordering::Relaxed);
+                }
+            },
+        );
+        xfer.attach(b);
+        if ready {
+            xfer.mark_ready();
+        }
+        let c_update = counter.clone();
+        b.on_entry(APPLY, move |_ctx, msg| {
+            let mut c = c_update.borrow_mut();
+            *c += msg.get_u64("body").unwrap_or(0);
+            mirror2.store(*c, Ordering::Relaxed);
+        });
+    });
+    (pid, mirror)
+}
+
+#[test]
+fn full_lifecycle_over_real_threads() {
+    let mut h = threaded_harness(
+        4,
+        // Real concurrency plus injected link delay, jitter and modelled loss.
+        FaultPlan::none()
+            .with_delay(Duration::from_micros(50))
+            .with_jitter(Duration::from_micros(200))
+            .with_drop(0.005),
+    );
+    let gid = h.allocate_group_id();
+
+    // -- Join ---------------------------------------------------------------------------
+    let (creator, c0) = spawn_counter_member(&mut h, SiteId(0), gid, true);
+    h.create_group_with_id("lifecycle", gid, creator);
+    let (m1, c1) = spawn_counter_member(&mut h, SiteId(1), gid, false);
+    let (m2, _c2) = spawn_counter_member(&mut h, SiteId(2), gid, false);
+    h.join_and_wait(gid, m1, None, Duration::from_secs(20))
+        .expect("join m1");
+    h.join_and_wait(gid, m2, None, Duration::from_secs(20))
+        .expect("join m2");
+    let ok = h.wait_until(Duration::from_secs(10), |h| {
+        (0..3u16).all(|s| {
+            h.view_of(SiteId(s), gid)
+                .map(|v| v.len() == 3)
+                .unwrap_or(false)
+        })
+    });
+    assert!(ok, "three-member view installed everywhere");
+
+    // -- Concurrent CBCAST and ABCAST traffic under load ---------------------------------
+    // 30 increments of 1, interleaving both primitives and all three senders.
+    let senders = [creator, m1, m2];
+    for i in 0..30u64 {
+        let protocol = if i % 2 == 0 {
+            ProtocolKind::Cbcast
+        } else {
+            ProtocolKind::Abcast
+        };
+        h.client_send(
+            senders[(i % 3) as usize],
+            gid,
+            APPLY,
+            Message::with_body(1u64),
+            protocol,
+        );
+    }
+    let ok = h.wait_until(Duration::from_secs(20), |_| {
+        c0.load(Ordering::Relaxed) == 30 && c1.load(Ordering::Relaxed) == 30
+    });
+    assert!(
+        ok,
+        "all 30 increments applied everywhere (c0={}, c1={})",
+        c0.load(Ordering::Relaxed),
+        c1.load(Ordering::Relaxed)
+    );
+
+    // -- Crash, flush, new view -----------------------------------------------------------
+    h.rt.kill_site(SiteId(2));
+    assert!(!h.rt.site_is_up(SiteId(2)));
+    let ok = h.wait_until(Duration::from_secs(30), |h| {
+        [0u16, 1].iter().all(|s| {
+            h.view_of(SiteId(*s), gid)
+                .map(|v| v.len() == 2 && !v.contains(m2))
+                .unwrap_or(false)
+        })
+    });
+    assert!(ok, "survivors flushed and installed the two-member view");
+
+    // Traffic keeps flowing in the new view.
+    for _ in 0..10u64 {
+        h.client_send(
+            creator,
+            gid,
+            APPLY,
+            Message::with_body(1u64),
+            ProtocolKind::Abcast,
+        );
+    }
+    let ok = h.wait_until(Duration::from_secs(20), |_| {
+        c0.load(Ordering::Relaxed) == 40 && c1.load(Ordering::Relaxed) == 40
+    });
+    assert!(ok, "post-crash traffic delivered to both survivors");
+
+    // -- State transfer to a late joiner --------------------------------------------------
+    // Let the post-crash traffic become *stable* (several stability-gossip rounds at the
+    // 5 ms `ProtoConfig::fast` interval) before the join.  A join while those ABCASTs are
+    // still unstable makes the flush redeliver them to the joiner on top of a transferred
+    // snapshot that already contains them — the transfer tool does not yet coordinate its
+    // snapshot with the flush cut (recorded as a ROADMAP open item; the simulator's
+    // `tests/state_transfer.rs` settles before joining for the same reason).
+    h.settle(Duration::from_millis(250));
+    let (late, c3) = spawn_counter_member(&mut h, SiteId(3), gid, false);
+    h.join_and_wait(gid, late, None, Duration::from_secs(20))
+        .expect("late join");
+    let ok = h.wait_until(Duration::from_secs(20), |_| {
+        c3.load(Ordering::Relaxed) == 40
+    });
+    assert!(
+        ok,
+        "late joiner received the transferred counter (got {})",
+        c3.load(Ordering::Relaxed)
+    );
+
+    // Clean shutdown: every node thread joins, none leak.
+    let reports = h.rt.shutdown();
+    assert_eq!(reports.len(), 4);
+    assert!(reports.iter().all(|r| r.events > 0));
+}
+
+#[test]
+fn site_recovery_rejoins_the_cluster() {
+    let mut h = threaded_harness(3, FaultPlan::none());
+    let (tx, rx) = mpsc::channel::<u64>();
+    let creator = h.spawn(SiteId(0), move |b| {
+        b.on_entry(APPLY, move |_ctx, msg| {
+            let _ = tx.send(msg.get_u64("body").unwrap_or(0));
+        });
+    });
+    let gid = h.create_group("recover", creator);
+    h.rt.kill_site(SiteId(1));
+    assert!(!h.rt.site_is_up(SiteId(1)));
+    h.rt.recover_site(SiteId(1));
+    assert!(h.rt.site_is_up(SiteId(1)));
+    // The recovered site hosts a fresh process that can join the existing group.
+    let (jtx, jrx) = mpsc::channel::<u64>();
+    let joiner = h.spawn(SiteId(1), move |b| {
+        b.on_entry(APPLY, move |_ctx, msg| {
+            let _ = jtx.send(msg.get_u64("body").unwrap_or(0));
+        });
+    });
+    // The fresh stack lost its namespace cache; repopulate the contact entry (the
+    // recovery-manager tool does this from stable storage in the full system).
+    h.query(SiteId(1), move |stack, _now, _out| {
+        stack.register_group("recover", gid, vec![SiteId(0)]);
+    });
+    h.join_and_wait(gid, joiner, None, Duration::from_secs(20))
+        .expect("join after recovery");
+    h.client_send(
+        creator,
+        gid,
+        APPLY,
+        Message::with_body(5u64),
+        ProtocolKind::Cbcast,
+    );
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let mut got = (None, None);
+    while (got.0.is_none() || got.1.is_none()) && std::time::Instant::now() < deadline {
+        if let Ok(v) = rx.try_recv() {
+            got.0 = Some(v);
+        }
+        if let Ok(v) = jrx.try_recv() {
+            got.1 = Some(v);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert_eq!(
+        got,
+        (Some(5), Some(5)),
+        "both members deliver after recovery"
+    );
+}
