@@ -437,10 +437,12 @@ mod tests {
         let ev1 = ViewEvent {
             view: View::founding(GroupId(1), pid()),
             gbcasts: vec![],
+            covered: Default::default(),
         };
         let ev2 = ViewEvent {
             view: View::founding(GroupId(2), pid()),
             gbcasts: vec![],
+            covered: Default::default(),
         };
         proc.dispatch_view(&mut ctx, &ev1);
         proc.dispatch_view(&mut ctx, &ev2);

@@ -140,6 +140,16 @@ impl SiteStack {
         self.views.get(&group)
     }
 
+    /// Number of multicasts this site has received in the group's current view that are
+    /// not yet known stable (would be redistributed by a flush).  Zero if this site runs
+    /// no endpoint for the group.
+    pub fn unstable_count(&self, group: GroupId) -> usize {
+        self.endpoints
+            .get(&group)
+            .map(|ep| ep.unstable_len())
+            .unwrap_or(0)
+    }
+
     /// Resolves a symbolic group name from the local namespace cache.
     pub fn lookup(&self, name: &str) -> Option<GroupId> {
         self.directory.get(name).copied()
@@ -495,7 +505,12 @@ impl SiteStack {
         let mut members = std::mem::take(&mut self.member_scratch);
         members.clear();
         if let Some(ep) = self.endpoints.get(&group) {
-            members.extend_from_slice(ep.local_members());
+            // Route by the view the message was delivered in, not whatever is installed
+            // now: deliveries emitted at a flush cut are dispatched after the new view is
+            // already in place, but they belong to the old view and go to *its* local
+            // members — never to a process that joined at the cut, whose transferred
+            // snapshot already covers them.
+            members.extend_from_slice(ep.delivery_recipients(delivery.view_seq));
         }
         for m in members.drain(..) {
             self.dispatch_entry(m, entry, &delivery.payload, out);

@@ -501,6 +501,14 @@ impl IsisSystem {
     ) -> Option<R> {
         self.engine.with_site::<SiteStack, _>(site, f)
     }
+
+    /// Number of multicasts `site` has received in the group's current view that are not
+    /// yet known stable.  Join-under-load tests read this right before submitting a join
+    /// to prove the join really races in-flight traffic.
+    pub fn unstable_count(&mut self, site: SiteId, group: GroupId) -> usize {
+        self.with_stack(site, |stack, _now, _out| stack.unstable_count(group))
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]

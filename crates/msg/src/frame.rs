@@ -12,6 +12,12 @@
 //! stored wins — and is deliberately dropped by [`Frame::make_mut`], since mutating the
 //! message would invalidate anything derived from it.
 //!
+//! Symmetrically for the *send* path, [`Frame::wire_bytes`] caches the codec-encoded byte
+//! form in the shared allocation: a multicast fanned out to N destination sites over a
+//! byte-oriented transport (the threaded backend, or a future socket backend) is encoded
+//! once, and each destination clones a refcounted buffer.  Like the memo, the cache is
+//! dropped on mutation.
+//!
 //! Mutation is copy-on-write: [`Frame::make_mut`] hands out `&mut Message`, cloning the
 //! underlying message first if (and only if) other handles share it.  This is what keeps
 //! deliveries isolated — a receiver that edits its copy can never be observed by another
@@ -26,11 +32,41 @@ use std::fmt;
 use std::ops::Deref;
 use std::rc::Rc;
 
+use bytes::Bytes;
+
+use crate::codec;
 use crate::message::Message;
+
+/// Thread-local counter of codec encodes performed by [`Frame::wire_bytes`] (cache misses
+/// only — a warm cache costs a pointer clone, not an encode).  Tests use the deltas to pin
+/// the fan-out invariant: a frame shipped to N destinations over a byte-oriented transport
+/// is encoded once in total.  Thread-local for the same reason as the protocol-level
+/// `wire_stats`: nodes encode on their own threads and `cargo test` runs tests in parallel.
+pub mod wire_cache {
+    use std::cell::Cell;
+
+    thread_local! {
+        static ENCODES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Wire-byte encodes performed on this thread so far (cache hits excluded).
+    pub fn encodes() -> u64 {
+        ENCODES.with(|c| c.get())
+    }
+
+    pub(super) fn note_encode() {
+        ENCODES.with(|c| c.set(c.get() + 1));
+    }
+}
 
 struct FrameInner {
     msg: Message,
     memo: OnceCell<Box<dyn Any>>,
+    /// Codec-encoded wire form of the message, filled lazily by [`Frame::wire_bytes`].
+    /// Lives in the shared allocation, so a multicast fan-out that serializes the same
+    /// frame once per destination (the threaded backend's per-site `WirePacket`s) pays
+    /// for one encode and N buffer clones (`Bytes` is refcounted).
+    wire: OnceCell<Bytes>,
 }
 
 /// A shared, immutable wire frame: one encoded [`Message`] plus a write-once memo slot for
@@ -46,8 +82,23 @@ impl Frame {
             inner: Rc::new(FrameInner {
                 msg,
                 memo: OnceCell::new(),
+                wire: OnceCell::new(),
             }),
         }
+    }
+
+    /// The codec-encoded wire form of the framed message, encoded **once per frame**: the
+    /// bytes are cached in the shared allocation, so every later call (every further
+    /// destination of a fan-out) clones a refcounted buffer instead of re-walking the
+    /// field tree.  [`wire_cache`] counts the cache misses.
+    pub fn wire_bytes(&self) -> Bytes {
+        self.inner
+            .wire
+            .get_or_init(|| {
+                wire_cache::note_encode();
+                codec::encode(&self.inner.msg)
+            })
+            .clone()
     }
 
     /// The framed message.
@@ -68,10 +119,12 @@ impl Frame {
             self.inner = Rc::new(FrameInner {
                 msg: self.inner.msg.clone(),
                 memo: OnceCell::new(),
+                wire: OnceCell::new(),
             });
         }
         let inner = Rc::get_mut(&mut self.inner).expect("uniquely owned after copy-on-write");
         inner.memo = OnceCell::new();
+        inner.wire = OnceCell::new();
         &mut inner.msg
     }
 
@@ -197,6 +250,52 @@ mod tests {
         b.make_mut().set("body", 3u64);
         assert_eq!(a.memo_get::<u64>(), Some(&9));
         assert!(b.memo_get::<u64>().is_none());
+    }
+
+    #[test]
+    fn wire_bytes_encode_once_per_frame_across_handles() {
+        let frame = Frame::new(Message::with_body("fan-out").with("seq", 9u64));
+        let before = wire_cache::encodes();
+        // N destinations serialize the same frame; only the first pays for the encode.
+        let copies: Vec<Frame> = (0..4).map(|_| frame.clone()).collect();
+        let first = frame.wire_bytes();
+        for c in &copies {
+            assert_eq!(c.wire_bytes(), first);
+        }
+        assert_eq!(
+            wire_cache::encodes() - before,
+            1,
+            "one encode per frame, not per destination"
+        );
+        // The cached bytes are the real codec form.
+        assert_eq!(codec::decode(&first).expect("decode"), *frame.message());
+    }
+
+    #[test]
+    fn make_mut_invalidates_the_wire_cache() {
+        let mut a = Frame::new(Message::with_body(1u64));
+        let stale = a.wire_bytes();
+        a.make_mut().set("body", 2u64);
+        let before = wire_cache::encodes();
+        let fresh = a.wire_bytes();
+        assert_eq!(
+            wire_cache::encodes() - before,
+            1,
+            "cache dropped on mutation"
+        );
+        assert_ne!(stale, fresh);
+        assert_eq!(
+            codec::decode(&fresh).expect("decode").get_u64("body"),
+            Some(2)
+        );
+        // Copy-on-write keeps the aliasing handle's cache intact.
+        let b = a.clone();
+        let cached = a.wire_bytes();
+        let mut c = b.clone();
+        c.make_mut().set("body", 3u64);
+        let before = wire_cache::encodes();
+        assert_eq!(a.wire_bytes(), cached, "original handle keeps its cache");
+        assert_eq!(wire_cache::encodes() - before, 0);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::abcast::AbcastState;
 use crate::cbcast::{CbcastState, ReadyCb};
 use crate::config::ProtoConfig;
 use crate::flush::{stored_msg_id, FlushCoordinator, FlushParticipant, FlushRole};
+use crate::frontier::Frontier;
 use crate::messages::{ProtoMsg, StoredMsg};
 use crate::output::{Delivery, EndpointOutput, ViewEvent};
 use crate::stability::StabilityTracker;
@@ -47,6 +48,16 @@ pub struct GroupEndpoint {
     /// Members of the current view hosted at this site (same caching rationale: read on
     /// every local delivery).
     local_members: Vec<ProcessId>,
+    /// Sequence number of the previously installed view (0 if none).
+    prev_view_seq: u64,
+    /// Local members of the *previous* view.  Deliveries emitted at a flush cut are tagged
+    /// with the view they were sent in; by the time the hosting stack routes them the new
+    /// view is already installed, so it resolves recipients through
+    /// [`GroupEndpoint::delivery_recipients`] — pre-cut messages go to the old view's local
+    /// members (virtual synchrony: a message is delivered in the view it was sent in), and
+    /// in particular never to a process that joined at the cut, whose snapshot already
+    /// covers them.
+    prev_local_members: Vec<ProcessId>,
     /// Scratch for CBCAST deliveries, reused across received packets.
     ready_scratch: Vec<ReadyCb>,
     next_msg_seq: u64,
@@ -82,6 +93,8 @@ impl GroupEndpoint {
             view: None,
             peer_sites: Vec::new(),
             local_members: Vec::new(),
+            prev_view_seq: 0,
+            prev_local_members: Vec::new(),
             ready_scratch: Vec::new(),
             next_msg_seq: 0,
             flush_attempt: 0,
@@ -134,6 +147,7 @@ impl GroupEndpoint {
         out.push(EndpointOutput::ViewChange(ViewEvent {
             view,
             gbcasts: Vec::new(),
+            covered: Frontier::new(),
         }));
     }
 
@@ -479,6 +493,7 @@ impl GroupEndpoint {
                 target_seq,
                 view,
                 deliver,
+                covered,
                 gbcasts,
             } => {
                 self.apply_commit(
@@ -486,6 +501,7 @@ impl GroupEndpoint {
                     *target_seq,
                     view.clone(),
                     deliver.clone(),
+                    covered.clone(),
                     gbcasts.clone(),
                     out,
                 );
@@ -905,6 +921,21 @@ impl GroupEndpoint {
         let joined: Vec<ProcessId> = self.pending_joins.clone();
         let new_view = view.successor(&departed, &joined);
         let deliver = c.deliver_set();
+        // Describe the cut as a per-origin frontier: everything redistributed by this
+        // flush plus everything the coordinator already delivered in the old view.  A
+        // snapshot taken while installing the committed view covers exactly this set, so
+        // joiners use the frontier to suppress the redelivery of covered messages (their
+        // effects arrive via state transfer instead — the exactly-once partition of
+        // history that virtual synchrony promises a joiner).
+        let mut covered = Frontier::new();
+        for id in &self.delivered {
+            covered.observe(*id);
+        }
+        for s in &deliver {
+            if let Ok(id) = stored_msg_id(s) {
+                covered.observe(id);
+            }
+        }
         let gbcasts = std::mem::take(&mut self.pending_gbcasts);
         self.pending_joins.clear();
         self.pending_leaves.clear();
@@ -919,6 +950,7 @@ impl GroupEndpoint {
             target_seq: new_view.seq(),
             view: new_view.clone(),
             deliver: deliver.clone(),
+            covered: covered.clone(),
             gbcasts: gbcasts.clone(),
         }
         .encode_frame(self.group);
@@ -927,15 +959,27 @@ impl GroupEndpoint {
                 self.send_to_site(s, PacketKind::Flush, commit.clone(), out);
             }
         }
-        self.apply_commit(now, new_view.seq(), new_view, deliver, gbcasts, out);
+        self.apply_commit(
+            now,
+            new_view.seq(),
+            new_view,
+            deliver,
+            covered,
+            gbcasts,
+            out,
+        );
     }
 
+    // One parameter per `FlushCommit` field plus the clock and sink; bundling them into a
+    // struct would just restate the wire message.
+    #[allow(clippy::too_many_arguments)]
     fn apply_commit(
         &mut self,
         now: SimTime,
         target_seq: u64,
         new_view: View,
         deliver: Vec<StoredMsg>,
+        covered: Frontier,
         gbcasts: Vec<Message>,
         out: &mut Vec<EndpointOutput>,
     ) {
@@ -944,6 +988,13 @@ impl GroupEndpoint {
                 return;
             }
         }
+        // A joining endpoint (no view installed: this site only enters the group at this
+        // cut) must NOT apply the redistributed pre-cut messages: the state snapshot its
+        // members receive is taken exactly at this cut and already covers them, so
+        // delivering them here would double-apply (the bug that used to force every test
+        // to settle until traffic was stable before joining).  Members of the old view,
+        // by contrast, deliver whatever they are missing — that is the flush's job.
+        let joining = self.view.is_none();
         // Deliver the agreed cut: everything in the set that we have not delivered yet.
         for stored in deliver {
             let Ok((_, proto)) = ProtoMsg::decode_frame(&stored.wire) else {
@@ -958,7 +1009,7 @@ impl GroupEndpoint {
                     payload,
                     ..
                 } => {
-                    if self.delivered.contains(id) {
+                    if self.delivered.contains(id) || (joining && covered.covers(*id)) {
                         continue;
                     }
                     let ready = self.cb.receive(ReadyCb {
@@ -980,7 +1031,7 @@ impl GroupEndpoint {
                     payload,
                     ..
                 } => {
-                    if self.delivered.contains(id) {
+                    if self.delivered.contains(id) || (joining && covered.covers(*id)) {
                         continue;
                     }
                     self.ab.on_data(*id, *sender, payload.clone());
@@ -1004,9 +1055,13 @@ impl GroupEndpoint {
             }
         }
         // The cut is complete: install the view and deliver the view event plus any GBCASTs.
+        // The event carries the cut's covered frontier so a state-transfer source encoding
+        // its snapshot *while handling this event* can tag the blocks with exactly what the
+        // snapshot includes.
         out.push(EndpointOutput::ViewChange(ViewEvent {
             view: new_view.clone(),
             gbcasts,
+            covered,
         }));
         self.install_view(new_view.clone());
         // Any membership change reported during the flush that the new view did not cover
@@ -1046,6 +1101,11 @@ impl GroupEndpoint {
             .copied()
             .filter(|s| *s != self.site)
             .collect();
+        // Keep the outgoing view's local members: deliveries emitted at the cut are tagged
+        // with the old view's sequence number and must still route to *its* members (see
+        // `delivery_recipients`).
+        self.prev_view_seq = self.view.as_ref().map(View::seq).unwrap_or(0);
+        self.prev_local_members = std::mem::take(&mut self.local_members);
         self.local_members = view.members_at(self.site);
         self.cb.reset(width);
         self.ab.reset();
@@ -1054,6 +1114,29 @@ impl GroupEndpoint {
         self.flush = None;
         self.flush_attempt = 0;
         self.view = Some(view);
+    }
+
+    /// The local members a delivery tagged with `view_seq` must be dispatched to.
+    ///
+    /// By the time the hosting stack routes the deliveries emitted at a flush cut, the new
+    /// view is already installed, but those messages were sent in the *previous* view and
+    /// virtual synchrony delivers them to its membership — in particular never to a member
+    /// that joined at the cut (its state snapshot covers them).  Anything older than the
+    /// previous view falls back to the current members: such deliveries cannot be emitted
+    /// (the endpoint drops past-view traffic), so the fallback is never wrong in practice.
+    pub fn delivery_recipients(&self, view_seq: u64) -> &[ProcessId] {
+        match &self.view {
+            Some(v) if v.seq() == view_seq => &self.local_members,
+            _ if view_seq == self.prev_view_seq => &self.prev_local_members,
+            _ => &self.local_members,
+        }
+    }
+
+    /// Number of messages this endpoint has received in the current view that are not yet
+    /// known stable (held for a potential flush redistribution).  Join-under-load tests use
+    /// this to prove a join really raced unstable traffic.
+    pub fn unstable_len(&self) -> usize {
+        self.stab.held_len()
     }
 
     /// Test/diagnostic helper: number of messages delivered in the current view.

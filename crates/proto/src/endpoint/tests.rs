@@ -481,6 +481,84 @@ fn stability_gossip_shrinks_the_unstable_set() {
 }
 
 #[test]
+fn joiner_at_a_fresh_site_does_not_apply_snapshot_covered_redelivery() {
+    // Four site slots; the group spans sites 0-2 and site 3 starts with no view.
+    let mut c = Cluster::new(4);
+    c.exec(SiteId(0), |ep, _now, out| ep.create(member(0), out));
+    for s in [1u16, 2] {
+        c.exec(SiteId(0), |ep, now, out| {
+            ep.submit_join(now, member(s), None, out).unwrap();
+        });
+        c.pump(false);
+    }
+    // A burst of multicasts that everyone receives but nobody has gossiped about: all of
+    // them are still *unstable* (a flush would redistribute every one).
+    for i in 0..8u64 {
+        c.exec(SiteId(0), |ep, now, out| {
+            ep.cbcast(now, member(0), Message::with_body(i), out)
+                .unwrap();
+        });
+    }
+    c.exec(SiteId(1), |ep, now, out| {
+        ep.abcast(now, member(1), Message::with_body(100u64), out)
+            .unwrap();
+    });
+    c.pump(false);
+    for s in [0u16, 1, 2] {
+        assert!(
+            c.endpoints[&SiteId(s)].unstable_len() >= 8,
+            "site {s} should still hold the burst as unstable"
+        );
+    }
+    // Site 3 joins while all nine messages are unstable.
+    c.exec(SiteId(0), |ep, now, out| {
+        ep.submit_join(now, member(3), None, out).unwrap();
+    });
+    c.pump(false);
+    // The joiner installed the view but applied NONE of the redistributed pre-cut
+    // messages: their effects belong to the state snapshot taken at the cut.
+    let v3 = c.endpoints[&SiteId(3)].view().expect("view installed");
+    assert_eq!(v3.members.len(), 4);
+    assert_eq!(
+        c.delivered_bodies(SiteId(3)),
+        Vec::<u64>::new(),
+        "covered redelivery must be suppressed at the joiner"
+    );
+    // The joiner's view event carries the cut's covered frontier, and it covers exactly
+    // the unstable burst it suppressed.
+    let ev = c.latest_view(SiteId(3)).expect("view event");
+    assert!(!ev.covered.is_empty());
+    for (_site, seq) in ev.covered.entries() {
+        assert!(*seq >= 1);
+    }
+    // Old members delivered each body exactly once (the flush changed nothing for them).
+    for s in [0u16, 1, 2] {
+        let mut bodies = c.delivered_bodies(SiteId(s));
+        bodies.sort_unstable();
+        assert_eq!(bodies, vec![0, 1, 2, 3, 4, 5, 6, 7, 100], "site {s}");
+    }
+}
+
+#[test]
+fn delivery_recipients_route_cut_deliveries_to_the_old_view() {
+    let mut c = Cluster::build_three_member_group();
+    let old_seq = c.endpoints[&SiteId(1)].view().unwrap().seq();
+    // A second process joins at site 1, which already hosts member 1.
+    let newcomer = ProcessId::new(SiteId(1), 9);
+    c.exec(SiteId(0), |ep, now, out| {
+        ep.submit_join(now, newcomer, None, out).unwrap();
+    });
+    c.pump(false);
+    let ep1 = &c.endpoints[&SiteId(1)];
+    let new_seq = ep1.view().unwrap().seq();
+    assert_eq!(new_seq, old_seq + 1);
+    // Deliveries tagged with the old view go to its members only — never the newcomer,
+    // whose snapshot covers them; current-view deliveries include the newcomer.
+    assert_eq!(ep1.delivery_recipients(old_seq), &[member(1)]);
+    assert_eq!(ep1.delivery_recipients(new_seq), &[member(1), newcomer]);
+}
+
+#[test]
 fn operations_without_a_view_fail_cleanly() {
     let stats = SharedStats::new();
     let mut ep = GroupEndpoint::new(GROUP, SiteId(0), ProtoConfig::fast(), stats);

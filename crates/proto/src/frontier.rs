@@ -1,0 +1,148 @@
+//! Per-origin sequence frontiers: the compact description of "which messages a state
+//! snapshot already covers".
+//!
+//! Virtual synchrony requires a joiner's state snapshot to be taken exactly at the view
+//! cut, so that the transferred state and the post-cut message flow *partition* the
+//! group's history (paper Section 3.8: "only after it has received the state that was
+//! current at the time of the join").  The flush coordinator describes the cut as a
+//! [`Frontier`]: for every origin site, the highest message sequence number that is part
+//! of the pre-cut history.  Because message ids ([`MsgId`]) are allocated monotonically
+//! per origin site, `seq <= frontier[origin]` is exactly the predicate "this message's
+//! effects are already inside a snapshot taken at the cut".
+//!
+//! The frontier travels in two places:
+//!
+//! * inside `FlushCommit`, so a joining endpoint can suppress the flush's
+//!   unstable-message redelivery for messages the snapshot will cover (the endpoint-side
+//!   dedup that makes join-under-load exactly-once);
+//! * tagged onto the state-transfer blocks themselves (`vsync-tools`'s `StateTransfer`),
+//!   so the receiving side can verify what its snapshot claims to include.
+
+use vsync_net::MsgId;
+use vsync_util::SiteId;
+
+/// A per-origin-site message-sequence frontier.  Entries are kept sorted by site, so the
+/// wire form (and equality) is canonical regardless of observation order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Frontier {
+    /// `(origin site, highest covered seq)`, sorted by site, one entry per site.
+    entries: Vec<(SiteId, u64)>,
+}
+
+impl Frontier {
+    /// An empty frontier (covers nothing).
+    pub fn new() -> Self {
+        Frontier::default()
+    }
+
+    /// True if no message is covered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The sorted `(site, seq)` entries.
+    pub fn entries(&self) -> &[(SiteId, u64)] {
+        &self.entries
+    }
+
+    /// Folds a message id into the frontier: the frontier afterwards covers `id`.
+    pub fn observe(&mut self, id: MsgId) {
+        match self.entries.binary_search_by_key(&id.origin, |(s, _)| *s) {
+            Ok(i) => {
+                if self.entries[i].1 < id.seq {
+                    self.entries[i].1 = id.seq;
+                }
+            }
+            Err(i) => self.entries.insert(i, (id.origin, id.seq)),
+        }
+    }
+
+    /// True if the frontier covers `id`: a snapshot cut at this frontier already includes
+    /// the message's effects, so delivering it again would double-apply.
+    pub fn covers(&self, id: MsgId) -> bool {
+        self.entries
+            .binary_search_by_key(&id.origin, |(s, _)| *s)
+            .map(|i| id.seq <= self.entries[i].1)
+            .unwrap_or(false)
+    }
+
+    /// Flattens to the wire form: `[site0, seq0, site1, seq1, ...]`.
+    pub fn to_wire(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.entries.len() * 2);
+        for (site, seq) in &self.entries {
+            out.push(site.0 as u64);
+            out.push(*seq);
+        }
+        out
+    }
+
+    /// Parses the wire form written by [`Frontier::to_wire`].  Tolerates unsorted input
+    /// (re-canonicalised through [`Frontier::observe`]); a trailing odd element is ignored.
+    pub fn from_wire(raw: &[u64]) -> Self {
+        let mut f = Frontier::new();
+        for pair in raw.chunks_exact(2) {
+            f.observe(MsgId::new(SiteId(pair[0] as u16), pair[1]));
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(site: u16, seq: u64) -> MsgId {
+        MsgId::new(SiteId(site), seq)
+    }
+
+    #[test]
+    fn empty_frontier_covers_nothing() {
+        let f = Frontier::new();
+        assert!(f.is_empty());
+        assert!(!f.covers(id(0, 1)));
+        assert!(f.to_wire().is_empty());
+    }
+
+    #[test]
+    fn observe_keeps_the_maximum_per_origin() {
+        let mut f = Frontier::new();
+        f.observe(id(2, 5));
+        f.observe(id(2, 3));
+        f.observe(id(0, 7));
+        assert_eq!(f.entries(), &[(SiteId(0), 7), (SiteId(2), 5)]);
+        assert!(f.covers(id(2, 5)));
+        assert!(f.covers(id(2, 1)));
+        assert!(!f.covers(id(2, 6)));
+        assert!(f.covers(id(0, 7)));
+        assert!(!f.covers(id(1, 1)), "unknown origins are not covered");
+    }
+
+    #[test]
+    fn wire_roundtrip_is_canonical() {
+        let mut f = Frontier::new();
+        f.observe(id(3, 9));
+        f.observe(id(1, 2));
+        let wire = f.to_wire();
+        assert_eq!(wire, vec![1, 2, 3, 9]);
+        assert_eq!(Frontier::from_wire(&wire), f);
+        // Unsorted and duplicated input canonicalises to the same frontier.
+        assert_eq!(Frontier::from_wire(&[3, 9, 1, 2, 3, 4]), f);
+        // A stray trailing element is ignored rather than misparsed.
+        assert_eq!(Frontier::from_wire(&[1, 2, 3, 9, 7]), f);
+    }
+
+    #[test]
+    fn covers_is_monotone_under_observe() {
+        let mut f = Frontier::new();
+        for seq in [4u64, 1, 9, 6] {
+            f.observe(id(0, seq));
+        }
+        for seq in 1..=9 {
+            assert!(
+                f.covers(id(0, seq)),
+                "seq {seq} below the max must be covered"
+            );
+        }
+        assert!(!f.covers(id(0, 10)));
+    }
+}

@@ -26,6 +26,7 @@ pub mod cbcast;
 pub mod config;
 pub mod endpoint;
 pub mod flush;
+pub mod frontier;
 pub mod messages;
 pub mod output;
 pub mod sequencer;
@@ -34,6 +35,7 @@ pub mod view;
 
 pub use config::ProtoConfig;
 pub use endpoint::GroupEndpoint;
+pub use frontier::Frontier;
 pub use messages::ProtoMsg;
 pub use output::{Delivery, EndpointOutput, ViewEvent};
 pub use view::View;

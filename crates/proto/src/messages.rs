@@ -9,6 +9,7 @@ use vsync_msg::{Frame, Message};
 use vsync_net::MsgId;
 use vsync_util::{Address, GroupId, ProcessId, Result, SiteId, VectorClock, VsError};
 
+use crate::frontier::Frontier;
 use crate::view::View;
 
 /// Thread-local counters of frame-level protocol encode/decode work on the packet path.
@@ -160,6 +161,11 @@ pub enum ProtoMsg {
         view: View,
         /// Messages every member must deliver (if it has not already) before the view event.
         deliver: Vec<StoredMsg>,
+        /// Per-origin sequence frontier of the pre-cut history: every message covered by it
+        /// is part of the state a snapshot taken at this cut includes.  Joining endpoints
+        /// suppress redelivery of covered messages — their effects arrive via the state
+        /// transfer instead, which is what keeps join-under-load exactly-once.
+        covered: Frontier,
         /// User GBCAST payloads delivered at the cut, in this exact order.
         gbcasts: Vec<Message>,
     },
@@ -419,11 +425,13 @@ impl ProtoMsg {
                 target_seq,
                 view,
                 deliver,
+                covered,
                 gbcasts,
             } => {
                 m.set("target-seq", *target_seq);
                 view.encode_into(&mut m, "view-");
                 m.set("deliver", pack_stored(deliver));
+                m.set("covered", covered.to_wire());
                 m.set("gbcasts", pack_msg_list(gbcasts));
             }
             ProtoMsg::Stability {
@@ -549,6 +557,13 @@ impl ProtoMsg {
                     m.get_msg("deliver")
                         .ok_or_else(|| VsError::CodecError("missing deliver".into()))?,
                 )?,
+                // Required, like `deliver` and `gbcasts`: a commit whose frontier was lost
+                // must fail loudly — decoding it as "covers nothing" would silently
+                // re-enable double-application at joiners.
+                covered: Frontier::from_wire(
+                    m.get_u64_list("covered")
+                        .ok_or_else(|| VsError::CodecError("missing covered".into()))?,
+                ),
                 gbcasts: unpack_msg_list(
                     m.get_msg("gbcasts")
                         .ok_or_else(|| VsError::CodecError("missing gbcasts".into()))?,
@@ -683,12 +698,42 @@ mod tests {
             stored: stored.clone(),
         });
         let view = View::founding(GroupId(42), p(0, 1)).successor(&[], &[p(1, 1)]);
+        let mut covered = Frontier::new();
+        covered.observe(MsgId::new(SiteId(1), 9));
+        covered.observe(MsgId::new(SiteId(0), 4));
+        roundtrip(ProtoMsg::FlushCommit {
+            target_seq: 4,
+            view: view.clone(),
+            deliver: stored,
+            covered,
+            gbcasts: vec![Message::with_body("cfg")],
+        });
+        // An empty frontier (nothing unstable at the cut) also survives the wire.
         roundtrip(ProtoMsg::FlushCommit {
             target_seq: 4,
             view,
-            deliver: stored,
-            gbcasts: vec![Message::with_body("cfg")],
+            deliver: Vec::new(),
+            covered: Frontier::new(),
+            gbcasts: Vec::new(),
         });
+    }
+
+    #[test]
+    fn flush_commit_without_a_covered_frontier_is_rejected() {
+        // A commit whose frontier was lost must fail loudly, not decode as "covers
+        // nothing" (which would silently double-apply at joiners).
+        let view = View::founding(GroupId(42), p(0, 1));
+        let mut wire = ProtoMsg::FlushCommit {
+            target_seq: 2,
+            view,
+            deliver: Vec::new(),
+            covered: Frontier::new(),
+            gbcasts: Vec::new(),
+        }
+        .encode(GroupId(42));
+        assert!(ProtoMsg::decode(&wire).is_ok(), "intact commit decodes");
+        wire.remove("covered");
+        assert!(ProtoMsg::decode(&wire).is_err(), "lost frontier must error");
     }
 
     #[test]

@@ -9,6 +9,7 @@ use vsync_msg::{Frame, Message};
 use vsync_net::{MsgId, PacketKind, ProtocolKind};
 use vsync_util::{GroupId, SiteId};
 
+use crate::frontier::Frontier;
 use crate::view::View;
 
 /// An application-level message ready to be handed to the local members of a group.
@@ -35,6 +36,11 @@ pub struct ViewEvent {
     /// User GBCAST payloads delivered together with the view event, in a fixed order that is
     /// identical at every member.
     pub gbcasts: Vec<Message>,
+    /// Per-origin sequence frontier of the pre-cut history (from the flush commit; empty
+    /// for a founding view).  A state snapshot encoded while handling this event covers
+    /// exactly the messages behind this frontier, so state-transfer tools tag their blocks
+    /// with it and joining endpoints use it to suppress redelivery of covered messages.
+    pub covered: Frontier,
 }
 
 /// One action requested by a group endpoint.

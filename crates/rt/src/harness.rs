@@ -418,6 +418,15 @@ impl<R: IsisRuntime> IsisHarness<R> {
             .flatten()
     }
 
+    /// Number of multicasts `site` has received in the group's current view that are not
+    /// yet known stable (a flush would redistribute them).  Works on both backends; the
+    /// join-under-load tests read it right before a join to prove the join races in-flight
+    /// traffic.
+    pub fn unstable_count(&mut self, site: SiteId, gid: GroupId) -> usize {
+        self.query(site, move |stack, _now, _out| stack.unstable_count(gid))
+            .unwrap_or(0)
+    }
+
     /// Submits a join and drives the runtime until the joiner appears in its site's view.
     pub fn join_and_wait(
         &mut self,

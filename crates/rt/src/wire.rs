@@ -32,13 +32,19 @@ pub struct WirePacket {
 
 impl WirePacket {
     /// Encodes a packet's payload into owned bytes.
+    ///
+    /// The encode goes through the frame's wire cache ([`Frame::wire_bytes`]): a multicast
+    /// fan-out emits one packet per destination site, all aliasing the same frame, so the
+    /// field tree is serialized once and every further destination clones a refcounted
+    /// buffer.  Before the cache this path re-encoded the same frame once per site — the
+    /// dominant cross-thread cost of the threaded burst path.
     pub fn from_packet(pkt: &Packet, deliver_at: SimTime) -> Self {
         WirePacket {
             src: pkt.src,
             dst: pkt.dst,
             kind: pkt.kind,
             deliver_at,
-            bytes: codec::encode(pkt.payload.message()),
+            bytes: pkt.payload.wire_bytes(),
         }
     }
 
@@ -74,6 +80,41 @@ mod tests {
         assert_eq!(back.dst, dst);
         assert_eq!(back.kind, PacketKind::Data);
         assert_eq!(back.payload.message(), &msg);
+    }
+
+    #[test]
+    fn multicast_fanout_encodes_the_frame_once() {
+        use vsync_msg::frame::wire_cache;
+        // One frame, fanned out to four destination sites — exactly what the threaded
+        // backend's per-site `send` loop produces for a multicast.
+        let frame = Frame::new(Message::with_body("burst").with("n", 4u64));
+        let src = ProcessId::new(SiteId(0), 0);
+        let packets: Vec<Packet> = (1..=4u16)
+            .map(|s| {
+                Packet::new(
+                    src,
+                    ProcessId::new(SiteId(s), 0),
+                    PacketKind::Data,
+                    frame.clone(),
+                )
+            })
+            .collect();
+        let before = wire_cache::encodes();
+        let wires: Vec<WirePacket> = packets
+            .iter()
+            .map(|p| WirePacket::from_packet(p, SimTime(1)))
+            .collect();
+        assert_eq!(
+            wire_cache::encodes() - before,
+            1,
+            "one codec encode per frame, not per destination site"
+        );
+        // Every destination still receives the identical, decodable payload.
+        for wp in wires {
+            assert!(wp.wire_len() > 0);
+            let back = wp.into_packet().expect("decode");
+            assert_eq!(back.payload.message(), frame.message());
+        }
     }
 
     #[test]

@@ -8,17 +8,38 @@
 //! join."
 //!
 //! Implementation: the tool watches the group view.  When a view that adds members installs,
-//! the *oldest* member encodes its state (via the application-supplied callback) at that cut
-//! point and sends it to each joiner in blocks.  On the joiner's side, application messages
-//! that arrive before the state are buffered by the application using [`StateTransfer::is_ready`],
-//! which becomes true once the final block has been applied.  Because the snapshot is taken
-//! at the view-change cut, the combination (snapshot + messages delivered in the new view) is
-//! exactly the state the old members have.
+//! the *oldest* member encodes its state (via the application-supplied callback) and sends it
+//! to each joiner in blocks.  The encoding runs **inside the view-change dispatch**, which
+//! the protocol stack performs synchronously at the flush cut — after every pre-cut message
+//! has been applied and before any post-cut message can be — so the snapshot is taken
+//! exactly at the cut, never "whenever the joiner happened to ask".  Each block is tagged
+//! with the cut's covered frontier ([`Frontier`], taken from the view event), the wire-level
+//! statement of which messages the snapshot already includes; the joiner's protocol endpoint
+//! independently uses the same frontier (from the flush commit) to suppress redelivery of
+//! covered messages, so together snapshot + post-cut flow partition the group's history and
+//! every message is applied exactly once even when the join races unstable traffic.
+//!
+//! On the joiner's side, application messages that arrive before the final state block are
+//! not yet applicable: the snapshot they follow has not landed.  Entries registered through
+//! [`StateTransfer::on_entry_buffered`] hold such messages in arrival order and replay them
+//! the moment the transfer completes, which is the paper's "buffered by the application"
+//! discipline packaged as part of the tool.
+//!
+//! Known limitation (tracked in ROADMAP.md): if the transfer *source* crashes after the
+//! cut but before the joiner received the `xfer-last` block, the joiner never becomes
+//! ready — no survivor re-serves the snapshot (the view monitor only serves
+//! `view.joined`), so buffered entries keep holding traffic ([`StateTransfer::buffered_len`]
+//! exposes the growth).  An exactly-once re-transfer needs a snapshot taken at a *new*
+//! flush cut; re-encoding at request-processing time would race post-cut traffic already
+//! sitting in the joiner's buffer.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use vsync_core::{Address, EntryId, GroupId, Message, ProcessBuilder, ProtocolKind, ToolCtx};
+use vsync_core::{
+    Address, EntryId, Frontier, GroupId, Message, ProcessBuilder, ProtocolKind, ToolCtx,
+};
 
 /// Produces the state to transfer, as a series of variable-sized blocks (paper: "the
 /// application must be able to encode its state into a series of variable sized blocks").
@@ -32,6 +53,14 @@ struct Inner {
     encode: EncodeFn,
     apply: ApplyFn,
     ready: bool,
+    /// The covered frontier tagged onto the most recently applied snapshot block: which
+    /// pre-cut messages the transferred state already includes.
+    covered: Option<Frontier>,
+    /// Messages for buffered entries that arrived before the transfer completed, in
+    /// arrival order.
+    pending: Vec<(EntryId, Message)>,
+    /// The application handlers behind [`StateTransfer::on_entry_buffered`].
+    wrapped: BTreeMap<EntryId, ApplyFn>,
     blocks_sent: u64,
     blocks_received: u64,
     transfers_served: u64,
@@ -41,6 +70,15 @@ struct Inner {
 #[derive(Clone)]
 pub struct StateTransfer {
     inner: Rc<RefCell<Inner>>,
+}
+
+/// Runs one buffered-entry handler outside the state borrow (handlers may re-enter the
+/// tool through the context's recorded actions).
+fn run_wrapped(inner: &Rc<RefCell<Inner>>, ctx: &mut ToolCtx<'_>, entry: EntryId, msg: &Message) {
+    let taken = inner.borrow_mut().wrapped.remove(&entry);
+    let Some(mut handler) = taken else { return };
+    handler(ctx, msg);
+    inner.borrow_mut().wrapped.insert(entry, handler);
 }
 
 impl StateTransfer {
@@ -57,6 +95,9 @@ impl StateTransfer {
                 encode: Box::new(encode),
                 apply: Box::new(apply),
                 ready: false,
+                covered: None,
+                pending: Vec::new(),
+                wrapped: BTreeMap::new(),
                 blocks_sent: 0,
                 blocks_received: 0,
                 transfers_served: 0,
@@ -64,35 +105,75 @@ impl StateTransfer {
         }
     }
 
+    /// Binds an application entry whose messages must not be applied before the transferred
+    /// state: while the member is not [`StateTransfer::is_ready`], arriving messages are
+    /// buffered in order; the moment the final snapshot block applies they are replayed
+    /// through `handler`.  Members that are ready (the creator, or a joiner after its
+    /// transfer) dispatch straight through.  Combined with the endpoint-side suppression of
+    /// snapshot-covered redeliveries, this makes every message apply exactly once at a
+    /// joiner regardless of how unstable the traffic was at join time.
+    pub fn on_entry_buffered(
+        &self,
+        builder: &mut ProcessBuilder,
+        entry: EntryId,
+        handler: impl FnMut(&mut ToolCtx<'_>, &Message) + 'static,
+    ) {
+        self.inner
+            .borrow_mut()
+            .wrapped
+            .insert(entry, Box::new(handler));
+        let inner = self.inner.clone();
+        builder.on_entry(entry, move |ctx, msg| {
+            if !inner.borrow().ready {
+                inner.borrow_mut().pending.push((entry, msg.clone()));
+                return;
+            }
+            run_wrapped(&inner, ctx, entry, msg);
+        });
+    }
+
     /// Binds the transfer entry and the view monitor.
     pub fn attach(&self, builder: &mut ProcessBuilder) {
         let group = self.inner.borrow().group;
 
-        // Receiving side: apply blocks; the block flagged `xfer-last` completes the transfer.
+        // Receiving side: apply blocks; the block flagged `xfer-last` completes the transfer
+        // and releases anything the buffered entries held back in the meantime.
         let inner = self.inner.clone();
         builder.on_entry(EntryId::GENERIC_XFER, move |ctx, msg| {
             {
                 let mut state = inner.borrow_mut();
                 state.blocks_received += 1;
+                if let Some(covered) = msg.get_u64_list("xfer-covered") {
+                    state.covered = Some(Frontier::from_wire(covered));
+                }
             }
             // Run the application callback outside the borrow.
-            let apply_ptr = inner.clone();
             let mut taken = {
-                let mut state = apply_ptr.borrow_mut();
+                let mut state = inner.borrow_mut();
                 std::mem::replace(&mut state.apply, Box::new(|_ctx, _m| {}))
             };
             taken(ctx, msg);
-            {
-                let mut state = apply_ptr.borrow_mut();
+            let replay = {
+                let mut state = inner.borrow_mut();
                 state.apply = taken;
                 if msg.get_bool("xfer-last").unwrap_or(false) {
                     state.ready = true;
+                    std::mem::take(&mut state.pending)
+                } else {
+                    Vec::new()
                 }
+            };
+            // The snapshot is in place: replay the messages that arrived ahead of it, in
+            // their original arrival order.
+            for (entry, held) in replay {
+                run_wrapped(&inner, ctx, entry, &held);
             }
         });
 
         // Sending side: when a view adds members and we are the oldest operational member,
-        // push our state (captured at this cut) to every joiner.
+        // push our state to every joiner.  This handler runs inside the stack's view-change
+        // dispatch — synchronously at the flush cut — so `encode` observes exactly the
+        // pre-cut state, and every block is tagged with the cut's covered frontier.
         let inner = self.inner.clone();
         builder.on_view_change(group, move |ctx, ev| {
             let me = ctx.me();
@@ -119,6 +200,7 @@ impl StateTransfer {
                 state.transfers_served += 1;
                 blocks
             };
+            let covered_wire = ev.covered.to_wire();
             for joiner in &ev.view.joined {
                 let total = blocks.len().max(1);
                 if blocks.is_empty() {
@@ -126,6 +208,7 @@ impl StateTransfer {
                     // is up to date.
                     let mut m = Message::new();
                     m.set("xfer-last", true);
+                    m.set("xfer-covered", covered_wire.clone());
                     ctx.send(
                         Address::Process(*joiner),
                         EntryId::GENERIC_XFER,
@@ -139,6 +222,7 @@ impl StateTransfer {
                     let mut m = block.clone();
                     m.set("xfer-block", i as u64);
                     m.set("xfer-last", i + 1 == total);
+                    m.set("xfer-covered", covered_wire.clone());
                     ctx.send(
                         Address::Process(*joiner),
                         EntryId::GENERIC_XFER,
@@ -152,7 +236,7 @@ impl StateTransfer {
     }
 
     /// Marks this member as already holding the authoritative state (the group creator calls
-    /// this; joiners become ready when their transfer completes).
+    /// this *before any traffic flows*; joiners become ready when their transfer completes).
     pub fn mark_ready(&self) {
         self.inner.borrow_mut().ready = true;
     }
@@ -160,6 +244,17 @@ impl StateTransfer {
     /// True once this member holds the full state (creator, or joiner after transfer).
     pub fn is_ready(&self) -> bool {
         self.inner.borrow().ready
+    }
+
+    /// The covered frontier tagged onto the received snapshot: which pre-cut messages the
+    /// transferred state already includes.  `None` before any tagged block arrived.
+    pub fn covered(&self) -> Option<Frontier> {
+        self.inner.borrow().covered.clone()
+    }
+
+    /// Number of messages currently held by buffered entries awaiting the snapshot.
+    pub fn buffered_len(&self) -> usize {
+        self.inner.borrow().pending.len()
     }
 
     /// Number of state blocks sent to joiners by this member.
@@ -191,5 +286,7 @@ mod tests {
         assert_eq!(t.blocks_sent(), 0);
         assert_eq!(t.blocks_received(), 0);
         assert_eq!(t.transfers_served(), 0);
+        assert_eq!(t.buffered_len(), 0);
+        assert!(t.covered().is_none());
     }
 }

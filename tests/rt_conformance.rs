@@ -212,6 +212,210 @@ fn check_virtual_synchrony(observations: &[Obs]) -> Vec<u64> {
     order
 }
 
+/// Runs the join-under-load scenario: a three-member group, a first ABCAST burst, then a
+/// fourth member whose join is submitted **while a second burst is still in flight**, a
+/// final burst in which the joiner also sends, and a drain.  Returns the observations.
+fn run_join_under_load_scenario<R: IsisRuntime>(mut h: IsisHarness<R>) -> Vec<Obs> {
+    let (tx, rx) = mpsc::channel::<Obs>();
+    let gid_slot = h.allocate_group_id();
+    let spawn_observer = |h: &mut IsisHarness<R>, site: u16, tx: mpsc::Sender<Obs>| {
+        h.spawn(SiteId(site), move |b| {
+            let tx2 = tx.clone();
+            b.on_entry(APPLY, move |_ctx, msg| {
+                let _ = tx.send(Obs::Delivered {
+                    member: site,
+                    body: msg.get_u64("body").unwrap_or(u64::MAX),
+                });
+            });
+            b.on_view_change(gid_slot, move |_ctx, ev| {
+                let _ = tx2.send(Obs::ViewInstalled {
+                    member: site,
+                    seq: ev.view.seq(),
+                    len: ev.view.len(),
+                });
+            });
+        })
+    };
+    let members: Vec<ProcessId> = (0..3u16)
+        .map(|site| spawn_observer(&mut h, site, tx.clone()))
+        .collect();
+    h.create_group_with_id("load", gid_slot, members[0]);
+    for m in &members[1..] {
+        h.join_and_wait(gid_slot, *m, None, Duration::from_secs(20))
+            .expect("join");
+    }
+    let ok = h.wait_until(Duration::from_secs(20), |h| {
+        (0..3u16).all(|s| {
+            h.view_of(SiteId(s), gid_slot)
+                .map(|v| v.seq() == 3 && v.len() == 3)
+                .unwrap_or(false)
+        })
+    });
+    assert!(ok, "three-member view never installed everywhere");
+
+    // Phase one: eight ABCASTs, fully delivered before the join traffic starts.
+    for i in 0..8u64 {
+        h.client_send(
+            members[(i % 3) as usize],
+            gid_slot,
+            APPLY,
+            Message::with_body(i),
+            ProtocolKind::Abcast,
+        );
+    }
+    let mut observations: Vec<Obs> = Vec::new();
+    let ok = h.wait_until(Duration::from_secs(20), |_h| {
+        while let Ok(o) = rx.try_recv() {
+            observations.push(o);
+        }
+        observations
+            .iter()
+            .filter(|o| matches!(o, Obs::Delivered { .. }))
+            .count()
+            >= 24
+    });
+    assert!(ok, "phase-one deliveries incomplete: {observations:?}");
+
+    // Phase two: eight more ABCASTs, and the fourth member joins while they are in
+    // flight — the join races unstable traffic.
+    for i in 8..16u64 {
+        h.client_send(
+            members[(i % 3) as usize],
+            gid_slot,
+            APPLY,
+            Message::with_body(i),
+            ProtocolKind::Abcast,
+        );
+    }
+    let joiner = spawn_observer(&mut h, 3, tx.clone());
+    h.join_and_wait(gid_slot, joiner, None, Duration::from_secs(20))
+        .expect("join under load");
+
+    // Phase three: the joiner is a full member and sends too.
+    let all = [members[0], members[1], members[2], joiner];
+    for i in 16..24u64 {
+        h.client_send(
+            all[(i % 4) as usize],
+            gid_slot,
+            APPLY,
+            Message::with_body(i),
+            ProtocolKind::Abcast,
+        );
+    }
+    let ok = h.wait_until(Duration::from_secs(20), |_h| {
+        while let Ok(o) = rx.try_recv() {
+            observations.push(o);
+        }
+        // The three original members deliver all 24 bodies; the joiner delivers at least
+        // the 8 post-join ones (how much of phase two lands after its cut is schedule-
+        // dependent).
+        (0..3u16).all(|m| {
+            observations
+                .iter()
+                .filter(|o| matches!(o, Obs::Delivered { member, .. } if *member == m))
+                .count()
+                >= 24
+        }) && observations
+            .iter()
+            .filter(|o| matches!(o, Obs::Delivered { member, .. } if *member == 3))
+            .count()
+            >= 8
+    });
+    h.settle(Duration::from_millis(50));
+    while let Ok(o) = rx.try_recv() {
+        observations.push(o);
+    }
+    assert!(
+        ok,
+        "join-under-load deliveries incomplete: {observations:?}"
+    );
+    observations
+}
+
+/// The join-under-load invariants both backends must pass: exactly-once everywhere, and
+/// identical delivery orders relative to views — including at the joiner, whose log must
+/// coincide with every older member's log restricted to the views the joiner belongs to.
+fn check_join_under_load(observations: &[Obs]) {
+    let logs = member_logs(observations, &[0, 1, 2, 3]);
+    // Original members: all 24 bodies, exactly once, in identical view-tagged order from
+    // the fully-formed view onward.
+    for (m, log) in logs.iter().take(3).enumerate() {
+        let mut bodies: Vec<u64> = log.deliveries.iter().map(|(_, b)| *b).collect();
+        bodies.sort_unstable();
+        assert_eq!(
+            bodies,
+            (0..24).collect::<Vec<u64>>(),
+            "member {m} lost or duplicated deliveries"
+        );
+    }
+    let tagged_from = |log: &MemberLog, seq: u64| -> Vec<(u64, u64)> {
+        log.deliveries
+            .iter()
+            .copied()
+            .filter(|(v, _)| *v >= seq)
+            .collect()
+    };
+    for m in 1..3 {
+        assert_eq!(
+            tagged_from(&logs[0], 3),
+            tagged_from(&logs[m], 3),
+            "member {m} disagrees on delivery order relative to views"
+        );
+    }
+    // The joiner: duplicate-free, and from its first view onward its entire log is
+    // *identical* to every older member's log restricted to those views — the joiner sees
+    // exactly the post-cut suffix of the group's history (the pre-cut prefix reaches it
+    // as state, not as messages).
+    let join_seq = *logs[3].views.first().expect("joiner installed a view");
+    assert!(
+        join_seq >= 4,
+        "the joiner's first view follows the join cut"
+    );
+    let joiner_log = tagged_from(&logs[3], 0);
+    let mut bodies: Vec<u64> = joiner_log.iter().map(|(_, b)| *b).collect();
+    bodies.sort_unstable();
+    let before = bodies.len();
+    bodies.dedup();
+    assert_eq!(before, bodies.len(), "duplicate deliveries at the joiner");
+    for (m, log) in logs.iter().enumerate().take(3) {
+        assert_eq!(
+            tagged_from(log, join_seq),
+            joiner_log,
+            "joiner's delivery order diverges from member {m}'s post-cut suffix"
+        );
+    }
+}
+
+#[test]
+fn simulated_backend_join_under_load_preserves_view_relative_order() {
+    let params = NetParams::modern();
+    let h = IsisHarness::new(SimRuntime::new(
+        4,
+        params,
+        StackConfig::from_params(&params),
+        ProtoConfig::fast(),
+        2027,
+    ));
+    let obs = run_join_under_load_scenario(h);
+    check_join_under_load(&obs);
+}
+
+#[test]
+fn threaded_backend_join_under_load_preserves_view_relative_order() {
+    let faults = FaultPlan::none()
+        .with_delay(Duration::from_micros(100))
+        .with_jitter(Duration::from_micros(300));
+    let h = IsisHarness::new(ThreadedRuntime::new(
+        4,
+        ThreadedRuntime::fast_local_config(),
+        ProtoConfig::fast(),
+        faults,
+        2027,
+    ));
+    let obs = run_join_under_load_scenario(h);
+    check_join_under_load(&obs);
+}
+
 #[test]
 fn simulated_backend_preserves_virtual_synchrony() {
     let params = NetParams::modern();

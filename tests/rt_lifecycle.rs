@@ -2,6 +2,15 @@
 //! ABCAST traffic under load, a member-site crash, the flush, the new view, and a state
 //! transfer to a late joiner — the full sequence the simulator tests pin, now on real OS
 //! threads with packets crossing lock-protected channels.
+//!
+//! The late join deliberately happens **while pre-join multicasts are still unstable**
+//! (asserted: at least eight would be redistributed by a flush at the moment the join is
+//! submitted).  This used to double-apply at the joiner — once inside the transferred
+//! snapshot and once via the flush's unstable-message redelivery — and forced a
+//! settle-until-stable workaround before every join.  The cut-coordinated state transfer
+//! (snapshot at the view cut, covered-frontier suppression at the joining endpoint,
+//! buffered application entries) makes the join exactly-once, and the partition is pinned
+//! by application-side counters: `snapshot value + post-snapshot increments == total`.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -25,22 +34,40 @@ fn threaded_harness(n: usize, faults: FaultPlan) -> IsisHarness<ThreadedRuntime>
     ))
 }
 
+/// Mirrors of one member's application state, readable from the test thread.
+struct CounterMirror {
+    /// Current counter value (snapshot + applied increments).
+    value: Arc<AtomicU64>,
+    /// Number of APPLY handler executions (each increments by the message body).
+    applies: Arc<AtomicU64>,
+    /// The counter value carried by the received snapshot (joiners only).
+    snapshot: Arc<AtomicU64>,
+}
+
 /// Spawns a member whose counter state is updated by multicast, transferred on join, and
-/// observable from the test thread through an atomic mirror.
+/// observable from the test thread through atomic mirrors.  The APPLY entry goes through
+/// the transfer tool's buffering, so a joiner holds post-cut messages until its snapshot
+/// has landed.
 fn spawn_counter_member(
     h: &mut IsisHarness<ThreadedRuntime>,
     site: SiteId,
     gid: vsync::core::GroupId,
     ready: bool,
-) -> (ProcessId, Arc<AtomicU64>) {
-    let mirror = Arc::new(AtomicU64::new(0));
-    let mirror2 = mirror.clone();
+) -> (ProcessId, CounterMirror) {
+    let mirror = CounterMirror {
+        value: Arc::new(AtomicU64::new(0)),
+        applies: Arc::new(AtomicU64::new(0)),
+        snapshot: Arc::new(AtomicU64::new(0)),
+    };
+    let m_value = mirror.value.clone();
+    let m_applies = mirror.applies.clone();
+    let m_snapshot = mirror.snapshot.clone();
     let pid = h.spawn(site, move |b| {
         // Thread-local state plus the transfer tool, all built on the node's own thread.
         let counter: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
         let c_encode = counter.clone();
         let c_apply = counter.clone();
-        let m_apply = mirror2.clone();
+        let m_apply = m_value.clone();
         let xfer = StateTransfer::new(
             gid,
             move || vec![Message::new().with("counter", *c_encode.borrow())],
@@ -48,6 +75,7 @@ fn spawn_counter_member(
                 if let Some(v) = block.get_u64("counter") {
                     *c_apply.borrow_mut() = v;
                     m_apply.store(v, Ordering::Relaxed);
+                    m_snapshot.store(v, Ordering::Relaxed);
                 }
             },
         );
@@ -56,10 +84,11 @@ fn spawn_counter_member(
             xfer.mark_ready();
         }
         let c_update = counter.clone();
-        b.on_entry(APPLY, move |_ctx, msg| {
+        xfer.on_entry_buffered(b, APPLY, move |_ctx, msg| {
             let mut c = c_update.borrow_mut();
             *c += msg.get_u64("body").unwrap_or(0);
-            mirror2.store(*c, Ordering::Relaxed);
+            m_value.store(*c, Ordering::Relaxed);
+            m_applies.fetch_add(1, Ordering::Relaxed);
         });
     });
     (pid, mirror)
@@ -113,13 +142,13 @@ fn full_lifecycle_over_real_threads() {
         );
     }
     let ok = h.wait_until(Duration::from_secs(20), |_| {
-        c0.load(Ordering::Relaxed) == 30 && c1.load(Ordering::Relaxed) == 30
+        c0.value.load(Ordering::Relaxed) == 30 && c1.value.load(Ordering::Relaxed) == 30
     });
     assert!(
         ok,
         "all 30 increments applied everywhere (c0={}, c1={})",
-        c0.load(Ordering::Relaxed),
-        c1.load(Ordering::Relaxed)
+        c0.value.load(Ordering::Relaxed),
+        c1.value.load(Ordering::Relaxed)
     );
 
     // -- Crash, flush, new view -----------------------------------------------------------
@@ -145,28 +174,72 @@ fn full_lifecycle_over_real_threads() {
         );
     }
     let ok = h.wait_until(Duration::from_secs(20), |_| {
-        c0.load(Ordering::Relaxed) == 40 && c1.load(Ordering::Relaxed) == 40
+        c0.value.load(Ordering::Relaxed) == 40 && c1.value.load(Ordering::Relaxed) == 40
     });
     assert!(ok, "post-crash traffic delivered to both survivors");
 
-    // -- State transfer to a late joiner --------------------------------------------------
-    // Let the post-crash traffic become *stable* (several stability-gossip rounds at the
-    // 5 ms `ProtoConfig::fast` interval) before the join.  A join while those ABCASTs are
-    // still unstable makes the flush redeliver them to the joiner on top of a transferred
-    // snapshot that already contains them — the transfer tool does not yet coordinate its
-    // snapshot with the flush cut (recorded as a ROADMAP open item; the simulator's
-    // `tests/state_transfer.rs` settles before joining for the same reason).
-    h.settle(Duration::from_millis(250));
+    // -- State transfer to a late joiner, mid-burst ---------------------------------------
+    // No settling: burst fresh increments and submit the join while at least eight of them
+    // are still *unstable* (a flush would redistribute them).  The snapshot is taken at the
+    // view cut and the joining endpoint suppresses the covered redelivery, so the join is
+    // exactly-once no matter how the OS schedules the race.
+    let mut sent = 0u64;
+    let mut unstable_at_join = 0usize;
+    for _attempt in 0..4 {
+        for i in 0..8u64 {
+            let protocol = if i % 2 == 0 {
+                ProtocolKind::Cbcast
+            } else {
+                ProtocolKind::Abcast
+            };
+            h.client_send(
+                senders[(i % 2) as usize],
+                gid,
+                APPLY,
+                Message::with_body(1u64),
+                protocol,
+            );
+        }
+        sent += 8;
+        unstable_at_join = h.unstable_count(SiteId(0), gid);
+        if unstable_at_join >= 8 {
+            break;
+        }
+    }
+    assert!(
+        unstable_at_join >= 8,
+        "join must race unstable traffic (saw only {unstable_at_join} unstable)"
+    );
+    let expected = 40 + sent;
     let (late, c3) = spawn_counter_member(&mut h, SiteId(3), gid, false);
     h.join_and_wait(gid, late, None, Duration::from_secs(20))
-        .expect("late join");
+        .expect("late join under unstable traffic");
     let ok = h.wait_until(Duration::from_secs(20), |_| {
-        c3.load(Ordering::Relaxed) == 40
+        c0.value.load(Ordering::Relaxed) == expected
+            && c1.value.load(Ordering::Relaxed) == expected
+            && c3.value.load(Ordering::Relaxed) == expected
     });
     assert!(
         ok,
-        "late joiner received the transferred counter (got {})",
-        c3.load(Ordering::Relaxed)
+        "every member converged to {expected} exactly once (c0={}, c1={}, c3={})",
+        c0.value.load(Ordering::Relaxed),
+        c1.value.load(Ordering::Relaxed),
+        c3.value.load(Ordering::Relaxed)
+    );
+    // Let any straggler (a duplicate would be one) land, then re-check: nothing may move.
+    h.settle(Duration::from_millis(100));
+    assert_eq!(
+        c3.value.load(Ordering::Relaxed),
+        expected,
+        "late duplicate application at the joiner"
+    );
+    // The exactly-once partition: the snapshot accounts for every pre-cut increment, the
+    // buffered APPLY entry for every post-cut one, and together they cover each message
+    // exactly once.
+    assert_eq!(
+        c3.snapshot.load(Ordering::Relaxed) + c3.applies.load(Ordering::Relaxed),
+        expected,
+        "snapshot + post-snapshot applies must partition the message history"
     );
 
     // Clean shutdown: every node thread joins, none leak.
