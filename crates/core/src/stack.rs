@@ -35,6 +35,18 @@ pub fn protocols_process(site: SiteId) -> ProcessId {
     ProcessId::new(site, 0)
 }
 
+/// A join submitted at this site whose view has not installed yet.  Kept so the request can
+/// be re-submitted: the JoinReq (or the coordinator it was queued at) may have died with a
+/// crashed site, and membership changes are idempotent end to end (the coordinator dedups
+/// queued joiners, `View::successor` ignores joins of existing members), so re-sending is
+/// always safe.
+struct PendingJoin {
+    group: GroupId,
+    joiner: ProcessId,
+    credentials: Option<String>,
+    last_sent: SimTime,
+}
+
 /// The per-site protocols process plus the client processes it hosts.
 pub struct SiteStack {
     site: SiteId,
@@ -54,6 +66,8 @@ pub struct SiteStack {
     fd: FailureDetector,
     collectors: BTreeMap<u64, ReplyCollector>,
     callbacks: BTreeMap<u64, ReplyCallback>,
+    /// Joins awaiting their view, re-submitted on a failure-timeout cadence.
+    pending_joins: Vec<PendingJoin>,
     next_session: u64,
     now: SimTime,
     /// When this stack last broadcast heartbeats.  Heartbeats go out at
@@ -102,6 +116,7 @@ impl SiteStack {
             fd,
             collectors: BTreeMap::new(),
             callbacks: BTreeMap::new(),
+            pending_joins: Vec::new(),
             next_session: 0,
             now: SimTime::ZERO,
             last_heartbeat: None,
@@ -190,6 +205,33 @@ impl SiteStack {
         credentials: Option<String>,
         out: &mut Outbox,
     ) -> Result<()> {
+        // Track the join until a view containing the joiner installs, so the maintenance
+        // tick can re-submit it if the contact or coordinator it reaches first crashes.
+        match self
+            .pending_joins
+            .iter_mut()
+            .find(|p| p.group == group && p.joiner == joiner)
+        {
+            Some(p) => p.last_sent = self.now,
+            None => self.pending_joins.push(PendingJoin {
+                group,
+                joiner,
+                credentials: credentials.clone(),
+                last_sent: self.now,
+            }),
+        }
+        self.submit_join_request(group, joiner, credentials, out)
+    }
+
+    /// One attempt at routing a join: submit locally if a member lives here, otherwise send
+    /// a JoinReq to a contact site the failure detector believes alive.
+    fn submit_join_request(
+        &mut self,
+        group: GroupId,
+        joiner: ProcessId,
+        credentials: Option<String>,
+        out: &mut Outbox,
+    ) -> Result<()> {
         // Make sure an endpoint exists so the eventual FlushCommit can be applied here.
         self.endpoints.entry(group).or_insert_with(|| {
             GroupEndpoint::new(group, self.site, self.proto_cfg, self.stats.clone())
@@ -223,6 +265,9 @@ impl SiteStack {
         member: ProcessId,
         out: &mut Outbox,
     ) -> Result<()> {
+        // An explicit leave cancels any still-pending join retry for the same member.
+        self.pending_joins
+            .retain(|p| !(p.group == group && p.joiner == member));
         let mut eouts = self.take_eouts();
         match self.endpoints.get_mut(&group) {
             Some(ep) if ep.view().is_some() => {
@@ -245,6 +290,8 @@ impl SiteStack {
     /// to is told (the paper's "detectable by some monitoring mechanism at the site").
     pub fn crash_local_process(&mut self, pid: ProcessId, out: &mut Outbox) {
         self.processes.remove(&pid);
+        // A dead joiner's pending join must not be re-submitted on its behalf.
+        self.pending_joins.retain(|p| p.joiner != pid);
         // Cancel the collectors belonging to the dead caller.
         let dead_sessions: Vec<u64> = self
             .collectors
@@ -521,6 +568,12 @@ impl SiteStack {
     fn handle_view_change(&mut self, group: GroupId, ev: ViewEvent, out: &mut Outbox) {
         self.views.insert(group, ev.view.clone());
         self.contacts.insert(group, ev.view.member_sites());
+        // The join is satisfied the moment its view installs.  This must happen here, not
+        // only on the maintenance tick: a join-then-leave inside one tick interval would
+        // otherwise leave the entry pending with the joiner absent from the view again,
+        // and the retry would re-join a member that left on purpose.
+        self.pending_joins
+            .retain(|p| !(p.group == group && ev.view.contains(p.joiner)));
         // Tell reply collectors about departed members.
         for departed in ev.view.departed.clone() {
             self.fail_collectors_for_process(departed, out);
@@ -911,6 +964,35 @@ impl SiteHandler for SiteStack {
             self.pump_endpoint_outputs(g, eouts, out);
         }
         self.group_scratch = groups;
+        // Re-submit joins whose view has still not installed: the first JoinReq, or the
+        // coordinator holding the queued join, may have died with a crashed site.  The
+        // failure-timeout cadence gives the original attempt time to land, and by then the
+        // detector has usually condemned a dead contact so the retry routes around it.
+        let mut pending = std::mem::take(&mut self.pending_joins);
+        pending.retain(|p| {
+            let installed = self
+                .endpoints
+                .get(&p.group)
+                .and_then(|ep| ep.view())
+                .map(|v| v.contains(p.joiner))
+                .unwrap_or(false);
+            !installed
+        });
+        for p in &mut pending {
+            if now.saturating_since(p.last_sent) < self.cfg.failure_timeout {
+                continue;
+            }
+            p.last_sent = now;
+            out.trace_with(|| {
+                format!(
+                    "{}: re-submitting join of {} to {:?}",
+                    self.site, p.joiner, p.group
+                )
+            });
+            // A dead contact everywhere leaves the join pending for the next cadence.
+            let _ = self.submit_join_request(p.group, p.joiner, p.credentials.clone(), out);
+        }
+        self.pending_joins = pending;
         // RPC deadlines.
         let sessions: Vec<u64> = self.collectors.keys().copied().collect();
         for s in sessions {

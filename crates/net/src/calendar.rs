@@ -93,6 +93,25 @@ impl<T> CalendarQueue<T> {
         self.len += 1;
     }
 
+    /// Drops every queued event for which `keep` returns false, preserving time order and
+    /// FIFO order within each instant.  O(n); used by fault injection (a hard-killed site's
+    /// in-flight sends die on the wire), not on the steady-state path.
+    pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) {
+        let mut removed = 0usize;
+        self.buckets.retain(|_, bucket| {
+            let before = bucket.len();
+            bucket.retain(|item| keep(item));
+            removed += before - bucket.len();
+            !bucket.is_empty()
+        });
+        if removed > 0 {
+            self.len -= removed;
+            // Instants whose buckets emptied must leave the heap; each survivor appears in
+            // `buckets` exactly once, so rebuilding from the keys preserves the invariant.
+            self.instants = self.buckets.keys().map(|t| Reverse(*t)).collect();
+        }
+    }
+
     /// Removes and returns the earliest event: ascending time, FIFO within an instant.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
         let at = self.next_time()?;
@@ -147,6 +166,26 @@ mod tests {
         assert_eq!(q.pop(), Some((SimTime(10), 4)));
         assert_eq!(q.pop(), None);
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn retain_preserves_order_and_heap_invariants() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime(5), 50);
+        q.push(SimTime(10), 100);
+        q.push(SimTime(10), 101);
+        q.push(SimTime(20), 200);
+        q.retain(|v| *v % 2 == 0);
+        assert_eq!(q.len(), 3);
+        // The instant whose bucket emptied entirely must be gone from the heap too.
+        q.retain(|v| *v != 200);
+        assert_eq!(q.len(), 2);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, v)| v).collect();
+        assert_eq!(order, vec![50, 100]);
+        assert_eq!(q.next_time(), None);
+        // Retaining everything on an empty queue is a no-op.
+        q.retain(|_| true);
+        assert!(q.is_empty());
     }
 
     #[test]

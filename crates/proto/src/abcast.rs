@@ -251,6 +251,20 @@ impl AbcastState {
         out
     }
 
+    /// The sender and payload of a message that is held but still awaiting phase two.
+    ///
+    /// Used by the flush path: a message can be *stable* (every site holds a copy, so the
+    /// stability tracker no longer retains its wire form) yet still *undecided* (phase two
+    /// never arrived because the initiator crashed).  The flush ack must then re-encode the
+    /// message from the holdback queue, otherwise the coordinator cannot finalise it and
+    /// the ABCAST is silently dropped at the view change.
+    pub fn undecided_payload(&self, id: &MsgId) -> Option<(ProcessId, Message)> {
+        self.pending
+            .get(id)
+            .filter(|p| p.decided.is_none())
+            .map(|p| (p.sender, p.payload.clone()))
+    }
+
     /// Delivers every message whose final priority is known and cannot be preceded by any
     /// still-undecided message.  Delivery order is `(priority, message id)`, identical at
     /// every member.

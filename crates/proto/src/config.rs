@@ -13,6 +13,11 @@ pub struct ProtoConfig {
     /// How long the initiator of an ABCAST waits for priority proposals before re-sending
     /// phase one to destinations that have not answered (loss recovery belt-and-braces).
     pub abcast_retry: Duration,
+    /// Whether flush acks carry *proposal-only* entries: ABCAST messages that are stable
+    /// (so the stability tracker dropped their wire copies) but still undecided.  Required
+    /// for correctness — a stable-but-undecided ABCAST is otherwise silently dropped at a
+    /// view change.  The escape hatch exists only so tests can pin the failure mode.
+    pub ack_proposal_only: bool,
 }
 
 impl Default for ProtoConfig {
@@ -21,6 +26,7 @@ impl Default for ProtoConfig {
             stability_interval: Duration::from_millis(200),
             flush_timeout: Duration::from_millis(2_000),
             abcast_retry: Duration::from_millis(1_000),
+            ack_proposal_only: true,
         }
     }
 }
@@ -32,6 +38,7 @@ impl ProtoConfig {
             stability_interval: Duration::from_millis(5),
             flush_timeout: Duration::from_millis(100),
             abcast_retry: Duration::from_millis(50),
+            ack_proposal_only: true,
         }
     }
 }

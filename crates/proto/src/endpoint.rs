@@ -503,6 +503,7 @@ impl GroupEndpoint {
                     deliver.clone(),
                     covered.clone(),
                     gbcasts.clone(),
+                    true,
                     out,
                 );
             }
@@ -822,6 +823,51 @@ impl GroupEndpoint {
         }
     }
 
+    /// Everything this endpoint must report in a flush ack (or, as coordinator, merge into
+    /// the union directly): its unstable messages with outstanding ABCAST proposals
+    /// overlaid, plus — when `ack_proposal_only` is enabled — *proposal-only* entries for
+    /// ABCASTs that are stable but still undecided.  Stability means every site holds a
+    /// copy, so the tracker has dropped the wire form; if the initiator then dies before
+    /// phase two, the holdback queue is the only place the message still exists, and it is
+    /// re-encoded from there so the flush coordinator can finalise the order.
+    fn flush_report(&self, view_seq: u64) -> Vec<StoredMsg> {
+        let mut stored = self.stab.unstable();
+        let proposals = self.ab.pending_proposals();
+        for s in &mut stored {
+            if let Ok(id) = stored_msg_id(s) {
+                if let Some((_, p)) = proposals.iter().find(|(pid, _)| *pid == id) {
+                    s.ab_priority = Some(s.ab_priority.unwrap_or(0).max(*p));
+                }
+            }
+        }
+        if self.cfg.ack_proposal_only {
+            let held: Vec<MsgId> = stored
+                .iter()
+                .filter_map(|s| stored_msg_id(s).ok())
+                .collect();
+            for (id, proposed) in proposals {
+                if held.contains(&id) {
+                    continue;
+                }
+                let Some((sender, payload)) = self.ab.undecided_payload(&id) else {
+                    continue;
+                };
+                let wire = ProtoMsg::AbData {
+                    id,
+                    sender,
+                    view_seq,
+                    payload,
+                }
+                .encode_frame(self.group);
+                stored.push(StoredMsg {
+                    wire,
+                    ab_priority: Some(proposed),
+                });
+            }
+        }
+        stored
+    }
+
     fn handle_flush_req(
         &mut self,
         now: SimTime,
@@ -856,15 +902,7 @@ impl GroupEndpoint {
         }));
         // Report everything we have received in this view that might not be everywhere,
         // overlaying our outstanding ABCAST proposals.
-        let mut stored = self.stab.unstable();
-        let proposals = self.ab.pending_proposals();
-        for s in &mut stored {
-            if let Ok(id) = stored_msg_id(s) {
-                if let Some((_, p)) = proposals.iter().find(|(pid, _)| *pid == id) {
-                    s.ab_priority = Some(s.ab_priority.unwrap_or(0).max(*p));
-                }
-            }
-        }
+        let stored = self.flush_report(view.seq());
         let ack = ProtoMsg::FlushAck {
             target_seq,
             from_site: self.site,
@@ -901,15 +939,7 @@ impl GroupEndpoint {
             return;
         };
         // Merge our own unstable messages and pending proposals into the union.
-        let mut own = self.stab.unstable();
-        let proposals = self.ab.pending_proposals();
-        for s in &mut own {
-            if let Ok(id) = stored_msg_id(s) {
-                if let Some((_, p)) = proposals.iter().find(|(pid, _)| *pid == id) {
-                    s.ab_priority = Some(s.ab_priority.unwrap_or(0).max(*p));
-                }
-            }
-        }
+        let own = self.flush_report(view.seq());
         c.merge(own);
         // Build the new view.
         let departed: Vec<ProcessId> = self
@@ -966,12 +996,13 @@ impl GroupEndpoint {
             deliver,
             covered,
             gbcasts,
+            false,
             out,
         );
     }
 
-    // One parameter per `FlushCommit` field plus the clock and sink; bundling them into a
-    // struct would just restate the wire message.
+    // One parameter per `FlushCommit` field plus the clock, sink, and relay flag; bundling
+    // them into a struct would just restate the wire message.
     #[allow(clippy::too_many_arguments)]
     fn apply_commit(
         &mut self,
@@ -981,11 +1012,45 @@ impl GroupEndpoint {
         deliver: Vec<StoredMsg>,
         covered: Frontier,
         gbcasts: Vec<Message>,
+        relay: bool,
         out: &mut Vec<EndpointOutput>,
     ) {
         if let Some(v) = &self.view {
             if target_seq <= v.seq() {
                 return;
+            }
+        }
+        // Relay the commit on first install (receivers only — the creator already sent it
+        // everywhere).  Commits come from the acting coordinator, which may die with some
+        // copies still on the wire; a commit that reaches only part of the membership would
+        // split the view history, because the survivors that missed it take over the flush
+        // and commit a *different* view at the same sequence number.  One hop per member
+        // closes the gap: whoever installs re-sends the frame to every member site of the
+        // old and new views, and later copies fail the sequence check above, so the relay
+        // storm terminates after at most one send per member.
+        if relay {
+            let mut relay_sites: Vec<SiteId> = self
+                .view
+                .as_ref()
+                .map(View::member_sites)
+                .unwrap_or_default();
+            for s in new_view.member_sites() {
+                if !relay_sites.contains(&s) {
+                    relay_sites.push(s);
+                }
+            }
+            let wire = ProtoMsg::FlushCommit {
+                target_seq,
+                view: new_view.clone(),
+                deliver: deliver.clone(),
+                covered: covered.clone(),
+                gbcasts: gbcasts.clone(),
+            }
+            .encode_frame(self.group);
+            for s in relay_sites {
+                if s != self.site {
+                    self.send_to_site(s, PacketKind::Flush, wire.clone(), out);
+                }
             }
         }
         // A joining endpoint (no view installed: this site only enters the group at this

@@ -33,12 +33,16 @@ struct Cluster {
 
 impl Cluster {
     fn new(num_sites: u16) -> Self {
+        Cluster::new_with_config(num_sites, ProtoConfig::fast())
+    }
+
+    fn new_with_config(num_sites: u16, cfg: ProtoConfig) -> Self {
         let stats = SharedStats::new();
         let mut endpoints = BTreeMap::new();
         for s in 0..num_sites {
             endpoints.insert(
                 SiteId(s),
-                GroupEndpoint::new(GROUP, SiteId(s), ProtoConfig::fast(), stats.clone()),
+                GroupEndpoint::new(GROUP, SiteId(s), cfg, stats.clone()),
             );
         }
         Cluster {
@@ -162,7 +166,12 @@ impl Cluster {
 
     /// Builds a three-member group spanning sites 0, 1, 2 (member i at site i).
     fn build_three_member_group() -> Cluster {
-        let mut c = Cluster::new(3);
+        Cluster::build_three_member_group_with(ProtoConfig::fast())
+    }
+
+    /// Like [`Cluster::build_three_member_group`] but with custom protocol tunables.
+    fn build_three_member_group_with(cfg: ProtoConfig) -> Cluster {
+        let mut c = Cluster::new_with_config(3, cfg);
         c.exec(SiteId(0), |ep, _now, out| ep.create(member(0), out));
         c.exec(SiteId(0), |ep, now, out| {
             ep.submit_join(now, member(1), None, out).unwrap();
@@ -422,6 +431,121 @@ fn abcast_orphaned_by_sender_failure_is_finalized_by_the_flush() {
     c.pump(false);
     for s in [1u16, 2] {
         assert_eq!(c.delivered_bodies(SiteId(s)), vec![7], "site {s}");
+        assert_eq!(c.endpoints[&SiteId(s)].view().unwrap().members.len(), 2);
+    }
+}
+
+/// Drives the stable-but-undecided ABCAST edge: two concurrent ABCASTs from two different
+/// initiators reach every site in *opposite* orders at the two eventual survivors, the
+/// stability gossip runs to completion (so the survivors' stability trackers drop their
+/// wire copies), and then both initiators crash before phase two.  The only remaining
+/// record of either message is the survivors' holdback queues.  Returns the cluster after
+/// the failure flush between the survivors (sites 1 and 2).
+fn stable_undecided_abcasts_after_crash(ack_proposal_only: bool) -> Cluster {
+    let mut c = Cluster::new_with_config(
+        4,
+        ProtoConfig {
+            ack_proposal_only,
+            ..ProtoConfig::fast()
+        },
+    );
+    c.exec(SiteId(0), |ep, _now, out| ep.create(member(0), out));
+    for joiner in [1u16, 2, 3] {
+        c.exec(SiteId(0), |ep, now, out| {
+            ep.submit_join(now, member(joiner), None, out).unwrap();
+        });
+        c.pump(false);
+    }
+    // Member 0 initiates A (body 10) and member 3 initiates B (body 20) concurrently.
+    c.exec(SiteId(0), |ep, now, out| {
+        ep.abcast(now, member(0), Message::with_body(10u64), out)
+            .unwrap();
+    });
+    c.exec(SiteId(3), |ep, now, out| {
+        ep.abcast(now, member(3), Message::with_body(20u64), out)
+            .unwrap();
+    });
+    // Adversarial phase-one interleaving: site 1 receives A then B, site 2 receives B then
+    // A, and each initiator's site receives the other's message (every site holds both, the
+    // precondition for stability).  All priority proposals head back to the initiators.
+    let a_for_1 = self_channel_take(&mut c, SiteId(1), SiteId(0));
+    let b_for_1 = self_channel_take(&mut c, SiteId(1), SiteId(3));
+    let a_for_2 = self_channel_take(&mut c, SiteId(2), SiteId(0));
+    let b_for_2 = self_channel_take(&mut c, SiteId(2), SiteId(3));
+    let b_for_0 = self_channel_take(&mut c, SiteId(0), SiteId(3));
+    let a_for_3 = self_channel_take(&mut c, SiteId(3), SiteId(0));
+    for (dst, src, frame) in [
+        (1u16, 0u16, a_for_1),
+        (1, 3, b_for_1),
+        (2, 3, b_for_2),
+        (2, 0, a_for_2),
+        (0, 3, b_for_0),
+        (3, 0, a_for_3),
+    ] {
+        c.exec(SiteId(dst), |ep, now, out| {
+            ep.on_message(now, SiteId(src), &frame, out).unwrap();
+        });
+    }
+    // One gossip round from every site (all four now hold both copies), then both
+    // initiators crash, taking the in-flight proposals with them — phase two never runs.
+    c.tick_all();
+    c.crash_site(SiteId(0));
+    c.crash_site(SiteId(3));
+    c.pump(false);
+    c.tick_all();
+    c.pump(false);
+    // The precondition the regression pins: both messages went *stable* (no survivor holds
+    // a wire copy any more) while still *undecided* (neither was delivered).
+    for s in [1u16, 2] {
+        assert_eq!(
+            c.endpoints[&SiteId(s)].unstable_len(),
+            0,
+            "site {s} still holds an unstable copy; the edge under test needs stability"
+        );
+        assert!(
+            c.delivered_bodies(SiteId(s)).is_empty(),
+            "site {s} delivered before ordering completed"
+        );
+    }
+    for s in [1u16, 2] {
+        c.exec(SiteId(s), |ep, now, out| {
+            ep.report_failures(now, &[member(0), member(3)], out);
+        });
+    }
+    c.pump(false);
+    c
+}
+
+#[test]
+fn stable_but_undecided_abcasts_keep_a_single_total_order_across_the_view_change() {
+    let c = stable_undecided_abcasts_after_crash(true);
+    // The flush acks carried proposal-only entries re-encoded from the holdback queues, so
+    // the coordinator finalised both orphaned ABCASTs with the merged maximum proposals:
+    // one total order, identical at every survivor.
+    let order1 = c.delivered_bodies(SiteId(1));
+    let order2 = c.delivered_bodies(SiteId(2));
+    assert_eq!(order1.len(), 2, "site 1 lost a stable-but-undecided ABCAST");
+    assert_eq!(
+        order1, order2,
+        "survivors disagree on the total order at the cut"
+    );
+    for s in [1u16, 2] {
+        assert_eq!(c.endpoints[&SiteId(s)].view().unwrap().members.len(), 2);
+    }
+}
+
+#[test]
+fn without_proposal_only_acks_the_total_order_diverges_at_the_cut() {
+    // The knob exists precisely to keep the failure mode pinned: without proposal-only ack
+    // entries the coordinator never learns of the stable-but-undecided messages, each
+    // survivor force-drains them with its own *local* proposal priorities at the cut, and
+    // the two survivors commit opposite total orders — the ABCAST contract is broken.
+    let c = stable_undecided_abcasts_after_crash(false);
+    let order1 = c.delivered_bodies(SiteId(1));
+    let order2 = c.delivered_bodies(SiteId(2));
+    assert_eq!(order1, vec![10, 20], "site 1 drains in its arrival order");
+    assert_eq!(order2, vec![20, 10], "site 2 drains in its arrival order");
+    for s in [1u16, 2] {
         assert_eq!(c.endpoints[&SiteId(s)].view().unwrap().members.len(), 2);
     }
 }

@@ -117,6 +117,13 @@ impl SimRuntime {
     pub fn cluster(&self) -> &SimCluster {
         &self.cluster
     }
+
+    /// Kills a site *and* drops its in-flight outbound packets (see
+    /// [`SimCluster::kill_dropping_outbound`]) — the kill the crash-instant fuzz tests use,
+    /// so a crash can truncate a multi-packet exchange such as a state transfer.
+    pub fn kill_site_dropping_outbound(&mut self, site: SiteId) {
+        self.cluster.kill_dropping_outbound(site);
+    }
 }
 
 impl IsisRuntime for SimRuntime {

@@ -176,6 +176,19 @@ impl SimCluster {
         }
     }
 
+    /// Crashes a site *and* drops its not-yet-delivered outbound packets, modelling a crash
+    /// whose final sends die on the wire (or in an unflushed kernel buffer).  This is the
+    /// adversarial kill crash-instant fuzzing wants: a plain [`SimCluster::kill`] lets every
+    /// packet the site ever emitted arrive, so a multi-packet exchange such as a state
+    /// transfer can never be observed half-done.
+    pub fn kill_dropping_outbound(&mut self, site: SiteId) {
+        self.kill(site);
+        self.core
+            .borrow_mut()
+            .queue
+            .retain(|ev| !matches!(ev, SimEv::Pkt(pkt) if pkt.src.site == site));
+    }
+
     /// Runs `f` against a site's concrete handler at the current virtual time, flushing
     /// whatever actions it records.  `None` if the site is down or the type mismatches.
     pub fn with_node<H: SiteHandler, R>(
@@ -362,6 +375,27 @@ mod tests {
             .with_node::<Echo, _>(SiteId(0), |h, _n, _o| h.received.len())
             .unwrap();
         assert_eq!(got, 0, "no pong from a dead site");
+    }
+
+    #[test]
+    fn hard_kill_drops_in_flight_outbound_packets() {
+        let mut c = two_sites();
+        let a = ProcessId::new(SiteId(0), 0);
+        let b = ProcessId::new(SiteId(1), 0);
+        c.with_node::<Echo, _>(SiteId(0), |_h, _now, out| {
+            for i in 0..5u64 {
+                out.send(Packet::new(a, b, PacketKind::Data, Message::with_body(i)));
+            }
+        });
+        c.kill_dropping_outbound(SiteId(0));
+        c.run_until(SimTime(1_000_000));
+        let got = c
+            .with_node::<Echo, _>(SiteId(1), |h, _n, _o| h.received.len())
+            .unwrap();
+        assert_eq!(
+            got, 0,
+            "a hard-killed site's in-flight sends die on the wire"
+        );
     }
 
     #[test]

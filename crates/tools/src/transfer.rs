@@ -25,20 +25,32 @@
 //! the moment the transfer completes, which is the paper's "buffered by the application"
 //! discipline packaged as part of the tool.
 //!
-//! Known limitation (tracked in ROADMAP.md): if the transfer *source* crashes after the
-//! cut but before the joiner received the `xfer-last` block, the joiner never becomes
-//! ready — no survivor re-serves the snapshot (the view monitor only serves
-//! `view.joined`), so buffered entries keep holding traffic ([`StateTransfer::buffered_len`]
-//! exposes the growth).  An exactly-once re-transfer needs a snapshot taken at a *new*
-//! flush cut; re-encoding at request-processing time would race post-cut traffic already
-//! sitting in the joiner's buffer.
+//! # Survivor re-serve
+//!
+//! If the transfer *source* crashes after the cut but before the joiner received the final
+//! block, nobody else holds a snapshot taken at the joiner's cut — re-encoding at
+//! request-processing time cannot be exactly-once, because post-cut traffic is already
+//! sitting in the joiner's buffer.  The tool therefore recovers by forcing a **fresh cut**:
+//! when a still-waiting member sees a view that removes processes, it discards the dead
+//! transfer's partial blocks and its post-cut buffer, then GBCASTs a re-request marker.
+//! The marker rides the next flush and is delivered in the resulting view event's
+//! `gbcasts`, exactly at that new cut — where the (new) rank-0 member encodes a fresh
+//! snapshot and serves it like any join-cut transfer.  Every block is tagged with the view
+//! sequence of its serve cut (`xfer-epoch`); the joiner rejects blocks from superseded
+//! cuts, so a straggler block from the dead transfer can never corrupt the fresh one.
+//!
+//! Completion is deferred until the serve cut has installed *locally*: a final block that
+//! outruns the joiner's own flush commit must not release the buffer early, because the
+//! commit's cut redeliveries (all covered by the fresh snapshot) are still on their way
+//! into it.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use vsync_core::{
-    Address, EntryId, Frontier, GroupId, Message, ProcessBuilder, ProtocolKind, ToolCtx,
+    Address, EntryId, Frontier, GroupId, Message, ProcessBuilder, ProcessId, ProtocolKind, ToolCtx,
+    ViewEvent,
 };
 
 /// Produces the state to transfer, as a series of variable-sized blocks (paper: "the
@@ -47,6 +59,10 @@ pub type EncodeFn = Box<dyn FnMut() -> Vec<Message>>;
 
 /// Applies one received state block.
 pub type ApplyFn = Box<dyn FnMut(&mut ToolCtx<'_>, &Message)>;
+
+/// Buffered-message count at which a waiting joiner with no snapshot progress is declared
+/// stalled (see [`StateTransfer::with_stall_threshold`]).
+const DEFAULT_STALL_THRESHOLD: usize = 32;
 
 struct Inner {
     group: GroupId,
@@ -61,9 +77,29 @@ struct Inner {
     pending: Vec<(EntryId, Message)>,
     /// The application handlers behind [`StateTransfer::on_entry_buffered`].
     wrapped: BTreeMap<EntryId, ApplyFn>,
+    /// Sequence of the most recent view event observed for the group.  Blocks completing
+    /// a serve cut that has not installed locally yet defer readiness (see module docs).
+    last_view_seq: u64,
+    /// Minimum serve-cut sequence a block must carry to be applied.  Bumped when a dead
+    /// transfer is abandoned so its stragglers cannot corrupt the fresh snapshot.
+    min_epoch: u64,
+    /// Serve-cut sequence whose final block has been applied but whose view has not
+    /// installed locally yet; readiness completes at that view event.
+    complete_at: Option<u64>,
+    /// Whether the survivor re-serve protocol is active (disabled only by tests pinning
+    /// the wedge it fixes).
+    reserve_enabled: bool,
+    /// Stall detection: `blocks_received` when the buffer first crossed the threshold.
+    stall_mark: Option<u64>,
+    stall_threshold: usize,
+    stalled: bool,
+    stalled_events: u64,
     blocks_sent: u64,
     blocks_received: u64,
     transfers_served: u64,
+    reserves_served: u64,
+    rerequests_sent: u64,
+    stale_blocks_discarded: u64,
 }
 
 /// The state-transfer tool attached to one group member (or joiner).
@@ -79,6 +115,14 @@ fn run_wrapped(inner: &Rc<RefCell<Inner>>, ctx: &mut ToolCtx<'_>, entry: EntryId
     let Some(mut handler) = taken else { return };
     handler(ctx, msg);
     inner.borrow_mut().wrapped.insert(entry, handler);
+}
+
+/// True if `payload` is a re-serve request marker, returning the requesting member.
+fn rerequest_joiner(payload: &Message) -> Option<ProcessId> {
+    if !payload.get_bool("xfer-rerequest").unwrap_or(false) {
+        return None;
+    }
+    payload.get_addr("xfer-joiner").and_then(|a| a.as_process())
 }
 
 impl StateTransfer {
@@ -98,9 +142,20 @@ impl StateTransfer {
                 covered: None,
                 pending: Vec::new(),
                 wrapped: BTreeMap::new(),
+                last_view_seq: 0,
+                min_epoch: 0,
+                complete_at: None,
+                reserve_enabled: true,
+                stall_mark: None,
+                stall_threshold: DEFAULT_STALL_THRESHOLD,
+                stalled: false,
+                stalled_events: 0,
                 blocks_sent: 0,
                 blocks_received: 0,
                 transfers_served: 0,
+                reserves_served: 0,
+                rerequests_sent: 0,
+                stale_blocks_discarded: 0,
             })),
         }
     }
@@ -124,8 +179,27 @@ impl StateTransfer {
             .insert(entry, Box::new(handler));
         let inner = self.inner.clone();
         builder.on_entry(entry, move |ctx, msg| {
+            let stalled_now = {
+                let mut state = inner.borrow_mut();
+                if !state.ready {
+                    state.pending.push((entry, msg.clone()));
+                    state.note_buffer_growth()
+                } else {
+                    false
+                }
+            };
+            if stalled_now {
+                let (buffered, blocks) = {
+                    let state = inner.borrow();
+                    (state.pending.len(), state.blocks_received)
+                };
+                ctx.trace(format!(
+                    "TransferStalled: {buffered} messages buffered with no snapshot \
+                     progress (blocks_received={blocks})"
+                ));
+                return;
+            }
             if !inner.borrow().ready {
-                inner.borrow_mut().pending.push((entry, msg.clone()));
                 return;
             }
             run_wrapped(&inner, ctx, entry, msg);
@@ -140,9 +214,23 @@ impl StateTransfer {
         // and releases anything the buffered entries held back in the meantime.
         let inner = self.inner.clone();
         builder.on_entry(EntryId::GENERIC_XFER, move |ctx, msg| {
+            // Re-request markers ride the GBCAST payload path and reach every member's
+            // transfer entry; they carry no state.
+            if rerequest_joiner(msg).is_some() {
+                return;
+            }
             {
                 let mut state = inner.borrow_mut();
+                let epoch = msg.get_u64("xfer-epoch").unwrap_or(0);
+                if state.ready || epoch < state.min_epoch {
+                    // A straggler from a superseded serve (or a late re-serve after this
+                    // member already completed): applying it would corrupt newer state.
+                    state.stale_blocks_discarded += 1;
+                    return;
+                }
                 state.blocks_received += 1;
+                state.stall_mark = None;
+                state.stalled = false;
                 if let Some(covered) = msg.get_u64_list("xfer-covered") {
                     state.covered = Some(Frontier::from_wire(covered));
                 }
@@ -157,8 +245,16 @@ impl StateTransfer {
                 let mut state = inner.borrow_mut();
                 state.apply = taken;
                 if msg.get_bool("xfer-last").unwrap_or(false) {
-                    state.ready = true;
-                    std::mem::take(&mut state.pending)
+                    let epoch = msg.get_u64("xfer-epoch").unwrap_or(0);
+                    if state.last_view_seq >= epoch {
+                        state.finish_transfer()
+                    } else {
+                        // The serve cut has not installed locally yet: the commit's cut
+                        // redeliveries (covered by this snapshot) may still be on their
+                        // way into the buffer.  Readiness completes at that view event.
+                        state.complete_at = Some(epoch);
+                        Vec::new()
+                    }
                 } else {
                     Vec::new()
                 }
@@ -170,68 +266,21 @@ impl StateTransfer {
             }
         });
 
-        // Sending side: when a view adds members and we are the oldest operational member,
-        // push our state to every joiner.  This handler runs inside the stack's view-change
-        // dispatch — synchronously at the flush cut — so `encode` observes exactly the
-        // pre-cut state, and every block is tagged with the cut's covered frontier.
+        // View monitor: joiner-side re-serve detection plus the sending side.  Both run
+        // inside the stack's view-change dispatch — synchronously at the flush cut.
         let inner = self.inner.clone();
         builder.on_view_change(group, move |ctx, ev| {
             let me = ctx.me();
-            // The founding member is "ready" by definition: there is nobody to transfer from.
-            if ev.view.len() == 1 && ev.view.contains(me) {
-                inner.borrow_mut().ready = true;
-            }
-            if ev.view.joined.is_empty() || ev.view.joined.contains(&me) {
-                return;
-            }
-            if ev.view.rank_of(me) != Some(0) {
-                return;
-            }
-            if !inner.borrow().ready {
-                return;
-            }
-            let blocks = {
+            {
                 let mut state = inner.borrow_mut();
-                let mut encode = std::mem::replace(&mut state.encode, Box::new(Vec::new));
-                drop(state);
-                let blocks = encode();
-                let mut state = inner.borrow_mut();
-                state.encode = encode;
-                state.transfers_served += 1;
-                blocks
-            };
-            let covered_wire = ev.covered.to_wire();
-            for joiner in &ev.view.joined {
-                let total = blocks.len().max(1);
-                if blocks.is_empty() {
-                    // Even an empty state sends one terminating block so the joiner knows it
-                    // is up to date.
-                    let mut m = Message::new();
-                    m.set("xfer-last", true);
-                    m.set("xfer-covered", covered_wire.clone());
-                    ctx.send(
-                        Address::Process(*joiner),
-                        EntryId::GENERIC_XFER,
-                        m,
-                        ProtocolKind::Cbcast,
-                    );
-                    inner.borrow_mut().blocks_sent += 1;
-                    continue;
-                }
-                for (i, block) in blocks.iter().enumerate() {
-                    let mut m = block.clone();
-                    m.set("xfer-block", i as u64);
-                    m.set("xfer-last", i + 1 == total);
-                    m.set("xfer-covered", covered_wire.clone());
-                    ctx.send(
-                        Address::Process(*joiner),
-                        EntryId::GENERIC_XFER,
-                        m,
-                        ProtocolKind::Cbcast,
-                    );
-                    inner.borrow_mut().blocks_sent += 1;
+                state.last_view_seq = ev.view.seq();
+                // The founding member is "ready" by definition: nobody to transfer from.
+                if ev.view.len() == 1 && ev.view.contains(me) {
+                    state.ready = true;
                 }
             }
+            joiner_side(&inner, ctx, ev, me, group);
+            sender_side(&inner, ctx, ev, me);
         });
     }
 
@@ -241,9 +290,32 @@ impl StateTransfer {
         self.inner.borrow_mut().ready = true;
     }
 
+    /// Disables the survivor re-serve protocol.  Exists only so tests can pin the wedge it
+    /// fixes (a joiner whose transfer source died stays buffered forever).
+    pub fn disable_reserve(&self) {
+        self.inner.borrow_mut().reserve_enabled = false;
+    }
+
+    /// Sets the buffered-message count at which a waiting member with no snapshot progress
+    /// raises a `TransferStalled` trace event (default 32).
+    pub fn with_stall_threshold(self, threshold: usize) -> Self {
+        self.inner.borrow_mut().stall_threshold = threshold.max(1);
+        self
+    }
+
     /// True once this member holds the full state (creator, or joiner after transfer).
     pub fn is_ready(&self) -> bool {
         self.inner.borrow().ready
+    }
+
+    /// True while the buffer has grown past the stall threshold with no snapshot progress.
+    pub fn is_stalled(&self) -> bool {
+        self.inner.borrow().stalled
+    }
+
+    /// Number of `TransferStalled` events raised by this member.
+    pub fn stalled_events(&self) -> u64 {
+        self.inner.borrow().stalled_events
     }
 
     /// The covered frontier tagged onto the received snapshot: which pre-cut messages the
@@ -271,6 +343,224 @@ impl StateTransfer {
     pub fn transfers_served(&self) -> u64 {
         self.inner.borrow().transfers_served
     }
+
+    /// Number of transfers this member re-served after the original source died.
+    pub fn reserves_served(&self) -> u64 {
+        self.inner.borrow().reserves_served
+    }
+
+    /// Number of snapshot re-requests this member issued after its source died.
+    pub fn rerequests_sent(&self) -> u64 {
+        self.inner.borrow().rerequests_sent
+    }
+
+    /// Number of blocks discarded as stragglers from a superseded (dead) serve cut.
+    pub fn stale_blocks_discarded(&self) -> u64 {
+        self.inner.borrow().stale_blocks_discarded
+    }
+}
+
+impl Inner {
+    /// Completes the transfer: marks ready and hands back the held messages for replay.
+    fn finish_transfer(&mut self) -> Vec<(EntryId, Message)> {
+        self.ready = true;
+        self.complete_at = None;
+        self.stall_mark = None;
+        self.stalled = false;
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Abandons an in-flight transfer whose source is gone: the partial snapshot and the
+    /// buffered post-cut traffic all belong to the dead cut; a fresh serve (epoch >
+    /// `abandoned_at`) will cover everything up to *its* cut.
+    fn abandon_transfer(&mut self, abandoned_at: u64) {
+        self.covered = None;
+        self.complete_at = None;
+        self.prepare_for_serve(abandoned_at);
+    }
+
+    /// Fences this member onto the serve cut `serve_seq`: earlier-epoch stragglers are
+    /// rejected and the buffer (all of it predating the cut, hence covered by its
+    /// snapshot) is dropped.  Progress already made by fresh-epoch blocks that raced
+    /// ahead of the local commit is kept.
+    fn prepare_for_serve(&mut self, serve_seq: u64) {
+        self.pending.clear();
+        self.min_epoch = serve_seq;
+        self.stall_mark = None;
+        self.stalled = false;
+    }
+
+    /// Records one more buffered message; returns true when this growth crosses into the
+    /// stalled condition (threshold reached with no block received since it was reached).
+    fn note_buffer_growth(&mut self) -> bool {
+        if self.pending.len() < self.stall_threshold {
+            return false;
+        }
+        match self.stall_mark {
+            None => {
+                self.stall_mark = Some(self.blocks_received);
+                false
+            }
+            Some(mark) if self.blocks_received == mark && !self.stalled => {
+                self.stalled = true;
+                self.stalled_events += 1;
+                true
+            }
+            Some(_) => false,
+        }
+    }
+}
+
+/// What the joiner-side view handling decided to do at one view event.
+enum JoinerAction {
+    /// A deferred transfer completed at this cut; nothing to replay (the buffer was
+    /// covered by the snapshot and cleared).
+    Completed,
+    /// This cut is our fresh serve cut; the epoch fence is in place.
+    Prepared,
+    /// Our source departed: a re-request marker must be GBCAST to force a fresh cut.
+    Rerequest,
+}
+
+/// Joiner-side view handling: completes a deferred transfer once its serve cut installs,
+/// prepares for a fresh serve when this cut carries our re-request marker, and detects a
+/// dead source (a departure while we are still waiting) by re-requesting at a fresh cut.
+fn joiner_side(
+    inner: &Rc<RefCell<Inner>>,
+    ctx: &mut ToolCtx<'_>,
+    ev: &ViewEvent,
+    me: ProcessId,
+    group: GroupId,
+) {
+    if inner.borrow().ready || !ev.view.contains(me) {
+        return;
+    }
+    let action = {
+        let mut state = inner.borrow_mut();
+        let my_marker = ev.gbcasts.iter().any(|g| rerequest_joiner(g) == Some(me));
+        if state
+            .complete_at
+            .is_some_and(|epoch| ev.view.seq() >= epoch)
+        {
+            // The serve cut whose final block already arrived has now installed locally.
+            // Everything buffered up to this instant predates the cut (the endpoint holds
+            // post-cut traffic until the view installs) and is therefore covered by the
+            // snapshot: drop it, don't replay it.
+            state.pending.clear();
+            let _ = state.finish_transfer();
+            JoinerAction::Completed
+        } else if my_marker {
+            // This cut is our fresh serve cut.  Everything buffered so far predates it and
+            // is covered by the snapshot (being) served at it; blocks of the fresh epoch
+            // that raced ahead of our commit remain valid.  Do NOT re-request here — the
+            // marker's presence means the flush we asked for is exactly this one.
+            state.prepare_for_serve(ev.view.seq());
+            JoinerAction::Prepared
+        } else if !ev.view.joined.contains(&me)
+            && !ev.view.departed.is_empty()
+            && state.reserve_enabled
+        {
+            // A process departed while our transfer was in flight — possibly our source.
+            // Whatever partial state we hold was encoded at a cut that can no longer be
+            // completed exactly-once, so discard it and ask for a snapshot at a fresh cut.
+            state.abandon_transfer(ev.view.seq());
+            state.rerequests_sent += 1;
+            JoinerAction::Rerequest
+        } else {
+            return;
+        }
+    };
+    match action {
+        JoinerAction::Completed | JoinerAction::Prepared => {}
+        JoinerAction::Rerequest => {
+            ctx.trace(format!(
+                "transfer source departed before completion at view {}; re-requesting a \
+                 snapshot at a fresh cut",
+                ev.view.seq()
+            ));
+            let mut req = Message::new();
+            req.set("xfer-rerequest", true);
+            req.set("xfer-joiner", Address::Process(me));
+            ctx.send(
+                Address::Group(group),
+                EntryId::GENERIC_XFER,
+                req,
+                ProtocolKind::Gbcast,
+            );
+        }
+    }
+}
+
+/// Sending side: when this member is the oldest operational one, push its state to every
+/// member the cut obliges it to serve — the view's fresh joiners plus any still-waiting
+/// member whose re-request marker rides this cut.
+fn sender_side(inner: &Rc<RefCell<Inner>>, ctx: &mut ToolCtx<'_>, ev: &ViewEvent, me: ProcessId) {
+    let mut targets: Vec<ProcessId> = ev
+        .view
+        .joined
+        .iter()
+        .copied()
+        .filter(|j| *j != me)
+        .collect();
+    let mut reserve_targets = 0u64;
+    for g in &ev.gbcasts {
+        let Some(requester) = rerequest_joiner(g) else {
+            continue;
+        };
+        if requester != me && ev.view.contains(requester) && !targets.contains(&requester) {
+            targets.push(requester);
+            reserve_targets += 1;
+        }
+    }
+    if targets.is_empty() || ev.view.rank_of(me) != Some(0) || !inner.borrow().ready {
+        return;
+    }
+    let blocks = {
+        let mut state = inner.borrow_mut();
+        let mut encode = std::mem::replace(&mut state.encode, Box::new(Vec::new));
+        drop(state);
+        let blocks = encode();
+        let mut state = inner.borrow_mut();
+        state.encode = encode;
+        state.transfers_served += 1;
+        state.reserves_served += reserve_targets;
+        blocks
+    };
+    let covered_wire = ev.covered.to_wire();
+    let epoch = ev.view.seq();
+    for joiner in &targets {
+        let total = blocks.len().max(1);
+        if blocks.is_empty() {
+            // Even an empty state sends one terminating block so the joiner knows it is up
+            // to date.
+            let mut m = Message::new();
+            m.set("xfer-last", true);
+            m.set("xfer-epoch", epoch);
+            m.set("xfer-covered", covered_wire.clone());
+            ctx.send(
+                Address::Process(*joiner),
+                EntryId::GENERIC_XFER,
+                m,
+                ProtocolKind::Cbcast,
+            );
+            inner.borrow_mut().blocks_sent += 1;
+            continue;
+        }
+        for (i, block) in blocks.iter().enumerate() {
+            let mut m = block.clone();
+            m.set("xfer-block", i as u64);
+            m.set("xfer-last", i + 1 == total);
+            m.set("xfer-epoch", epoch);
+            m.set("xfer-covered", covered_wire.clone());
+            ctx.send(
+                Address::Process(*joiner),
+                EntryId::GENERIC_XFER,
+                m,
+                ProtocolKind::Cbcast,
+            );
+            inner.borrow_mut().blocks_sent += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -286,7 +576,49 @@ mod tests {
         assert_eq!(t.blocks_sent(), 0);
         assert_eq!(t.blocks_received(), 0);
         assert_eq!(t.transfers_served(), 0);
+        assert_eq!(t.reserves_served(), 0);
+        assert_eq!(t.rerequests_sent(), 0);
+        assert_eq!(t.stale_blocks_discarded(), 0);
         assert_eq!(t.buffered_len(), 0);
         assert!(t.covered().is_none());
+        assert!(!t.is_stalled());
+        assert_eq!(t.stalled_events(), 0);
+    }
+
+    #[test]
+    fn stall_detection_trips_once_per_quiet_period() {
+        let t = StateTransfer::new(GroupId(1), Vec::new, |_ctx, _m| {}).with_stall_threshold(2);
+        let mut inner = t.inner.borrow_mut();
+        inner.pending.push((EntryId(3), Message::new()));
+        assert!(!inner.note_buffer_growth(), "below threshold");
+        inner.pending.push((EntryId(3), Message::new()));
+        assert!(!inner.note_buffer_growth(), "first crossing arms the mark");
+        inner.pending.push((EntryId(3), Message::new()));
+        assert!(inner.note_buffer_growth(), "no progress since the mark");
+        inner.pending.push((EntryId(3), Message::new()));
+        assert!(!inner.note_buffer_growth(), "already reported");
+        assert_eq!(inner.stalled_events, 1);
+        // A received block resets the detector.
+        inner.stall_mark = None;
+        inner.stalled = false;
+        inner.pending.push((EntryId(3), Message::new()));
+        assert!(!inner.note_buffer_growth(), "re-arms after progress");
+        inner.pending.push((EntryId(3), Message::new()));
+        assert!(inner.note_buffer_growth(), "trips again if progress stops");
+        assert_eq!(inner.stalled_events, 2);
+    }
+
+    #[test]
+    fn abandon_fences_off_the_dead_cut() {
+        let t = StateTransfer::new(GroupId(1), Vec::new, |_ctx, _m| {});
+        let mut inner = t.inner.borrow_mut();
+        inner.pending.push((EntryId(3), Message::new()));
+        inner.covered = Some(Frontier::new());
+        inner.complete_at = Some(4);
+        inner.abandon_transfer(7);
+        assert!(inner.pending.is_empty());
+        assert!(inner.covered.is_none());
+        assert!(inner.complete_at.is_none());
+        assert_eq!(inner.min_epoch, 7);
     }
 }

@@ -39,6 +39,7 @@ fn quiet_cluster(num_sites: usize, num_members: usize) -> Deployment {
         stability_interval: hour,
         flush_timeout: hour,
         abcast_retry: hour,
+        ack_proposal_only: true,
     };
     let mut sys = IsisSystem::builder(num_sites)
         .profile(LatencyProfile::Modern)

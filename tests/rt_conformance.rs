@@ -15,11 +15,18 @@
 //! * across backends, survivors deliver the same *set* of messages (the order may differ
 //!   between backends — both are valid total orders).
 
-use std::sync::mpsc;
+use std::cell::RefCell;
+use std::path::PathBuf;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 
-use vsync::core::{Duration, EntryId, Message, ProcessId, ProtocolKind, SiteId, StackConfig};
+use vsync::core::{
+    Duration, EntryId, GroupId, Message, ProcessId, ProtocolKind, SiteId, StackConfig,
+};
 use vsync::proto::ProtoConfig;
 use vsync::rt::{FaultPlan, IsisHarness, IsisRuntime, SimRuntime, ThreadedRuntime};
+use vsync::tools::{FileStore, RecoveryManager, StateTransfer};
 use vsync::util::NetParams;
 
 const APPLY: EntryId = EntryId(5);
@@ -446,6 +453,375 @@ fn threaded_backend_preserves_virtual_synchrony() {
     ));
     let obs = run_scenario(h);
     check_virtual_synchrony(&obs);
+}
+
+// ---------------------------------------------------------------------------------------
+// Crash → durable-log replay → rejoin
+// ---------------------------------------------------------------------------------------
+//
+// A member site that fully dies (process and memory both gone) replays its on-disk
+// recovery log to rebuild pre-crash state, then rejoins via state transfer.  The scenario
+// pins the exactly-once partition — every message reaches the recovered member through
+// exactly one of {log replay, rejoin snapshot, post-snapshot delivery} — and the recovery
+// delivery *order*: the recovered member's full state order must equal every survivor's,
+// because the replay preserves the pre-crash total order, the snapshot preserves the
+// serving survivor's, and post-cut traffic is totally ordered ABCAST.
+
+/// Deliveries of the recovery scenario, in phases of eight: pre-crash, while down, after
+/// rejoin.
+const REC_TOTAL: u64 = 24;
+
+struct RecMirror {
+    /// Every body added to the member's state, in state order.
+    order: Arc<Mutex<Vec<u64>>>,
+    ready: Arc<AtomicBool>,
+}
+
+struct ReplayCounters {
+    replayed: Arc<AtomicU64>,
+    snapshot_added: Arc<AtomicU64>,
+    applies: Arc<AtomicU64>,
+}
+
+/// Spawns a group member whose state is the ordered list of delivered bodies.  With a
+/// `root`, deliveries and view markers are also appended to a durable on-disk recovery log
+/// (fsync'd per record), which is what the respawn leg replays.
+fn spawn_durable_member<R: IsisRuntime>(
+    h: &mut IsisHarness<R>,
+    site: SiteId,
+    gid: GroupId,
+    ready: bool,
+    root: Option<PathBuf>,
+) -> (ProcessId, RecMirror) {
+    let mirror = RecMirror {
+        order: Arc::new(Mutex::new(Vec::new())),
+        ready: Arc::new(AtomicBool::new(ready)),
+    };
+    let m_order = mirror.order.clone();
+    let m_ready = mirror.ready.clone();
+    let pid = h.spawn(site, move |b| {
+        let rm = root.map(|r| {
+            RecoveryManager::new(
+                Rc::new(FileStore::new(r).expect("store").with_fsync_interval(1)),
+                "recovery",
+            )
+        });
+        if let Some(rm) = &rm {
+            rm.attach_logging(b, gid);
+        }
+        let state: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        let s_encode = state.clone();
+        let s_apply = state.clone();
+        let o_apply = m_order.clone();
+        let xfer = StateTransfer::new(
+            gid,
+            move || {
+                s_encode
+                    .borrow()
+                    .iter()
+                    .map(|v| Message::new().with("rec-entry", *v))
+                    .collect()
+            },
+            move |_ctx, block| {
+                if let Some(v) = block.get_u64("rec-entry") {
+                    let mut s = s_apply.borrow_mut();
+                    if !s.contains(&v) {
+                        s.push(v);
+                        o_apply.lock().unwrap().push(v);
+                    }
+                }
+                if block.get_bool("xfer-last").unwrap_or(false) {
+                    m_ready.store(true, Ordering::Relaxed);
+                }
+            },
+        );
+        xfer.attach(b);
+        if ready {
+            xfer.mark_ready();
+        }
+        let s_update = state.clone();
+        xfer.on_entry_buffered(b, APPLY, move |_ctx, msg| {
+            // Log first, then apply: the test's "all delivered" observation reads the
+            // mirror, so a kill can never land between a mirrored apply and its record.
+            if let Some(rm) = &rm {
+                let _ = rm.log_delivery(APPLY, msg);
+            }
+            let v = msg.get_u64("body").unwrap_or(u64::MAX);
+            s_update.borrow_mut().push(v);
+            m_order.lock().unwrap().push(v);
+        });
+    });
+    (pid, mirror)
+}
+
+/// Respawns the member of a fully-dead site: reopen the on-disk store, replay the log to
+/// rebuild pre-crash state, *then* wire the transfer tool and rejoin.  The counters pin
+/// where each body came from.
+fn respawn_recovered_member<R: IsisRuntime>(
+    h: &mut IsisHarness<R>,
+    site: SiteId,
+    gid: GroupId,
+    root: PathBuf,
+) -> (ProcessId, RecMirror, ReplayCounters) {
+    let mirror = RecMirror {
+        order: Arc::new(Mutex::new(Vec::new())),
+        ready: Arc::new(AtomicBool::new(false)),
+    };
+    let counters = ReplayCounters {
+        replayed: Arc::new(AtomicU64::new(0)),
+        snapshot_added: Arc::new(AtomicU64::new(0)),
+        applies: Arc::new(AtomicU64::new(0)),
+    };
+    let m_order = mirror.order.clone();
+    let m_ready = mirror.ready.clone();
+    let c_replayed = counters.replayed.clone();
+    let c_snapshot = counters.snapshot_added.clone();
+    let c_applies = counters.applies.clone();
+    let pid = h.spawn(site, move |b| {
+        let rm = RecoveryManager::new(
+            Rc::new(
+                FileStore::new(root)
+                    .expect("reopen store")
+                    .with_fsync_interval(1),
+            ),
+            "recovery",
+        );
+        let state: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        // Replay before anything else: the durable log rebuilds the pre-crash state in
+        // delivery order.
+        {
+            let s = state.clone();
+            let o = m_order.clone();
+            let summary = rm
+                .replay(|entry, payload| {
+                    if entry == APPLY {
+                        let v = payload.get_u64("body").unwrap_or(u64::MAX);
+                        s.borrow_mut().push(v);
+                        o.lock().unwrap().push(v);
+                    }
+                })
+                .expect("replay");
+            c_replayed.store(summary.messages as u64, Ordering::Relaxed);
+        }
+        rm.attach_logging(b, gid);
+        let s_encode = state.clone();
+        let s_apply = state.clone();
+        let o_apply = m_order.clone();
+        let xfer = StateTransfer::new(
+            gid,
+            move || {
+                s_encode
+                    .borrow()
+                    .iter()
+                    .map(|v| Message::new().with("rec-entry", *v))
+                    .collect()
+            },
+            move |_ctx, block| {
+                if let Some(v) = block.get_u64("rec-entry") {
+                    let mut s = s_apply.borrow_mut();
+                    // The rejoin snapshot overlaps the replayed prefix; only genuinely new
+                    // bodies count as snapshot-recovered.
+                    if !s.contains(&v) {
+                        s.push(v);
+                        o_apply.lock().unwrap().push(v);
+                        c_snapshot.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                if block.get_bool("xfer-last").unwrap_or(false) {
+                    m_ready.store(true, Ordering::Relaxed);
+                }
+            },
+        );
+        xfer.attach(b);
+        let s_update = state.clone();
+        xfer.on_entry_buffered(b, APPLY, move |_ctx, msg| {
+            let _ = rm.log_delivery(APPLY, msg);
+            let v = msg.get_u64("body").unwrap_or(u64::MAX);
+            s_update.borrow_mut().push(v);
+            m_order.lock().unwrap().push(v);
+            c_applies.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    (pid, mirror, counters)
+}
+
+/// Runs the crash → replay → rejoin scenario and returns the three members' state orders
+/// plus the recovered member's partition counters.
+fn run_recovery_scenario<R: IsisRuntime>(
+    mut h: IsisHarness<R>,
+    root: &std::path::Path,
+) -> (Vec<Vec<u64>>, [u64; 3]) {
+    let gid = h.allocate_group_id();
+    let (m0, c0) = spawn_durable_member(&mut h, SiteId(0), gid, true, None);
+    h.create_group_with_id("rec", gid, m0);
+    let (m1, c1) = spawn_durable_member(&mut h, SiteId(1), gid, false, None);
+    h.join_and_wait(gid, m1, None, Duration::from_secs(20))
+        .expect("join m1");
+    let (m2, c2) = spawn_durable_member(&mut h, SiteId(2), gid, false, Some(root.to_path_buf()));
+    h.join_and_wait(gid, m2, None, Duration::from_secs(20))
+        .expect("join m2");
+    let ok = h.wait_until(Duration::from_secs(20), |_| {
+        c1.ready.load(Ordering::Relaxed) && c2.ready.load(Ordering::Relaxed)
+    });
+    assert!(ok, "initial transfers never completed");
+
+    let order_len = |c: &RecMirror| c.order.lock().unwrap().len() as u64;
+
+    // Phase one: eight ABCASTs, logged durably at site 2, delivered everywhere.
+    for i in 0..8u64 {
+        h.client_send(
+            [m0, m1, m2][(i % 3) as usize],
+            gid,
+            APPLY,
+            Message::with_body(i),
+            ProtocolKind::Abcast,
+        );
+    }
+    let ok = h.wait_until(Duration::from_secs(20), |_| {
+        [&c0, &c1, &c2].iter().all(|c| order_len(c) == 8)
+    });
+    assert!(ok, "phase-one deliveries incomplete");
+
+    // Full site death: process, memory and in-flight state all gone; only the disk log
+    // survives.
+    h.rt.kill_site(SiteId(2));
+    let ok = h.wait_until(Duration::from_secs(30), |h| {
+        [0u16, 1].iter().all(|s| {
+            h.view_of(SiteId(*s), gid)
+                .map(|v| v.len() == 2)
+                .unwrap_or(false)
+        })
+    });
+    assert!(ok, "survivors never installed the post-crash view");
+
+    // Phase two: eight more ABCASTs the dead site misses entirely.
+    for i in 8..16u64 {
+        h.client_send(
+            [m0, m1][(i % 2) as usize],
+            gid,
+            APPLY,
+            Message::with_body(i),
+            ProtocolKind::Abcast,
+        );
+    }
+    // Quiesce before the rejoin so the cut is clean: phase two fully delivered *and*
+    // stable, which forces the partition counters to exact values below.
+    let ok = h.wait_until(Duration::from_secs(20), |h| {
+        order_len(&c0) == 16 && order_len(&c1) == 16 && h.unstable_count(SiteId(0), gid) == 0
+    });
+    assert!(ok, "phase-two deliveries never stabilised");
+
+    // Respawn: fresh stack, fresh process, state rebuilt from the disk log, rejoin via
+    // state transfer.
+    h.rt.recover_site(SiteId(2));
+    let (r2, c2b, counters) = respawn_recovered_member(&mut h, SiteId(2), gid, root.to_path_buf());
+    h.query(SiteId(2), move |stack, _now, _out| {
+        // The fresh stack lost its namespace cache; both survivor sites as contacts.
+        stack.register_group("rec", gid, vec![SiteId(0), SiteId(1)]);
+    });
+    h.join_and_wait(gid, r2, None, Duration::from_secs(20))
+        .expect("rejoin after replay");
+    let ok = h.wait_until(Duration::from_secs(20), |_| {
+        c2b.ready.load(Ordering::Relaxed)
+    });
+    assert!(ok, "rejoin transfer never completed");
+
+    // Phase three: eight more ABCASTs, the recovered member sending too.
+    for i in 16..REC_TOTAL {
+        h.client_send(
+            [m0, m1, r2][(i % 3) as usize],
+            gid,
+            APPLY,
+            Message::with_body(i),
+            ProtocolKind::Abcast,
+        );
+    }
+    let ok = h.wait_until(Duration::from_secs(20), |_| {
+        [&c0, &c1, &c2b].iter().all(|c| order_len(c) == REC_TOTAL)
+    });
+    assert!(ok, "phase-three deliveries incomplete");
+    h.settle(Duration::from_millis(50));
+
+    let orders = [&c0, &c1, &c2b]
+        .iter()
+        .map(|c| c.order.lock().unwrap().clone())
+        .collect();
+    (
+        orders,
+        [
+            counters.replayed.load(Ordering::Relaxed),
+            counters.snapshot_added.load(Ordering::Relaxed),
+            counters.applies.load(Ordering::Relaxed),
+        ],
+    )
+}
+
+/// The invariants the recovery scenario must satisfy on every backend.
+fn check_recovery(orders: &[Vec<u64>], partition: [u64; 3]) {
+    // Identical recovery delivery orders: replay preserves the pre-crash prefix, the
+    // snapshot the serving survivor's order, post-cut ABCAST the total order — so all
+    // three full state orders coincide.
+    assert_eq!(orders[0], orders[1], "survivors disagree on delivery order");
+    assert_eq!(
+        orders[0], orders[2],
+        "recovered member's state order diverges from the survivors'"
+    );
+    let mut bodies = orders[2].clone();
+    bodies.sort_unstable();
+    assert_eq!(
+        bodies,
+        (0..REC_TOTAL).collect::<Vec<u64>>(),
+        "recovered member lost or duplicated deliveries"
+    );
+    // The exactly-once partition, pinned to exact per-phase counts by the quiesced cut:
+    // phase one arrives via the replayed log, phase two via the rejoin snapshot, phase
+    // three via post-snapshot delivery.
+    assert_eq!(partition, [8, 8, 8], "recovery partition off");
+    assert_eq!(
+        partition.iter().sum::<u64>(),
+        REC_TOTAL,
+        "log-replayed + snapshot + post-snapshot applies must equal the total"
+    );
+}
+
+fn recovery_root(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("vsync-recovery-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn simulated_backend_recovers_from_its_durable_log() {
+    let root = recovery_root("sim");
+    let _ = std::fs::remove_dir_all(&root);
+    let params = NetParams::modern();
+    let h = IsisHarness::new(SimRuntime::new(
+        3,
+        params,
+        StackConfig::from_params(&params),
+        ProtoConfig::fast(),
+        2026,
+    ));
+    let (orders, partition) = run_recovery_scenario(h, &root);
+    check_recovery(&orders, partition);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn threaded_backend_recovers_from_its_durable_log() {
+    let root = recovery_root("threaded");
+    let _ = std::fs::remove_dir_all(&root);
+    let faults = FaultPlan::none()
+        .with_delay(Duration::from_micros(100))
+        .with_jitter(Duration::from_micros(300));
+    let h = IsisHarness::new(ThreadedRuntime::new(
+        3,
+        ThreadedRuntime::fast_local_config(),
+        ProtoConfig::fast(),
+        faults,
+        2027,
+    ));
+    let (orders, partition) = run_recovery_scenario(h, &root);
+    check_recovery(&orders, partition);
+    let _ = std::fs::remove_dir_all(&root);
 }
 
 #[test]

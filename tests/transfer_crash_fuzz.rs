@@ -1,0 +1,519 @@
+//! Property test: crashing the **state-transfer source at a random instant** of an ongoing
+//! multicast burst never wedges the joiner (simulated backend, seeded).
+//!
+//! Every case runs the same scenario — a two-member group blasting interleaved CBCAST and
+//! ABCAST increments, a third member whose join is injected at a randomized point of the
+//! burst, and the rank-0 transfer source killed at a *second* randomized point — under a
+//! randomized network schedule.  Whatever the interleaving, the survivor re-serve protocol
+//! must hold: if the source dies mid-transfer, the joiner discards the dead cut's partial
+//! blocks, GBCASTs a re-request that rides a fresh flush, and the surviving member
+//! re-encodes at the new cut.  The pinned property is the application-visible one: the
+//! joiner always unwedges (becomes ready), and the survivor's and joiner's applied-message
+//! multisets are **identical and duplicate-free**.  (Messages the dead source never managed
+//! to get out may be legitimately lost — virtual synchrony promises agreement among the
+//! survivors, not delivery of a crashed sender's unsent traffic.)
+//!
+//! Two deterministic companions pin the mechanism itself: one catches the exact
+//! view-installed-but-transfer-incomplete window and asserts a re-serve happened, the other
+//! disables re-serve and pins the wedge it fixes (joiner stuck, `TransferStalled` raised).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use vsync::core::{Duration, EntryId, Message, ProcessId, ProtocolKind, SiteId, StackConfig};
+use vsync::proto::ProtoConfig;
+use vsync::rt::{FaultPlan, IsisHarness, IsisRuntime, SimRuntime, ThreadedRuntime};
+use vsync::tools::StateTransfer;
+use vsync::util::NetParams;
+
+const APPLY: EntryId = EntryId(3);
+/// Unbuffered probe entry: snapshots the transfer tool's counters into the mirrors, even
+/// while the member is wedged (buffered entries would hold a probe back).
+const PROBE: EntryId = EntryId(4);
+/// Messages in the burst the join and the crash are injected into.
+const TOTAL: u64 = 16;
+
+/// Test-thread-readable mirrors of one member's application and transfer-tool state.
+struct Mirrors {
+    log: Arc<Mutex<Vec<u64>>>,
+    ready: Arc<AtomicBool>,
+    rerequests: Arc<AtomicU64>,
+    stalled_events: Arc<AtomicU64>,
+    buffered: Arc<AtomicU64>,
+}
+
+fn sim_harness(seed: u64) -> IsisHarness<SimRuntime> {
+    let params = NetParams::modern();
+    IsisHarness::new(SimRuntime::new(
+        3,
+        params,
+        StackConfig::from_params(&params),
+        ProtoConfig::fast(),
+        seed,
+    ))
+}
+
+/// Spawns a member whose state is the log of applied message bodies.  The state encodes as
+/// **one block per entry** and snapshot application deduplicates, so a fresh re-serve can
+/// overlap whatever a dead serve already delivered.  The APPLY entry pushes
+/// unconditionally: a protocol-level double-delivery shows up as a duplicate in the log.
+/// `pad` bytes of ballast per block let the deterministic tests make blocks *slower on the
+/// wire than the commit* (serialization delay grows with size), opening a real window in
+/// which the join view is installed while the snapshot is still in flight.
+fn spawn_log_member<R: IsisRuntime>(
+    h: &mut IsisHarness<R>,
+    site: SiteId,
+    gid: vsync::core::GroupId,
+    ready: bool,
+    reserve: bool,
+    pad: usize,
+) -> (ProcessId, Mirrors) {
+    let mirrors = Mirrors {
+        log: Arc::new(Mutex::new(Vec::new())),
+        ready: Arc::new(AtomicBool::new(ready)),
+        rerequests: Arc::new(AtomicU64::new(0)),
+        stalled_events: Arc::new(AtomicU64::new(0)),
+        buffered: Arc::new(AtomicU64::new(0)),
+    };
+    let log = mirrors.log.clone();
+    let m_ready = mirrors.ready.clone();
+    let m_rereq = mirrors.rerequests.clone();
+    let m_stall = mirrors.stalled_events.clone();
+    let m_buf = mirrors.buffered.clone();
+    let pid = h.spawn(site, move |b| {
+        let l_encode = log.clone();
+        let l_apply = log.clone();
+        let r_apply = m_ready.clone();
+        let xfer = StateTransfer::new(
+            gid,
+            move || {
+                l_encode
+                    .lock()
+                    .unwrap()
+                    .iter()
+                    .map(|v| {
+                        let m = Message::new().with("log-entry", *v);
+                        if pad == 0 {
+                            m
+                        } else {
+                            m.with("pad", "x".repeat(pad))
+                        }
+                    })
+                    .collect()
+            },
+            move |_ctx, block| {
+                if let Some(v) = block.get_u64("log-entry") {
+                    let mut l = l_apply.lock().unwrap();
+                    // A re-serve resends the full state; entries a dead serve already
+                    // delivered must not double-apply.
+                    if !l.contains(&v) {
+                        l.push(v);
+                    }
+                }
+                if block.get_bool("xfer-last").unwrap_or(false) {
+                    r_apply.store(true, Ordering::Relaxed);
+                }
+            },
+        )
+        .with_stall_threshold(4);
+        xfer.attach(b);
+        if ready {
+            xfer.mark_ready();
+        }
+        if !reserve {
+            xfer.disable_reserve();
+        }
+        let l_update = log.clone();
+        xfer.on_entry_buffered(b, APPLY, move |_ctx, msg| {
+            l_update
+                .lock()
+                .unwrap()
+                .push(msg.get_u64("body").unwrap_or(u64::MAX));
+        });
+        let x_probe = xfer.clone();
+        b.on_entry(PROBE, move |_ctx, _msg| {
+            m_rereq.store(x_probe.rerequests_sent(), Ordering::Relaxed);
+            m_stall.store(x_probe.stalled_events(), Ordering::Relaxed);
+            m_buf.store(x_probe.buffered_len() as u64, Ordering::Relaxed);
+        });
+    });
+    (pid, mirrors)
+}
+
+fn submit_join<R: IsisRuntime>(
+    h: &mut IsisHarness<R>,
+    gid: vsync::core::GroupId,
+    reserve: bool,
+    pad: usize,
+) -> (ProcessId, Mirrors) {
+    let (pid, mirrors) = spawn_log_member(h, SiteId(2), gid, false, reserve, pad);
+    h.rt.with_stack_job(
+        SiteId(2),
+        Box::new(move |stack, _now, out| {
+            // Both member sites as contacts: when the first one dies with the JoinReq,
+            // the stack's join retry must be able to route around it.
+            stack.register_group("crash", gid, vec![SiteId(0), SiteId(1)]);
+            stack
+                .join_group(gid, pid, None, out)
+                .expect("join submitted");
+        }),
+    );
+    (pid, mirrors)
+}
+
+/// Builds the two-member group (source at site 0, survivor at site 1) with the survivor's
+/// transfer completed, ready for a burst.
+fn two_member_group<R: IsisRuntime>(
+    h: &mut IsisHarness<R>,
+    gid: vsync::core::GroupId,
+    pad: usize,
+) -> (ProcessId, Mirrors, ProcessId, Mirrors) {
+    let (m0, mir0) = spawn_log_member(h, SiteId(0), gid, true, true, pad);
+    h.create_group_with_id("crash", gid, m0);
+    let (m1, mir1) = spawn_log_member(h, SiteId(1), gid, false, true, pad);
+    h.join_and_wait(gid, m1, None, Duration::from_secs(10))
+        .expect("survivor join");
+    assert!(
+        h.wait_until(Duration::from_secs(10), |_| mir1
+            .ready
+            .load(Ordering::Relaxed)),
+        "survivor transfer never completed"
+    );
+    (m0, mir0, m1, mir1)
+}
+
+fn sorted(l: &Arc<Mutex<Vec<u64>>>) -> Vec<u64> {
+    let mut v = l.lock().unwrap().clone();
+    v.sort_unstable();
+    v
+}
+
+fn assert_duplicate_free(who: &str, ctx: &str, multiset: &[u64]) {
+    for w in multiset.windows(2) {
+        assert!(
+            w[0] != w[1],
+            "{ctx}: {who} applied message {} twice (multiset {multiset:?})",
+            w[0]
+        );
+    }
+}
+
+/// Runs one seeded scenario: the join is submitted after `join_after` of the burst's
+/// `TOTAL` sends and the transfer source is killed after `kill_after` sends
+/// (`kill_after >= TOTAL` degenerates to a crash after the whole burst is in flight).
+/// Panics unless the joiner unwedges and the survivor and joiner converge on an identical,
+/// duplicate-free applied multiset.
+fn crash_races_transfer(seed: u64, join_after: u64, kill_after: u64) {
+    let ctx = format!("seed {seed}, join_after {join_after}, kill_after {kill_after}");
+    let mut h = sim_harness(seed);
+    let gid = h.allocate_group_id();
+    let (m0, _mir0, m1, mir1) = two_member_group(&mut h, gid, 0);
+
+    // The burst, with the joiner and the crash injected mid-flight.
+    let mut joiner: Option<(ProcessId, Mirrors)> = None;
+    let mut killed = false;
+    for i in 0..TOTAL {
+        if i == join_after {
+            joiner = Some(submit_join(&mut h, gid, true, 0));
+        }
+        if i == kill_after {
+            // The hard kill: in-flight packets from site 0 die on the wire, so the crash
+            // can truncate a commit fan-out or a block stream mid-exchange.
+            h.rt.kill_site_dropping_outbound(SiteId(0));
+            killed = true;
+        }
+        let protocol = if i % 2 == 0 {
+            ProtocolKind::Cbcast
+        } else {
+            ProtocolKind::Abcast
+        };
+        // Alternate senders while both live; after the crash everything goes via the
+        // survivor.
+        let sender = if killed || i % 2 == 1 { m1 } else { m0 };
+        h.client_send(sender, gid, APPLY, Message::with_body(i), protocol);
+        h.settle(Duration::from_micros(500));
+    }
+    let (jid, mir2) = joiner.unwrap_or_else(|| submit_join(&mut h, gid, true, 0));
+    if !killed {
+        h.rt.kill_site_dropping_outbound(SiteId(0));
+    }
+
+    // Convergence: the joiner is in the view, the dead source is out of it, the joiner's
+    // transfer completed (possibly via a survivor re-serve), and both logs agree.
+    let ok = h.wait_until(Duration::from_secs(30), |h| {
+        [SiteId(1), SiteId(2)].iter().all(|s| {
+            h.view_of(*s, gid)
+                .map(|v| v.contains(jid) && !v.contains(m0) && v.len() == 2)
+                .unwrap_or(false)
+        })
+    });
+    assert!(ok, "{ctx}: survivors never agreed on the post-crash view");
+    let ok = h.wait_until(Duration::from_secs(30), |_| {
+        mir2.ready.load(Ordering::Relaxed) && sorted(&mir1.log) == sorted(&mir2.log)
+    });
+    assert!(
+        ok,
+        "{ctx}: joiner wedged or logs diverged (ready={}, survivor={:?}, joiner={:?})",
+        mir2.ready.load(Ordering::Relaxed),
+        sorted(&mir1.log),
+        sorted(&mir2.log),
+    );
+    // Let any straggler (a late duplicate would be one) land, then re-check: nothing moves.
+    h.settle(Duration::from_millis(200));
+    let survivor = sorted(&mir1.log);
+    let joiner_log = sorted(&mir2.log);
+    assert_eq!(
+        survivor, joiner_log,
+        "{ctx}: applied multisets diverged after settling"
+    );
+    assert_duplicate_free("survivor", &ctx, &survivor);
+    assert_duplicate_free("joiner", &ctx, &joiner_log);
+    // The survivor's own sends can never be lost: it outlives the cut that installs them.
+    for i in 0..TOTAL {
+        let survivor_sent = i % 2 == 1 || i >= kill_after;
+        if survivor_sent {
+            assert!(
+                survivor.contains(&i),
+                "{ctx}: survivor-sent message {i} lost (multiset {survivor:?})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24 })]
+    #[test]
+    fn randomized_crash_instants_never_wedge_the_joiner(
+        seed in 0u64..1_000_000,
+        join_after in 0u64..TOTAL,
+        kill_after in 0u64..(TOTAL + 2),
+    ) {
+        crash_races_transfer(seed, join_after, kill_after);
+    }
+}
+
+/// The corner instants are always part of the suite, independent of what the randomized
+/// cases drew: crash before anything else, crash racing the join exactly, crash after the
+/// whole burst.
+#[test]
+fn boundary_crash_instants_never_wedge_the_joiner() {
+    crash_races_transfer(7, 0, 0);
+    crash_races_transfer(11, 5, 5);
+    crash_races_transfer(13, 3, TOTAL);
+}
+
+/// Catches the exact window the re-serve protocol exists for — the join view has installed
+/// everywhere but the joiner's transfer is still incomplete — kills the source inside it,
+/// and asserts the joiner recovered *via a re-request* (not by luck).
+#[test]
+fn mid_transfer_source_crash_is_reserved_by_the_survivor() {
+    let (h, gid, m1, mir2, caught) = run_mid_transfer_crash(21, true);
+    assert!(
+        caught,
+        "never caught the mid-transfer window; pick another seed"
+    );
+    let mut h = h;
+    let ok = h.wait_until(Duration::from_secs(30), |_| {
+        mir2.ready.load(Ordering::Relaxed)
+    });
+    assert!(ok, "joiner never unwedged after mid-transfer source crash");
+    // Probe the joiner's transfer tool: the recovery must have gone through at least one
+    // snapshot re-request.
+    probe(&mut h, gid, m1);
+    assert!(
+        mir2.rerequests.load(Ordering::Relaxed) >= 1,
+        "joiner became ready without re-requesting — the window was not exercised"
+    );
+    let survivor_log = sorted(&mir2.log);
+    assert_duplicate_free("joiner", "mid-transfer crash", &survivor_log);
+}
+
+/// The same window with re-serve disabled pins the failure mode the protocol fixes: the
+/// joiner stays wedged forever, its buffer grows, and the `TransferStalled` detector fires
+/// so the condition is observable outside tests too.
+#[test]
+fn without_reserve_the_joiner_wedges_and_reports_a_stall() {
+    let (h, gid, m1, mir2, caught) = run_mid_transfer_crash(21, false);
+    assert!(
+        caught,
+        "never caught the mid-transfer window; pick another seed"
+    );
+    let mut h = h;
+    h.settle(Duration::from_secs(5));
+    probe(&mut h, gid, m1);
+    assert!(
+        !mir2.ready.load(Ordering::Relaxed),
+        "joiner unwedged with re-serve disabled — the knob no longer pins the failure mode"
+    );
+    assert!(
+        mir2.buffered.load(Ordering::Relaxed) >= 4,
+        "wedged joiner's buffer never grew past the stall threshold (buffered={})",
+        mir2.buffered.load(Ordering::Relaxed)
+    );
+    assert!(
+        mir2.stalled_events.load(Ordering::Relaxed) >= 1,
+        "TransferStalled never fired for a wedged joiner"
+    );
+    assert_eq!(mir2.rerequests.load(Ordering::Relaxed), 0);
+}
+
+/// Shared choreography for the deterministic window tests: build the group, deliver a
+/// 16-message burst everywhere, submit the join, wait until the three-member view has
+/// installed at the joiner's site while the transfer is still incomplete, and kill the
+/// source in that instant.  Post-cut traffic (sent by the survivor) keeps flowing so the
+/// joiner's buffered entries see load.  Returns `caught = false` if the transfer won the
+/// race against the view observation (seed-dependent; the callers assert it).
+fn run_mid_transfer_crash(
+    seed: u64,
+    reserve: bool,
+) -> (
+    IsisHarness<SimRuntime>,
+    vsync::core::GroupId,
+    ProcessId,
+    Mirrors,
+    bool,
+) {
+    let mut h = sim_harness(seed);
+    let gid = h.allocate_group_id();
+    // Half a megabyte of ballast per snapshot block: at the modern profile's 10 Gbit/s the
+    // blocks' serialization delay (~400 µs each) dwarfs the flush commit's (~KBs), so the
+    // join view installs everywhere while the whole snapshot is still on the wire.  The
+    // simulator's latency model is deterministic, so without the ballast the small blocks
+    // would *always* beat the commit and the window would never be observable.
+    const PAD: usize = 512 * 1024;
+    let (m0, _mir0, m1, mir1) = two_member_group(&mut h, gid, PAD);
+    // Pre-join history: 16 entries, fully delivered, so the snapshot is 16 blocks wide —
+    // a wide window for the crash to land inside.
+    for i in 0..TOTAL {
+        h.client_send(m0, gid, APPLY, Message::with_body(i), ProtocolKind::Cbcast);
+    }
+    let ok = h.wait_until(Duration::from_secs(10), |_| {
+        mir1.log.lock().unwrap().len() == TOTAL as usize
+    });
+    assert!(ok, "pre-join burst never delivered");
+    let (jid, mir2) = submit_join(&mut h, gid, reserve, PAD);
+    // Advance in 50 µs steps hunting for the instant where the join view has installed at
+    // both surviving sites but the joiner's transfer is still incomplete — i.e. some of
+    // the source's snapshot blocks are still on the wire.  (Requiring the survivor to have
+    // installed too keeps the kill honest: it truncates the block stream, not the commit
+    // fan-out, so the scenario isolates the transfer-crash path.)
+    let mut caught = false;
+    for _ in 0..200_000 {
+        if mir2.ready.load(Ordering::Relaxed) {
+            break; // the transfer won the race against the observation
+        }
+        let installed_everywhere = [SiteId(1), SiteId(2)]
+            .iter()
+            .all(|s| h.view_of(*s, gid).map(|v| v.contains(jid)).unwrap_or(false));
+        if installed_everywhere {
+            caught = true;
+            break;
+        }
+        h.settle(Duration::from_micros(50));
+    }
+    if caught {
+        h.rt.kill_site_dropping_outbound(SiteId(0));
+    }
+    // Post-crash traffic from the survivor: the wedged joiner must buffer it.
+    for i in 0..8u64 {
+        h.client_send(
+            m1,
+            gid,
+            APPLY,
+            Message::with_body(TOTAL + i),
+            ProtocolKind::Cbcast,
+        );
+        h.settle(Duration::from_micros(500));
+    }
+    (h, gid, m1, mir2, caught)
+}
+
+/// Sends a probe through the survivor and settles so the joiner's counter mirrors refresh.
+fn probe(h: &mut IsisHarness<SimRuntime>, gid: vsync::core::GroupId, m1: ProcessId) {
+    h.client_send(m1, gid, PROBE, Message::new(), ProtocolKind::Cbcast);
+    h.settle(Duration::from_millis(50));
+}
+
+/// The source-crash property on the **threaded** backend: real OS scheduling decides the
+/// exact crash instant, so the test scans several kill delays around the join — before the
+/// flush, racing it, and mid/post transfer — and requires the joiner to unwedge and agree
+/// with the survivor for every one.  (The sim proptest above explores the instant space
+/// exhaustively; this leg pins that nothing about the recovery depends on simulated time.)
+#[test]
+fn threaded_source_crash_never_wedges_the_joiner() {
+    for (round, delay) in [0u64, 500, 2_000, 8_000].into_iter().enumerate() {
+        let faults = FaultPlan::none()
+            .with_delay(Duration::from_micros(200))
+            .with_jitter(Duration::from_micros(400));
+        let mut h = IsisHarness::new(ThreadedRuntime::new(
+            3,
+            ThreadedRuntime::fast_local_config(),
+            ProtoConfig::fast(),
+            faults,
+            77 + round as u64,
+        ));
+        let gid = h.allocate_group_id();
+        let (m0, _mir0, m1, mir1) = two_member_group(&mut h, gid, 0);
+        for i in 0..TOTAL {
+            let sender = if i % 2 == 0 { m0 } else { m1 };
+            h.client_send(
+                sender,
+                gid,
+                APPLY,
+                Message::with_body(i),
+                ProtocolKind::Cbcast,
+            );
+        }
+        let ok = h.wait_until(Duration::from_secs(20), |_| {
+            mir1.log.lock().unwrap().len() == TOTAL as usize
+        });
+        assert!(ok, "round {round}: pre-join burst never delivered");
+
+        let (jid, mir2) = submit_join(&mut h, gid, true, 0);
+        if delay > 0 {
+            h.settle(Duration::from_micros(delay));
+        }
+        h.rt.kill_site(SiteId(0));
+        // Post-crash traffic from the survivor keeps the group live.
+        for i in 0..8u64 {
+            h.client_send(
+                m1,
+                gid,
+                APPLY,
+                Message::with_body(TOTAL + i),
+                ProtocolKind::Cbcast,
+            );
+        }
+        let ok = h.wait_until(Duration::from_secs(30), |h| {
+            [SiteId(1), SiteId(2)].iter().all(|s| {
+                h.view_of(*s, gid)
+                    .map(|v| v.contains(jid) && !v.contains(m0) && v.len() == 2)
+                    .unwrap_or(false)
+            })
+        });
+        assert!(
+            ok,
+            "round {round}: survivors never agreed on the post-crash view"
+        );
+        let ok = h.wait_until(Duration::from_secs(30), |_| {
+            mir2.ready.load(Ordering::Relaxed) && sorted(&mir1.log) == sorted(&mir2.log)
+        });
+        assert!(
+            ok,
+            "round {round}: joiner wedged or logs diverged (ready={}, survivor={:?}, joiner={:?})",
+            mir2.ready.load(Ordering::Relaxed),
+            sorted(&mir1.log),
+            sorted(&mir2.log),
+        );
+        h.settle(Duration::from_millis(100));
+        let survivor = sorted(&mir1.log);
+        let joiner_log = sorted(&mir2.log);
+        assert_eq!(
+            survivor, joiner_log,
+            "round {round}: applied multisets diverged after settling"
+        );
+        assert_duplicate_free("survivor", &format!("threaded round {round}"), &survivor);
+        assert_duplicate_free("joiner", &format!("threaded round {round}"), &joiner_log);
+    }
+}
