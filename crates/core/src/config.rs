@@ -14,6 +14,9 @@ pub struct StackConfig {
     /// Default deadline for a group RPC issued by a process that is not a group member
     /// (members rely on view changes instead of timeouts).
     pub rpc_timeout: Duration,
+    /// How long a restarting site collects log summaries during a total-failure reform
+    /// before holding a degraded election over whatever arrived (paper Section 3.8).
+    pub reform_timeout: Duration,
 }
 
 impl StackConfig {
@@ -35,6 +38,7 @@ impl StackConfig {
             heartbeat_interval: hb,
             failure_timeout: params.failure_timeout,
             rpc_timeout: params.failure_timeout.saturating_mul(4),
+            reform_timeout: params.failure_timeout.saturating_mul(4),
         }
     }
 }

@@ -10,13 +10,18 @@
 //! failure detector, collects group-RPC replies, and relays multicasts issued by clients that
 //! are not members of the destination group to a site that is.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use vsync_msg::{fields, Frame, Message};
 use vsync_net::{Outbox, Packet, PacketKind, ProtocolKind, SharedStats, SiteHandler};
 use vsync_proto::messages::ProtoMsg;
-use vsync_proto::{Delivery, EndpointOutput, GroupEndpoint, ProtoConfig, View, ViewEvent};
-use vsync_util::{Address, EntryId, GroupId, ProcessId, Result, SimTime, SiteId, VsError};
+use vsync_proto::{
+    Delivery, EndpointOutput, GroupEndpoint, LogSummary, ProtoConfig, ReformStatus, ReformTracker,
+    View, ViewEvent,
+};
+use vsync_util::{
+    Address, Duration, EntryId, GroupId, ProcessId, Result, SimTime, SiteId, VsError,
+};
 
 use crate::config::StackConfig;
 use crate::process::{reply_target, CtxAction, IsisProcess, ReplyCallback, ToolCtx};
@@ -45,6 +50,46 @@ struct PendingJoin {
     joiner: ProcessId,
     credentials: Option<String>,
     last_sent: SimTime,
+    /// Resubmissions since the last view install for the group.  Drives the exponential
+    /// backoff: a join that keeps failing is probably waiting out a partition or a dead
+    /// coordinator, and hammering it at a fixed cadence only adds load right when the
+    /// group is least able to absorb it.
+    attempts: u32,
+}
+
+impl PendingJoin {
+    /// How long to wait after `last_sent` before resubmitting: `failure_timeout`
+    /// doubled per failed attempt (capped at 8x) plus a deterministic jitter of up to a
+    /// quarter of that, seeded from the joiner identity and the attempt number so
+    /// concurrent joiners desynchronise identically on every run.
+    fn retry_delay(&self, base: Duration) -> Duration {
+        let backoff = base.saturating_mul(1u64 << self.attempts.min(3));
+        let mut rng = vsync_util::DetRng::new(
+            0x9e37_79b9_7f4a_7c15
+                ^ (u64::from(self.joiner.site.0) << 24)
+                ^ (u64::from(self.joiner.local) << 8)
+                ^ u64::from(self.attempts),
+        );
+        let jitter = rng.next_below(backoff.as_micros() / 4 + 1);
+        backoff + Duration::from_micros(jitter)
+    }
+}
+
+/// One in-flight total-failure reform at this site (paper Section 3.8): the election state
+/// plus the retransmission bookkeeping the stack drives around it.
+struct ReformRun {
+    tracker: ReformTracker,
+    /// When our summary last went out; rebroadcast at the failure-timeout cadence until
+    /// the election resolves, so staggered restarts and lost packets converge.
+    last_broadcast: SimTime,
+    /// Sites our summary has already been sent to.  Participants' last recorded views —
+    /// and hence their expected sets — legitimately differ (the later a site died, the
+    /// smaller its final view), so a peer outside *our* expected set may still need our
+    /// summary to resolve *its* election: answer every first-time sender, even after our
+    /// own election resolved, but answer each at most once so replies cannot ping-pong.
+    answered: BTreeSet<SiteId>,
+    /// Whether the resolution has been counted (and traced) yet.
+    counted: bool,
 }
 
 /// The per-site protocols process plus the client processes it hosts.
@@ -68,6 +113,8 @@ pub struct SiteStack {
     callbacks: BTreeMap<u64, ReplyCallback>,
     /// Joins awaiting their view, re-submitted on a failure-timeout cadence.
     pending_joins: Vec<PendingJoin>,
+    /// Total-failure reforms in progress at this site, by group.
+    reforms: BTreeMap<GroupId, ReformRun>,
     next_session: u64,
     now: SimTime,
     /// When this stack last broadcast heartbeats.  Heartbeats go out at
@@ -117,6 +164,7 @@ impl SiteStack {
             collectors: BTreeMap::new(),
             callbacks: BTreeMap::new(),
             pending_joins: Vec::new(),
+            reforms: BTreeMap::new(),
             next_session: 0,
             now: SimTime::ZERO,
             last_heartbeat: None,
@@ -189,12 +237,168 @@ impl SiteStack {
         creator: ProcessId,
         out: &mut Outbox,
     ) {
+        self.create_group_at(name, group, creator, 1, out);
+    }
+
+    /// Founds (or refounds) a group with the view-sequence line starting at `first_seq`.
+    /// Ordinary creation uses seq 1; a total-failure reform winner refounds at
+    /// `authoritative last view + 1` so the reformed incarnation's views — and any later
+    /// reform election — dominate every pre-crash recovery log.
+    pub fn create_group_at(
+        &mut self,
+        name: &str,
+        group: GroupId,
+        creator: ProcessId,
+        first_seq: u64,
+        out: &mut Outbox,
+    ) {
         let mut ep = GroupEndpoint::new(group, self.site, self.proto_cfg, self.stats.clone());
         let mut eouts = self.take_eouts();
-        ep.create(creator, &mut eouts);
+        ep.create_at(creator, first_seq, &mut eouts);
         self.endpoints.insert(group, ep);
         self.register_group(name, group, vec![self.site]);
         self.pump_endpoint_outputs(group, eouts, out);
+    }
+
+    // -- Total-failure reform (paper Section 3.8) ---------------------------------------------
+
+    /// Starts a total-failure reform of `group` at this restarting site: offers `summary`
+    /// (what our recovery log covers) to `expected` — the sites of the last view the log
+    /// recorded, the only logs that could dominate ours — and collects theirs until the
+    /// election resolves.  Poll [`reform_status`](Self::reform_status); the stack
+    /// rebroadcasts the summary on a failure-timeout cadence and holds a degraded election
+    /// if `reform_timeout` passes with summaries still missing.
+    pub fn begin_reform(
+        &mut self,
+        group: GroupId,
+        summary: LogSummary,
+        expected: Vec<SiteId>,
+        out: &mut Outbox,
+    ) {
+        let deadline = self.now + self.cfg.reform_timeout;
+        let tracker = ReformTracker::new(summary, expected, deadline);
+        out.trace_with(|| {
+            format!(
+                "{}: reforming {group} with {} expected participants",
+                self.site,
+                tracker.expected().len()
+            )
+        });
+        let mut run = ReformRun {
+            tracker,
+            last_broadcast: self.now,
+            answered: BTreeSet::new(),
+            counted: false,
+        };
+        self.broadcast_reform_summary(group, &mut run, out);
+        self.reforms.insert(group, run);
+    }
+
+    /// Advances and reports the reform election for `group`, if one runs at this site.
+    /// `Collecting` until resolution; resolutions are sticky.  The entry is dropped (and
+    /// this returns `None` again) once a view for the group installs here — lead, follow
+    /// and operational paths all end in exactly that.
+    pub fn reform_status(&mut self, group: GroupId, out: &mut Outbox) -> Option<ReformStatus> {
+        let mut reforms = std::mem::take(&mut self.reforms);
+        let status = reforms
+            .get_mut(&group)
+            .map(|run| self.advance_reform(group, run, out));
+        debug_assert!(self.reforms.is_empty(), "re-entrant reform poll");
+        self.reforms = reforms;
+        status
+    }
+
+    /// Resolves the election if it can fire, counting and tracing the resolution once.
+    fn advance_reform(
+        &mut self,
+        group: GroupId,
+        run: &mut ReformRun,
+        out: &mut Outbox,
+    ) -> ReformStatus {
+        let status = run.tracker.try_resolve(self.now);
+        if run.tracker.status().is_some() && !run.counted {
+            run.counted = true;
+            self.stats.with(|s| s.count_reform_election());
+            out.trace_with(|| format!("{}: reform of {group} resolved: {status:?}", self.site));
+        }
+        status
+    }
+
+    /// Sends our summary to every expected participant (except ourselves).
+    fn broadcast_reform_summary(&self, group: GroupId, run: &mut ReformRun, out: &mut Outbox) {
+        let s = run.tracker.own_summary();
+        let wire = ProtoMsg::ReformSummary {
+            from_site: s.site,
+            view_seq: s.view_seq,
+            covered: s.covered.clone(),
+            rank: s.rank,
+        }
+        .encode_frame(group);
+        let mut sent = false;
+        for site in run.tracker.expected().to_vec() {
+            if site != self.site {
+                self.send_proto(site, PacketKind::Control, wire.clone(), out);
+                run.answered.insert(site);
+                sent = true;
+            }
+        }
+        if sent {
+            self.stats.with(|s| s.count_reform_summary());
+        }
+    }
+
+    /// A restarting peer offered its log summary for `group`.
+    fn handle_reform_summary(&mut self, group: GroupId, summary: LogSummary, out: &mut Outbox) {
+        // A live view here means the group never fully failed: the sender must abandon
+        // its reform and rejoin normally, with this site as contact.
+        if self
+            .endpoints
+            .get(&group)
+            .and_then(|ep| ep.view())
+            .is_some()
+        {
+            let wire = ProtoMsg::ReformAlive { contact: self.site }.encode_frame(group);
+            self.send_proto(summary.site, PacketKind::Control, wire, out);
+            return;
+        }
+        let mut reforms = std::mem::take(&mut self.reforms);
+        if let Some(run) = reforms.get_mut(&group) {
+            let fresh = run.tracker.record(summary.clone());
+            // Answer with our own summary if the sender brought new information or has
+            // never heard ours — the latter matters when the sender is outside our
+            // expected set (its last recorded view was larger than ours), or when our
+            // election already resolved: without the reply it would starve until its
+            // degraded deadline and could elect a second leader.  Terminates: each sender
+            // is answered at most once per election, and the peer's `record` of our
+            // (already known) summary returns false, so it does not answer again.
+            if fresh || !run.answered.contains(&summary.site) {
+                run.answered.insert(summary.site);
+                self.broadcast_reform_summary_to(group, &run.tracker, summary.site, out);
+            }
+        }
+        // Not reforming (e.g. still replaying our own disk): safe to drop — the sender
+        // rebroadcasts on a timer until its election resolves.
+        self.reforms = reforms;
+    }
+
+    /// Unicast variant of [`broadcast_reform_summary`](Self::broadcast_reform_summary).
+    fn broadcast_reform_summary_to(
+        &self,
+        group: GroupId,
+        tracker: &ReformTracker,
+        dst: SiteId,
+        out: &mut Outbox,
+    ) {
+        let s = tracker.own_summary();
+        let wire = ProtoMsg::ReformSummary {
+            from_site: s.site,
+            view_seq: s.view_seq,
+            covered: s.covered.clone(),
+            rank: s.rank,
+        }
+        .encode_frame(group);
+        self.send_proto(dst, PacketKind::Control, wire, out);
+        self.stats.with(|st| st.count_reform_summary());
     }
 
     /// Asks for `joiner` (hosted here) to join `group`.
@@ -212,12 +416,16 @@ impl SiteStack {
             .iter_mut()
             .find(|p| p.group == group && p.joiner == joiner)
         {
-            Some(p) => p.last_sent = self.now,
+            Some(p) => {
+                p.last_sent = self.now;
+                p.attempts = 0;
+            }
             None => self.pending_joins.push(PendingJoin {
                 group,
                 joiner,
                 credentials: credentials.clone(),
                 last_sent: self.now,
+                attempts: 0,
             }),
         }
         self.submit_join_request(group, joiner, credentials, out)
@@ -574,6 +782,18 @@ impl SiteStack {
         // and the retry would re-join a member that left on purpose.
         self.pending_joins
             .retain(|p| !(p.group == group && ev.view.contains(p.joiner)));
+        // A new view means the membership machinery is live again (whatever stalled the
+        // join — a dead coordinator, a mid-flush crash — has been reconfigured around),
+        // so surviving joins restart their backoff from the base cadence.
+        for p in self.pending_joins.iter_mut().filter(|p| p.group == group) {
+            p.attempts = 0;
+        }
+        // An installed view also ends any reform of the group here: the lead site founds
+        // its view, a follower's rejoin installs one, and an `Operational` verdict ends in
+        // a normal join — every reform path terminates exactly here.
+        if self.reforms.remove(&group).is_some() {
+            out.trace_with(|| format!("{}: reform of {group} complete, view installed", self.site));
+        }
         // Tell reply collectors about departed members.
         for departed in ev.view.departed.clone() {
             self.fail_collectors_for_process(departed, out);
@@ -617,7 +837,8 @@ impl SiteStack {
             }
         }
         let actions = {
-            let mut ctx = ToolCtx::new(pid, self.now, &self.views, &self.directory);
+            let mut ctx = ToolCtx::new(pid, self.now, &self.views, &self.directory)
+                .with_stats(self.stats.clone());
             if !process.dispatch(&mut ctx, entry, msg) {
                 out.trace_with(|| format!("{pid}: no handler bound at {entry:?}"));
             }
@@ -631,7 +852,8 @@ impl SiteStack {
             return;
         };
         let actions = {
-            let mut ctx = ToolCtx::new(pid, self.now, &self.views, &self.directory);
+            let mut ctx = ToolCtx::new(pid, self.now, &self.views, &self.directory)
+                .with_stats(self.stats.clone());
             process.dispatch_view(&mut ctx, ev);
             ctx.take_actions()
         };
@@ -649,7 +871,8 @@ impl SiteStack {
             return;
         }
         let actions = {
-            let mut ctx = ToolCtx::new(caller, self.now, &self.views, &self.directory);
+            let mut ctx = ToolCtx::new(caller, self.now, &self.views, &self.directory)
+                .with_stats(self.stats.clone());
             callback(&mut ctx, outcome);
             ctx.take_actions()
         };
@@ -858,6 +1081,33 @@ impl SiteStack {
             return;
         };
         let group = *group;
+        // Reform traffic is stack-to-stack: it concerns sites whose endpoints are gone
+        // (that is the premise), so it must not fault an endpoint into existence below.
+        match decoded {
+            ProtoMsg::ReformSummary {
+                from_site,
+                view_seq,
+                covered,
+                rank,
+            } => {
+                let summary = LogSummary {
+                    site: *from_site,
+                    view_seq: *view_seq,
+                    covered: covered.clone(),
+                    rank: *rank,
+                };
+                self.handle_reform_summary(group, summary, out);
+                return;
+            }
+            ProtoMsg::ReformAlive { contact } => {
+                let contact = *contact;
+                if let Some(run) = self.reforms.get_mut(&group) {
+                    run.tracker.mark_alive(contact);
+                }
+                return;
+            }
+            _ => {}
+        }
         // Joins are validated by the protection policy before the protocol layer sees them.
         if let ProtoMsg::JoinReq {
             joiner,
@@ -966,8 +1216,10 @@ impl SiteHandler for SiteStack {
         self.group_scratch = groups;
         // Re-submit joins whose view has still not installed: the first JoinReq, or the
         // coordinator holding the queued join, may have died with a crashed site.  The
-        // failure-timeout cadence gives the original attempt time to land, and by then the
-        // detector has usually condemned a dead contact so the retry routes around it.
+        // base cadence (one failure timeout) gives the original attempt time to land, and
+        // by then the detector has usually condemned a dead contact so the retry routes
+        // around it; repeated failures back off exponentially with deterministic jitter
+        // (see `PendingJoin::retry_delay`), resetting whenever a view installs.
         let mut pending = std::mem::take(&mut self.pending_joins);
         pending.retain(|p| {
             let installed = self
@@ -979,10 +1231,11 @@ impl SiteHandler for SiteStack {
             !installed
         });
         for p in &mut pending {
-            if now.saturating_since(p.last_sent) < self.cfg.failure_timeout {
+            if now.saturating_since(p.last_sent) < p.retry_delay(self.cfg.failure_timeout) {
                 continue;
             }
             p.last_sent = now;
+            p.attempts = p.attempts.saturating_add(1);
             out.trace_with(|| {
                 format!(
                     "{}: re-submitting join of {} to {:?}",
@@ -993,6 +1246,22 @@ impl SiteHandler for SiteStack {
             let _ = self.submit_join_request(p.group, p.joiner, p.credentials.clone(), out);
         }
         self.pending_joins = pending;
+        // Total-failure reforms: advance each election (the deadline can fire one without
+        // any packet arriving) and rebroadcast unresolved summaries so lost packets and
+        // staggered restarts converge.
+        let mut reforms = std::mem::take(&mut self.reforms);
+        for (g, run) in reforms.iter_mut() {
+            self.advance_reform(*g, run, out);
+            if run.tracker.status().is_some() {
+                continue;
+            }
+            if now.saturating_since(run.last_broadcast) >= self.cfg.failure_timeout {
+                run.last_broadcast = now;
+                self.broadcast_reform_summary(*g, run, out);
+            }
+        }
+        debug_assert!(self.reforms.is_empty(), "re-entrant reform tick");
+        self.reforms = reforms;
         // RPC deadlines.
         let sessions: Vec<u64> = self.collectors.keys().copied().collect();
         for s in sessions {
@@ -1015,5 +1284,38 @@ mod tests {
         let p = protocols_process(SiteId(3));
         assert_eq!(p.site, SiteId(3));
         assert_eq!(p.local, 0);
+    }
+
+    #[test]
+    fn join_retry_backoff_doubles_caps_and_jitters_deterministically() {
+        let base = Duration::from_millis(100);
+        let mk = |attempts| PendingJoin {
+            group: GroupId(1),
+            joiner: ProcessId::new(SiteId(2), 1),
+            credentials: None,
+            last_sent: SimTime::ZERO,
+            attempts,
+        };
+        let delays: Vec<Duration> = (0..6).map(|a| mk(a).retry_delay(base)).collect();
+        for (a, d) in delays.iter().enumerate() {
+            let backoff = base.saturating_mul(1 << (a as u32).min(3));
+            // Within [backoff, backoff * 1.25]: never earlier than the cadence, bounded
+            // jitter, and the exponent stops doubling after 8x.
+            assert!(*d >= backoff, "attempt {a}: {d:?} < {backoff:?}");
+            assert!(
+                d.as_micros() <= backoff.as_micros() + backoff.as_micros() / 4,
+                "attempt {a}: jitter exceeds a quarter of the backoff"
+            );
+        }
+        // Capped: attempts 3.. share the same 8x exponent.
+        assert!(delays[4] < base.saturating_mul(16));
+        // Deterministic: the same attempt always gets the same jitter.
+        assert_eq!(mk(2).retry_delay(base), mk(2).retry_delay(base));
+        // Different joiners desynchronise.
+        let other = PendingJoin {
+            joiner: ProcessId::new(SiteId(3), 1),
+            ..mk(2)
+        };
+        assert_ne!(other.retry_delay(base), mk(2).retry_delay(base));
     }
 }

@@ -141,8 +141,16 @@ impl GroupEndpoint {
     /// Creates the group: installs the founding view with `creator` as the only member.
     /// `creator` must live at this site.
     pub fn create(&mut self, creator: ProcessId, out: &mut Vec<EndpointOutput>) {
+        self.create_at(creator, View::founding(self.group, creator).seq(), out);
+    }
+
+    /// Founds the group with the view sequence starting at `first_seq` instead of the
+    /// default.  Used by total-failure reform: the elected site refounds the group at
+    /// `authoritative last view + 1`, keeping the view-sequence line monotone across
+    /// incarnations so recovery logs (and any later reform election) compare directly.
+    pub fn create_at(&mut self, creator: ProcessId, first_seq: u64, out: &mut Vec<EndpointOutput>) {
         debug_assert_eq!(creator.site, self.site);
-        let view = View::founding(self.group, creator);
+        let view = View::founding_at(self.group, creator, first_seq);
         self.install_view(view.clone());
         out.push(EndpointOutput::ViewChange(ViewEvent {
             view,
@@ -516,6 +524,10 @@ impl GroupEndpoint {
                     self.stab.on_gossip(*from_site, ids);
                 }
             }
+            // Reform traffic is a site-level exchange handled by the hosting stack before
+            // any endpoint exists (there is no group to route it to while the group is
+            // dead); an operational endpoint simply ignores a stray copy.
+            ProtoMsg::ReformSummary { .. } | ProtoMsg::ReformAlive { .. } => {}
         }
         Ok(())
     }

@@ -66,6 +66,14 @@ impl Frontier {
             .unwrap_or(false)
     }
 
+    /// Total coverage weight: the sum of the per-origin covered sequence numbers.  Used
+    /// as the reform election's tie-break between logs that agree on the final view seq —
+    /// a strictly larger weight means the log delivered (and therefore durably recorded)
+    /// more of the group's history before the crash.
+    pub fn weight(&self) -> u64 {
+        self.entries.iter().map(|(_, seq)| *seq).sum()
+    }
+
     /// Flattens to the wire form: `[site0, seq0, site1, seq1, ...]`.
     pub fn to_wire(&self) -> Vec<u64> {
         let mut out = Vec::with_capacity(self.entries.len() * 2);

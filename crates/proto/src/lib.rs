@@ -29,6 +29,7 @@ pub mod flush;
 pub mod frontier;
 pub mod messages;
 pub mod output;
+pub mod reform;
 pub mod sequencer;
 pub mod stability;
 pub mod view;
@@ -38,4 +39,5 @@ pub use endpoint::GroupEndpoint;
 pub use frontier::Frontier;
 pub use messages::ProtoMsg;
 pub use output::{Delivery, EndpointOutput, ViewEvent};
+pub use reform::{authority_cmp, LogSummary, ReformStatus, ReformTracker};
 pub use view::View;

@@ -178,6 +178,26 @@ pub enum ProtoMsg {
         /// Ids of messages received at that site.
         ids: Vec<MsgId>,
     },
+    /// Total-failure reform: a restarting site summarises its recovery log so the group
+    /// can elect the "last to fail" log as authoritative (paper Section 3.8).
+    ReformSummary {
+        /// The restarting site offering its log.
+        from_site: SiteId,
+        /// Highest view sequence number the log records (installed or marked).
+        view_seq: u64,
+        /// Per-origin delivery frontier the log covers (tie-break after view seq).
+        covered: Frontier,
+        /// Rank the summarising site's member held in its last logged view (second
+        /// tie-break: lower rank = older member).
+        rank: u64,
+    },
+    /// Total-failure reform: reply telling a restarting site that the group is in fact
+    /// operational, so it must abandon the reform and rejoin through the normal
+    /// join + state-transfer path instead.
+    ReformAlive {
+        /// A site currently hosting a live member, usable as the join contact.
+        contact: SiteId,
+    },
 }
 
 const TYPE_FIELD: &str = "@g-type";
@@ -319,6 +339,8 @@ impl ProtoMsg {
             ProtoMsg::FlushAck { .. } => "flush-ack",
             ProtoMsg::FlushCommit { .. } => "flush-commit",
             ProtoMsg::Stability { .. } => "stability",
+            ProtoMsg::ReformSummary { .. } => "reform-summary",
+            ProtoMsg::ReformAlive { .. } => "reform-alive",
         }
     }
 
@@ -442,6 +464,20 @@ impl ProtoMsg {
                 m.set("view-seq", *view_seq);
                 m.set("from-site", from_site.0 as u64);
                 m.set("ids", pack_ids(ids));
+            }
+            ProtoMsg::ReformSummary {
+                from_site,
+                view_seq,
+                covered,
+                rank,
+            } => {
+                m.set("from-site", from_site.0 as u64);
+                m.set("view-seq", *view_seq);
+                m.set("covered", covered.to_wire());
+                m.set("rank", *rank);
+            }
+            ProtoMsg::ReformAlive { contact } => {
+                m.set("contact", contact.0 as u64);
             }
         }
         m
@@ -573,6 +609,20 @@ impl ProtoMsg {
                 view_seq: m.require_u64("view-seq")?,
                 from_site: SiteId(m.require_u64("from-site")? as u16),
                 ids: unpack_ids(m.get_u64_list("ids").unwrap_or_default()),
+            },
+            "reform-summary" => ProtoMsg::ReformSummary {
+                from_site: SiteId(m.require_u64("from-site")? as u16),
+                view_seq: m.require_u64("view-seq")?,
+                // Required: a summary whose frontier was lost would silently lose the
+                // election tie-break and could crown the wrong log.
+                covered: Frontier::from_wire(
+                    m.get_u64_list("covered")
+                        .ok_or_else(|| VsError::CodecError("missing covered".into()))?,
+                ),
+                rank: m.require_u64("rank")?,
+            },
+            "reform-alive" => ProtoMsg::ReformAlive {
+                contact: SiteId(m.require_u64("contact")? as u16),
             },
             other => {
                 return Err(VsError::CodecError(format!(
@@ -748,6 +798,27 @@ mod tests {
             from_site: SiteId(3),
             ids: vec![],
         });
+    }
+
+    #[test]
+    fn reform_messages_roundtrip() {
+        let mut covered = Frontier::new();
+        covered.observe(MsgId::new(SiteId(0), 11));
+        covered.observe(MsgId::new(SiteId(2), 4));
+        roundtrip(ProtoMsg::ReformSummary {
+            from_site: SiteId(2),
+            view_seq: 9,
+            covered,
+            rank: 1,
+        });
+        // A log with no deliveries (views only) summarises with an empty frontier.
+        roundtrip(ProtoMsg::ReformSummary {
+            from_site: SiteId(0),
+            view_seq: 1,
+            covered: Frontier::new(),
+            rank: 0,
+        });
+        roundtrip(ProtoMsg::ReformAlive { contact: SiteId(3) });
     }
 
     #[test]

@@ -35,8 +35,17 @@ fn view_field(buf: &mut String, prefix: &str, suffix: &str) {
 impl View {
     /// Creates the founding view of a group with a single creator member.
     pub fn founding(group: GroupId, creator: ProcessId) -> Self {
+        View::founding_at(group, creator, ViewId::initial(group).seq)
+    }
+
+    /// Creates a founding view whose sequence number starts at `seq` instead of the
+    /// default.  Used when a group is *reformed* after a total failure: the new
+    /// incarnation continues the view-sequence line of the authoritative log
+    /// (`last logged seq + 1`), so recovery logs written across incarnations stay
+    /// totally ordered and a later reform election still compares view seqs directly.
+    pub fn founding_at(group: GroupId, creator: ProcessId, seq: u64) -> Self {
         View {
-            id: ViewId::initial(group),
+            id: ViewId { group, seq },
             members: vec![creator],
             joined: vec![creator],
             departed: Vec::new(),

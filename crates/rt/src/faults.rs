@@ -16,7 +16,7 @@
 //! fault decisions is reproducible even though thread interleaving is not (see the
 //! "where determinism ends" section of ARCHITECTURE.md).
 
-use vsync_util::{DetRng, Duration};
+use vsync_util::{DetRng, Duration, SiteId};
 
 /// What the fault injector decided for one packet.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -126,6 +126,92 @@ impl Default for FaultPlan {
     }
 }
 
+/// One site's appointment with death in a [`CrashSchedule`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduledKill {
+    /// The site to kill.
+    pub site: SiteId,
+    /// When to kill it, relative to the start of the schedule.
+    pub after: Duration,
+}
+
+/// A coordinated crash of many sites: who dies, in what order, spread over what window.
+///
+/// The total-failure tests need *every* member of a group dead — but "the last site to
+/// fail" (the log the reform protocol must elect, paper Section 3.8) depends entirely on
+/// the kill order and spacing, so the schedule is a first-class, seedable object rather
+/// than a loop in each test.  Executed by `IsisHarness::run_crash_schedule` on either
+/// backend; kills are held in non-decreasing `after` order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrashSchedule {
+    kills: Vec<ScheduledKill>,
+}
+
+impl CrashSchedule {
+    /// Kills every site at the same instant (no site outlives another by more than
+    /// scheduling noise — the degenerate case where log election falls to tie-breaks).
+    pub fn simultaneous(sites: impl IntoIterator<Item = SiteId>) -> Self {
+        CrashSchedule {
+            kills: sites
+                .into_iter()
+                .map(|site| ScheduledKill {
+                    site,
+                    after: Duration::ZERO,
+                })
+                .collect(),
+        }
+    }
+
+    /// Kills sites one by one, `gap` apart, in the order given — the listed last site is
+    /// the last to fail, so its log should win the reform election.
+    pub fn staggered(sites: impl IntoIterator<Item = SiteId>, gap: Duration) -> Self {
+        CrashSchedule {
+            kills: sites
+                .into_iter()
+                .enumerate()
+                .map(|(i, site)| ScheduledKill {
+                    site,
+                    after: gap.saturating_mul(i as u64),
+                })
+                .collect(),
+        }
+    }
+
+    /// [`staggered`](Self::staggered) in a deterministically shuffled order: the fuzz
+    /// tests draw many kill orders from many seeds without hand-writing permutations.
+    pub fn shuffled(sites: impl IntoIterator<Item = SiteId>, gap: Duration, seed: u64) -> Self {
+        let mut order: Vec<SiteId> = sites.into_iter().collect();
+        DetRng::new(seed).shuffle(&mut order);
+        CrashSchedule::staggered(order, gap)
+    }
+
+    /// Fully explicit offsets (e.g. a kill timed to land inside a compaction window).
+    /// Sorted into execution order; the order of equal offsets is preserved.
+    pub fn at_offsets(kills: impl IntoIterator<Item = (SiteId, Duration)>) -> Self {
+        let mut kills: Vec<ScheduledKill> = kills
+            .into_iter()
+            .map(|(site, after)| ScheduledKill { site, after })
+            .collect();
+        kills.sort_by_key(|k| k.after);
+        CrashSchedule { kills }
+    }
+
+    /// The kills in execution order.
+    pub fn kills(&self) -> &[ScheduledKill] {
+        &self.kills
+    }
+
+    /// The sites in kill order (the last entry is the "last to fail").
+    pub fn order(&self) -> Vec<SiteId> {
+        self.kills.iter().map(|k| k.site).collect()
+    }
+
+    /// Offset of the final kill: how long the whole schedule takes to execute.
+    pub fn window(&self) -> Duration {
+        self.kills.last().map(|k| k.after).unwrap_or(Duration::ZERO)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +247,34 @@ mod tests {
             .filter(|_| plan.decide(&mut rng).extra > Duration::ZERO)
             .count();
         assert!(delayed > 100, "90% loss must delay most packets: {delayed}");
+    }
+
+    #[test]
+    fn crash_schedules_order_and_window() {
+        let sites: Vec<SiteId> = (0..4).map(SiteId).collect();
+        let all = CrashSchedule::simultaneous(sites.clone());
+        assert_eq!(all.window(), Duration::ZERO);
+        assert_eq!(all.order(), sites);
+
+        let gap = Duration::from_millis(50);
+        let st = CrashSchedule::staggered(sites.clone(), gap);
+        assert_eq!(st.window(), Duration::from_millis(150));
+        assert_eq!(st.order().last(), Some(&SiteId(3)));
+
+        // Shuffles are deterministic per seed and vary across seeds.
+        let a = CrashSchedule::shuffled(sites.clone(), gap, 9);
+        assert_eq!(a, CrashSchedule::shuffled(sites.clone(), gap, 9));
+        let distinct = (0..16)
+            .map(|seed| CrashSchedule::shuffled(sites.clone(), gap, seed).order())
+            .collect::<std::collections::BTreeSet<_>>();
+        assert!(distinct.len() > 1, "16 seeds never changed the kill order");
+
+        // Explicit offsets execute in time order regardless of argument order.
+        let ex = CrashSchedule::at_offsets([
+            (SiteId(1), Duration::from_millis(20)),
+            (SiteId(0), Duration::from_millis(5)),
+        ]);
+        assert_eq!(ex.order(), vec![SiteId(0), SiteId(1)]);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use vsync_util::{
     Duration, EntryId, GroupId, NetParams, ProcessId, Result, SimTime, SiteId, VsError,
 };
 
-use crate::faults::FaultPlan;
+use crate::faults::{CrashSchedule, FaultPlan};
 use crate::sim::SimCluster;
 use crate::threaded::{NodeReport, ThreadedCluster};
 use crate::transport::invoke_fn;
@@ -201,6 +201,7 @@ impl ThreadedRuntime {
             heartbeat_interval: Duration::from_millis(10),
             failure_timeout: Duration::from_millis(300),
             rpc_timeout: Duration::from_millis(1500),
+            reform_timeout: Duration::from_millis(1200),
         }
     }
 
@@ -539,6 +540,44 @@ impl<R: IsisRuntime> IsisHarness<R> {
             Err(mpsc::TryRecvError::Empty) => None,
         })
         .unwrap_or_else(|| failed("client call never completed"))
+    }
+
+    /// Executes a coordinated crash schedule: kills each listed site at its offset,
+    /// letting runtime time pass between kills so the spacing (which decides who fails
+    /// last, and therefore whose log a later reform must elect) is real on both backends.
+    pub fn run_crash_schedule(&mut self, schedule: &CrashSchedule) {
+        let mut elapsed = Duration::ZERO;
+        for k in schedule.kills() {
+            if k.after > elapsed {
+                self.rt.advance(Duration::from_micros(
+                    k.after.as_micros() - elapsed.as_micros(),
+                ));
+                elapsed = k.after;
+            }
+            self.rt.kill_site(k.site);
+        }
+    }
+
+    /// Respawns every dead site with a fresh, empty protocols process (no group state —
+    /// recovery happens above, from each site's durable log).
+    pub fn respawn_all(&mut self) {
+        for s in self.sites() {
+            if !self.rt.site_is_up(s) {
+                self.rt.recover_site(s);
+            }
+        }
+    }
+
+    /// Polls the total-failure reform election at one site, advancing it against the
+    /// site's clock.  `None` when the site is down or no reform runs there (including
+    /// after the reform completed — a view install clears it).
+    pub fn reform_status(
+        &mut self,
+        site: SiteId,
+        gid: GroupId,
+    ) -> Option<vsync_core::ReformStatus> {
+        self.query(site, move |stack, _now, out| stack.reform_status(gid, out))
+            .flatten()
     }
 
     /// Drives the runtime in 1 ms steps until `cond` holds or `max_wait` of runtime time

@@ -43,7 +43,7 @@ pub mod throughput;
 pub mod transport;
 pub mod wire;
 
-pub use faults::{FaultDecision, FaultPlan};
+pub use faults::{CrashSchedule, FaultDecision, FaultPlan, ScheduledKill};
 pub use harness::{IsisHarness, IsisRuntime, SimRuntime, StackJob, ThreadedRuntime};
 pub use sim::{SimCluster, SimTransport};
 pub use threaded::{NodeReport, ThreadedCluster, ThreadedTransport};

@@ -158,14 +158,14 @@ impl FileStore {
         self.root.join(format!("{}.log", Self::sanitize(key)))
     }
 
-    /// Reads each entry file of `key`'s log in append order and yields its raw bytes to
-    /// `each`, which returns `false` to stop early.  The single source of truth for entry
-    /// naming, ordering, and error wrapping — `read_log` and `scan_log` both go through it.
-    /// Returns the number of entries yielded.
+    /// Reads each entry file of `key`'s log in append order and yields its raw bytes (plus
+    /// its path and whether it is the final entry) to `each`, which returns `false` to stop
+    /// early.  The single source of truth for entry naming, ordering, and error wrapping —
+    /// `read_log` and `scan_log` both go through it.  Returns the number of entries yielded.
     fn for_each_log_entry(
         &self,
         key: &str,
-        mut each: impl FnMut(Vec<u8>) -> Result<bool>,
+        mut each: impl FnMut(&std::path::Path, Vec<u8>, bool) -> Result<bool>,
     ) -> Result<usize> {
         let dir = self.log_dir(key);
         if !dir.exists() {
@@ -177,20 +177,39 @@ impl FileStore {
             .collect();
         names.sort();
         let mut visited = 0;
-        for p in names {
+        let last = names.len();
+        for (i, p) in names.into_iter().enumerate() {
             let bytes = std::fs::read(&p)
                 .map_err(|e| VsError::StorageError(format!("read log entry {p:?}: {e}")))?;
             visited += 1;
-            if !each(bytes)? {
+            if !each(&p, bytes, i + 1 == last)? {
                 break;
             }
         }
         Ok(visited)
     }
 
+    /// Handles a decode failure at position `path`: a **final** entry that fails to decode
+    /// is a torn tail — the machine died mid-append, exactly the case the fsync'd record
+    /// before it was built for — so it is repaired (deleted, best-effort) and iteration
+    /// stops cleanly.  An undecodable entry *before* the tail is genuine corruption the
+    /// caller must hear about: replaying around a mid-log hole would silently drop
+    /// history.
+    fn tolerate_torn_tail(path: &std::path::Path, is_last: bool, err: VsError) -> Result<bool> {
+        if is_last {
+            let _ = std::fs::remove_file(path);
+            Ok(false)
+        } else {
+            Err(VsError::StorageError(format!(
+                "undecodable log entry {path:?} before the tail: {err}"
+            )))
+        }
+    }
+
     /// Streams the entries of a log through `visit` as *borrowed* decoded views
     /// ([`codec::decode_view`]), in append order, without materialising owned messages.
-    /// `visit` returns `false` to stop early.  Returns the number of entries visited.
+    /// `visit` returns `false` to stop early.  Returns the number of entries visited
+    /// (a repaired torn tail counts as visited but is not shown to `visit`).
     ///
     /// This is the cheap way to inspect a log — count entries, find a sequence number,
     /// filter by a field — when a full [`StableStore::read_log`] replay is not needed.
@@ -199,9 +218,11 @@ impl FileStore {
         key: &str,
         mut visit: impl FnMut(&codec::MessageView<'_>) -> bool,
     ) -> Result<usize> {
-        self.for_each_log_entry(key, |bytes| {
-            let view = codec::decode_view(&bytes)?;
-            Ok(visit(&view))
+        self.for_each_log_entry(key, |path, bytes, is_last| {
+            match codec::decode_view(&bytes) {
+                Ok(view) => Ok(visit(&view)),
+                Err(e) => Self::tolerate_torn_tail(path, is_last, e),
+            }
         })
     }
 }
@@ -260,9 +281,14 @@ impl StableStore for FileStore {
 
     fn read_log(&self, key: &str) -> Result<Vec<Message>> {
         let mut out = Vec::new();
-        self.for_each_log_entry(key, |bytes| {
-            out.push(codec::decode_shared(&bytes.into())?);
-            Ok(true)
+        self.for_each_log_entry(key, |path, bytes, is_last| {
+            match codec::decode_shared(&bytes.into()) {
+                Ok(msg) => {
+                    out.push(msg);
+                    Ok(true)
+                }
+                Err(e) => Self::tolerate_torn_tail(path, is_last, e),
+            }
         })?;
         Ok(out)
     }
@@ -377,6 +403,39 @@ mod tests {
             .map(|m| m.get_u64("body").unwrap())
             .collect();
         assert_eq!(bodies, vec![3, 4]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_entry_is_repaired_and_earlier_corruption_errors() {
+        let dir = std::env::temp_dir().join(format!("vsync-torn-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileStore::new(&dir).unwrap();
+        for i in 0..3u64 {
+            store.append_log("wal", &Message::with_body(i)).unwrap();
+        }
+        // Tear the final entry: keep only the first byte, as a crash mid-append would.
+        let tail = dir.join("wal.log").join("00000002.msg");
+        let full = std::fs::read(&tail).unwrap();
+        std::fs::write(&tail, &full[..1]).unwrap();
+        let log = store.read_log("wal").unwrap();
+        assert_eq!(log.len(), 2, "complete records survive, torn tail dropped");
+        assert_eq!(log[1].get_u64("body"), Some(1));
+        assert!(!tail.exists(), "the torn tail is repaired on read");
+        // Appends after the repair take the tail's slot and replay cleanly.
+        store.append_log("wal", &Message::with_body(9u64)).unwrap();
+        let bodies: Vec<u64> = store
+            .read_log("wal")
+            .unwrap()
+            .iter()
+            .map(|m| m.get_u64("body").unwrap())
+            .collect();
+        assert_eq!(bodies, vec![0, 1, 9]);
+        // Corruption *before* the tail is not a crash artefact and must error loudly.
+        let mid = dir.join("wal.log").join("00000000.msg");
+        std::fs::write(&mid, b"x").unwrap();
+        assert!(store.read_log("wal").is_err());
+        assert!(store.scan_log("wal", |_| true).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -64,6 +64,9 @@ pub type ApplyFn = Box<dyn FnMut(&mut ToolCtx<'_>, &Message)>;
 /// stalled (see [`StateTransfer::with_stall_threshold`]).
 const DEFAULT_STALL_THRESHOLD: usize = 32;
 
+/// Hard cap on the joiner's post-cut buffer (see [`StateTransfer::with_buffer_limit`]).
+const DEFAULT_MAX_BUFFERED: usize = 1024;
+
 struct Inner {
     group: GroupId,
     encode: EncodeFn,
@@ -94,6 +97,14 @@ struct Inner {
     stall_threshold: usize,
     stalled: bool,
     stalled_events: u64,
+    /// Hard cap on `pending`: a transfer that cannot keep up with hostile post-cut load
+    /// must fail cleanly (drop + re-request at a fresh cut) instead of growing without
+    /// bound.
+    max_buffered: usize,
+    buffer_overflows: u64,
+    /// Fence epoch of the last overflow-triggered re-request, so repeated overflows
+    /// within the same view drop the buffer again but do not flood GBCAST markers.
+    overflow_marker_epoch: u64,
     blocks_sent: u64,
     blocks_received: u64,
     transfers_served: u64,
@@ -150,6 +161,9 @@ impl StateTransfer {
                 stall_threshold: DEFAULT_STALL_THRESHOLD,
                 stalled: false,
                 stalled_events: 0,
+                max_buffered: DEFAULT_MAX_BUFFERED,
+                buffer_overflows: 0,
+                overflow_marker_epoch: 0,
                 blocks_sent: 0,
                 blocks_received: 0,
                 transfers_served: 0,
@@ -178,26 +192,81 @@ impl StateTransfer {
             .wrapped
             .insert(entry, Box::new(handler));
         let inner = self.inner.clone();
+        let group = self.inner.borrow().group;
         builder.on_entry(entry, move |ctx, msg| {
-            let stalled_now = {
+            enum Growth {
+                Quiet,
+                Stalled,
+                /// (messages dropped, whether to GBCAST a re-request marker)
+                Overflow(usize, bool),
+            }
+            let growth = {
                 let mut state = inner.borrow_mut();
-                if !state.ready {
-                    state.pending.push((entry, msg.clone()));
-                    state.note_buffer_growth()
+                if state.ready {
+                    Growth::Quiet
+                } else if state.pending.len() >= state.max_buffered {
+                    // The buffer is full: the transfer cannot complete exactly-once with
+                    // this backlog intact anyway (we cannot tell which held messages a
+                    // snapshot that never arrived would have covered), so fail the join
+                    // attempt cleanly — drop everything (this message included; it
+                    // predates the fresh cut, whose snapshot will cover it) and fence
+                    // onto a snapshot at a fresh cut, exactly the dead-source recovery
+                    // path.  The pending-join retry discipline above us handles a
+                    // contact that never answers at all.
+                    let dropped = state.pending.len() + 1;
+                    state.buffer_overflows += 1;
+                    let fence = state.last_view_seq + 1;
+                    state.abandon_transfer(fence);
+                    let send_marker = state.overflow_marker_epoch < fence;
+                    if send_marker {
+                        state.overflow_marker_epoch = fence;
+                        state.rerequests_sent += 1;
+                    }
+                    Growth::Overflow(dropped, send_marker)
                 } else {
-                    false
+                    state.pending.push((entry, msg.clone()));
+                    if state.note_buffer_growth() {
+                        Growth::Stalled
+                    } else {
+                        Growth::Quiet
+                    }
                 }
             };
-            if stalled_now {
-                let (buffered, blocks) = {
-                    let state = inner.borrow();
-                    (state.pending.len(), state.blocks_received)
-                };
-                ctx.trace(format!(
-                    "TransferStalled: {buffered} messages buffered with no snapshot \
-                     progress (blocks_received={blocks})"
-                ));
-                return;
+            match growth {
+                Growth::Stalled => {
+                    let (buffered, blocks) = {
+                        let state = inner.borrow();
+                        (state.pending.len(), state.blocks_received)
+                    };
+                    ctx.trace(format!(
+                        "TransferStalled: {buffered} messages buffered with no snapshot \
+                         progress (blocks_received={blocks})"
+                    ));
+                    return;
+                }
+                Growth::Overflow(dropped, send_marker) => {
+                    ctx.trace(format!(
+                        "BufferOverflow: dropped {dropped} buffered messages; \
+                         re-requesting a snapshot at a fresh cut"
+                    ));
+                    if let Some(stats) = ctx.stats() {
+                        stats.with(|s| s.count_transfer_overflow());
+                    }
+                    if send_marker {
+                        let me = ctx.me();
+                        let mut req = Message::new();
+                        req.set("xfer-rerequest", true);
+                        req.set("xfer-joiner", Address::Process(me));
+                        ctx.send(
+                            Address::Group(group),
+                            EntryId::GENERIC_XFER,
+                            req,
+                            ProtocolKind::Gbcast,
+                        );
+                    }
+                    return;
+                }
+                Growth::Quiet => {}
             }
             if !inner.borrow().ready {
                 return;
@@ -303,6 +372,15 @@ impl StateTransfer {
         self
     }
 
+    /// Sets the hard cap on the post-cut buffer (default 1024).  Crossing it raises a
+    /// `BufferOverflow` trace event, drops the buffer, and re-requests the snapshot at a
+    /// fresh cut — bounding memory under hostile load at the cost of restarting the
+    /// transfer.
+    pub fn with_buffer_limit(self, limit: usize) -> Self {
+        self.inner.borrow_mut().max_buffered = limit.max(1);
+        self
+    }
+
     /// True once this member holds the full state (creator, or joiner after transfer).
     pub fn is_ready(&self) -> bool {
         self.inner.borrow().ready
@@ -316,6 +394,12 @@ impl StateTransfer {
     /// Number of `TransferStalled` events raised by this member.
     pub fn stalled_events(&self) -> u64 {
         self.inner.borrow().stalled_events
+    }
+
+    /// Number of `BufferOverflow` events: times the post-cut buffer hit its cap and the
+    /// transfer restarted at a fresh cut.
+    pub fn buffer_overflows(&self) -> u64 {
+        self.inner.borrow().buffer_overflows
     }
 
     /// The covered frontier tagged onto the received snapshot: which pre-cut messages the
@@ -606,6 +690,31 @@ mod tests {
         inner.pending.push((EntryId(3), Message::new()));
         assert!(inner.note_buffer_growth(), "trips again if progress stops");
         assert_eq!(inner.stalled_events, 2);
+    }
+
+    #[test]
+    fn buffer_limit_bookkeeping() {
+        let t = StateTransfer::new(GroupId(1), Vec::new, |_ctx, _m| {}).with_buffer_limit(3);
+        {
+            let mut inner = t.inner.borrow_mut();
+            assert_eq!(inner.max_buffered, 3);
+            inner.last_view_seq = 5;
+            for _ in 0..3 {
+                inner.pending.push((EntryId(3), Message::new()));
+            }
+            // What the overflow branch does, without driving a full system: fence one
+            // past the current view and drop everything.
+            inner.buffer_overflows += 1;
+            let fence = inner.last_view_seq + 1;
+            inner.abandon_transfer(fence);
+            assert!(inner.pending.is_empty());
+            assert_eq!(
+                inner.min_epoch, 6,
+                "current-epoch stragglers are fenced too"
+            );
+        }
+        assert_eq!(t.buffer_overflows(), 1);
+        assert_eq!(t.buffered_len(), 0);
     }
 
     #[test]

@@ -34,6 +34,7 @@ fn quiet_cluster(num_sites: usize, num_members: usize) -> Deployment {
         heartbeat_interval: hour,
         failure_timeout: hour,
         rpc_timeout: hour,
+        reform_timeout: hour,
     };
     let proto_cfg = ProtoConfig {
         stability_interval: hour,
