@@ -276,7 +276,13 @@ impl SiteStack {
         out: &mut Outbox,
     ) {
         let deadline = self.now + self.cfg.reform_timeout;
-        let tracker = ReformTracker::new(summary, expected, deadline);
+        let mut tracker = ReformTracker::new(summary, expected, deadline);
+        // The reform election honors the same primary-partition rule as live view changes:
+        // a degraded (deadline) election may only elect a leader among a majority of the
+        // expected participants.  Disabled together with the endpoint fence.
+        if !self.proto_cfg.primary_partition {
+            tracker = tracker.without_majority_fence();
+        }
         out.trace_with(|| {
             format!(
                 "{}: reforming {group} with {} expected participants",
@@ -428,16 +434,22 @@ impl SiteStack {
                 attempts: 0,
             }),
         }
-        self.submit_join_request(group, joiner, credentials, out)
+        self.submit_join_request(group, joiner, credentials, 0, out)
     }
 
     /// One attempt at routing a join: submit locally if a member lives here, otherwise send
-    /// a JoinReq to a contact site the failure detector believes alive.
+    /// a JoinReq to a contact site the failure detector believes alive.  `attempt` is the
+    /// retry count for this join: once the exponential backoff is exhausted (the cap in
+    /// [`PendingJoin::retry_delay`]), the preferred contact is presumed unreachable in a
+    /// useful sense — often stranded in a wedged minority component that heartbeats fine
+    /// but can never install the join's view — and the request fails over, rotating
+    /// deterministically through the other known contact sites.
     fn submit_join_request(
         &mut self,
         group: GroupId,
         joiner: ProcessId,
         credentials: Option<String>,
+        attempt: u32,
         out: &mut Outbox,
     ) -> Result<()> {
         // Make sure an endpoint exists so the eventual FlushCommit can be applied here.
@@ -454,9 +466,23 @@ impl SiteStack {
             return Ok(());
         }
         // Otherwise ask a contact site.
-        let contact = self
+        let preferred = self
             .alive_contact(group)
             .ok_or(VsError::NoSuchGroup(group))?;
+        let contact = match self.failover_contact(group, preferred, attempt) {
+            Some(other) => {
+                self.stats.with(|s| s.count_join_failover());
+                out.trace_with(|| {
+                    format!(
+                        "{}: JoinContactUnreachable: join of {joiner} to {group} via \
+                         {preferred} stalled after {attempt} attempts; failing over to {other}",
+                        self.site
+                    )
+                });
+                other
+            }
+            None => preferred,
+        };
         let wire = ProtoMsg::JoinReq {
             joiner,
             credentials,
@@ -464,6 +490,26 @@ impl SiteStack {
         .encode_frame(group);
         self.send_proto(contact, PacketKind::Flush, wire, out);
         Ok(())
+    }
+
+    /// Picks the failover contact for a join whose backoff is exhausted: the retries
+    /// rotate through the known contact sites *other than* the stalled preferred one, so
+    /// a contact stranded in a minority component cannot absorb join attempts forever.
+    /// `None` below the backoff cap, or when no alternative site is known.
+    fn failover_contact(&self, group: GroupId, preferred: SiteId, attempt: u32) -> Option<SiteId> {
+        if attempt <= 3 {
+            return None;
+        }
+        let candidates = self.contacts.get(&group)?;
+        let others: Vec<SiteId> = candidates
+            .iter()
+            .copied()
+            .filter(|s| *s != preferred)
+            .collect();
+        if others.is_empty() {
+            return None;
+        }
+        Some(others[(attempt as usize - 4) % others.len()])
     }
 
     /// Asks for `member` (hosted here) to leave `group`.
@@ -525,7 +571,9 @@ impl SiteStack {
             }
             let mut eouts = self.take_eouts();
             if let Some(ep) = self.endpoints.get_mut(&g) {
-                ep.report_failures(self.now, &[pid], &mut eouts);
+                // A local crash is *observed* (the process table lost the entry), not a
+                // timeout: confirm it so later traffic from this site never retracts it.
+                ep.confirm_failures(self.now, &[pid], &mut eouts);
             }
             self.pump_endpoint_outputs(g, eouts, out);
             // Other sites cannot observe a silent local crash; tell every member site so that
@@ -737,6 +785,30 @@ impl SiteStack {
                 }
                 EndpointOutput::ViewChange(ev) => {
                     self.handle_view_change(group, ev, out);
+                }
+                EndpointOutput::PartitionStalled {
+                    view_seq,
+                    alive,
+                    voters,
+                    ..
+                } => {
+                    // The endpoint already counted the stall; the stack's job is to make
+                    // the wedge observable and leave the endpoint alone — it un-wedges by
+                    // itself when suspicions are retracted or rejoins on primary evidence.
+                    out.trace_with(|| {
+                        format!(
+                            "{}: {group} wedged at view {view_seq}: {alive}/{voters} \
+                             voters visible (minority partition)",
+                            self.site
+                        )
+                    });
+                }
+                EndpointOutput::RejoinRequired {
+                    contact,
+                    observed_seq,
+                    ..
+                } => {
+                    self.handle_rejoin_required(group, contact, observed_seq, out);
                 }
             }
         }
@@ -1041,6 +1113,57 @@ impl SiteStack {
         self.fail_collectors_for_site(failed_site, out);
     }
 
+    /// A suspected site spoke again: the suspicion was a timeout artifact (delay spike or
+    /// healed partition), not a crash.  Withdraw it from every group endpoint before any
+    /// flush commits around the falsely suspected members.
+    fn handle_site_recovery(&mut self, recovered_site: SiteId, out: &mut Outbox) {
+        let groups: Vec<GroupId> = self.endpoints.keys().copied().collect();
+        for g in groups {
+            let mut eouts = self.take_eouts();
+            if let Some(ep) = self.endpoints.get_mut(&g) {
+                ep.unsuspect_site(self.now, recovered_site, &mut eouts);
+            }
+            self.pump_endpoint_outputs(g, eouts, out);
+        }
+    }
+
+    /// The endpoint observed a newer primary view that excludes its local members: its
+    /// history past the last shared cut is a divergent minority tail.  Discard the endpoint
+    /// (and with it the tail) and rejoin the members through the evidenced contact; the
+    /// join-cut state transfer replaces everything the tail contained.
+    fn handle_rejoin_required(
+        &mut self,
+        group: GroupId,
+        contact: SiteId,
+        observed_seq: u64,
+        out: &mut Outbox,
+    ) {
+        let locals: Vec<ProcessId> = self
+            .endpoints
+            .get(&group)
+            .map(|ep| ep.local_members().to_vec())
+            .unwrap_or_default();
+        self.stats.with(|s| s.count_rejoin_after_heal());
+        out.trace_with(|| {
+            format!(
+                "{}: {group} diverged from primary view {observed_seq}; \
+                 discarding local tail and rejoining via {contact}",
+                self.site
+            )
+        });
+        self.endpoints.remove(&group);
+        // Route the rejoin through the site that evidenced the primary view, ahead of
+        // whatever contacts the stale view left cached.
+        let entry = self.contacts.entry(group).or_default();
+        entry.retain(|s| *s != contact);
+        entry.insert(0, contact);
+        for m in locals {
+            if let Err(e) = self.join_group(group, m, None, out) {
+                out.trace_with(|| format!("{}: rejoin of {m} to {group} failed: {e}", self.site));
+            }
+        }
+    }
+
     // -- Incoming traffic -----------------------------------------------------------------------
 
     fn handle_control(&mut self, pkt: &Packet, out: &mut Outbox) {
@@ -1157,6 +1280,9 @@ impl SiteHandler for SiteStack {
             // Any traffic from a site proves it is alive.
             if let Some(verdict) = self.fd.on_heartbeat(pkt.src.site, now) {
                 out.trace_with(|| format!("{}: {verdict:?}", self.site));
+                if matches!(verdict, vsync_net::fail::Verdict::HeardAgain(_)) {
+                    self.handle_site_recovery(pkt.src.site, out);
+                }
             }
         }
         if ProtoMsg::is_proto_message(&pkt.payload) {
@@ -1243,7 +1369,8 @@ impl SiteHandler for SiteStack {
                 )
             });
             // A dead contact everywhere leaves the join pending for the next cadence.
-            let _ = self.submit_join_request(p.group, p.joiner, p.credentials.clone(), out);
+            let _ =
+                self.submit_join_request(p.group, p.joiner, p.credentials.clone(), p.attempts, out);
         }
         self.pending_joins = pending;
         // Total-failure reforms: advance each election (the deadline can fire one without

@@ -27,6 +27,11 @@ use crate::output::{Delivery, EndpointOutput, ViewEvent};
 use crate::stability::StabilityTracker;
 use crate::view::View;
 
+/// Gossip rounds an endpoint keeps probing for after it un-wedges without a view change
+/// (see [`GroupEndpoint::maybe_unwedge`]): one immediate probe plus this many periodic
+/// ones, so a lost probe cannot strand a healed minority in a stale view.
+const STALE_VIEW_PROBES: u8 = 3;
+
 /// A multicast buffered while a flush is in progress; it is re-issued in the next view.
 #[derive(Clone, Debug)]
 enum BufferedSend {
@@ -72,6 +77,22 @@ pub struct GroupEndpoint {
     pending_leaves: Vec<ProcessId>,
     /// Members this site believes have failed (cleared when a view excluding them installs).
     suspected: BTreeSet<ProcessId>,
+    /// The subset of `suspected` reported as *confirmed* crashes (explicit process-crash
+    /// reports).  Confirmed suspicions are never retracted by later traffic; everything
+    /// else in `suspected` came from timeouts and is withdrawn the moment the suspect
+    /// speaks again (see [`GroupEndpoint::unsuspect_site`]).
+    confirmed: BTreeSet<ProcessId>,
+    /// True while the primary-partition fence blocks this endpoint from cutting a view:
+    /// its component does not hold a majority of the current view.  A wedged endpoint
+    /// never starts or completes a flush; it waits for the partition to heal (suspicions
+    /// retracted, or evidence of a newer primary view triggering a rejoin).
+    wedged: bool,
+    /// Guards against emitting [`EndpointOutput::RejoinRequired`] more than once.
+    rejoin_emitted: bool,
+    /// Local members whose voluntary leave was submitted through this endpoint.  A commit
+    /// excluding them is an *expected* departure, not evidence that the primary partition
+    /// cut this site out.
+    leaving_local: BTreeSet<ProcessId>,
     /// User GBCAST payloads queued for the next cut (only at the coordinator's site).
     pending_gbcasts: Vec<Message>,
     /// Application multicasts issued while a flush was in progress.
@@ -79,7 +100,14 @@ pub struct GroupEndpoint {
     /// Protocol messages that belong to a view we have not installed yet (frames aliased,
     /// not copied, from the packets they arrived in).
     future_msgs: Vec<(SiteId, Frame)>,
+    /// Wire form of the last installed flush commit, kept as a *bulletin*: when stale
+    /// traffic arrives from a site that hosts no member of the current view (an excluded
+    /// member whose commit copy was swallowed by a partition), re-sending this frame is
+    /// what lets the healed minority discover the primary view and rejoin.
+    last_commit: Option<Frame>,
     last_gossip: SimTime,
+    /// Remaining gossip rounds forced after an un-wedge (see [`STALE_VIEW_PROBES`]).
+    stale_probes: u8,
 }
 
 impl GroupEndpoint {
@@ -106,10 +134,16 @@ impl GroupEndpoint {
             pending_joins: Vec::new(),
             pending_leaves: Vec::new(),
             suspected: BTreeSet::new(),
+            confirmed: BTreeSet::new(),
+            wedged: false,
+            rejoin_emitted: false,
+            leaving_local: BTreeSet::new(),
             pending_gbcasts: Vec::new(),
             buffered_sends: Vec::new(),
             future_msgs: Vec::new(),
+            last_commit: None,
             last_gossip: SimTime::ZERO,
+            stale_probes: 0,
         }
     }
 
@@ -136,6 +170,17 @@ impl GroupEndpoint {
     /// True while a flush (view change / GBCAST) is in progress at this endpoint.
     pub fn is_flushing(&self) -> bool {
         self.flush.is_some()
+    }
+
+    /// True while the primary-partition fence has this endpoint wedged in a minority
+    /// component (no view change can commit here until the partition heals).
+    pub fn is_wedged(&self) -> bool {
+        self.wedged
+    }
+
+    /// Number of members this endpoint currently suspects.
+    pub fn suspected_len(&self) -> usize {
+        self.suspected.len()
     }
 
     /// Creates the group: installs the founding view with `creator` as the only member.
@@ -333,6 +378,11 @@ impl GroupEndpoint {
         let Some(coord) = self.acting_coordinator() else {
             return Err(VsError::NoCoordinator(self.group));
         };
+        if member.site == self.site {
+            // Remember that this local member asked to go: the commit that excludes it is
+            // an expected departure, not a primary partition cutting us out.
+            self.leaving_local.insert(member);
+        }
         if coord.site == self.site {
             if !self.pending_leaves.contains(&member) {
                 self.pending_leaves.push(member);
@@ -345,13 +395,36 @@ impl GroupEndpoint {
         Ok(())
     }
 
-    /// Reports that `failed` processes are believed to have crashed.  Called on every member
-    /// site by the failure-detection layer; the site hosting the oldest surviving member
-    /// initiates the view change.
+    /// Reports that `failed` processes are *suspected* to have crashed (timeout evidence:
+    /// the site failure detector or the flush watchdog).  Called on every member site by
+    /// the failure-detection layer; the site hosting the oldest surviving member initiates
+    /// the view change.  A timeout suspicion is retractable: if the suspect speaks before
+    /// the flush commits, [`GroupEndpoint::unsuspect_site`] withdraws it.
     pub fn report_failures(
         &mut self,
         now: SimTime,
         failed: &[ProcessId],
+        out: &mut Vec<EndpointOutput>,
+    ) {
+        self.note_failures(now, failed, false, out);
+    }
+
+    /// Reports *confirmed* crashes (an explicit process-exit report, not a timeout).
+    /// Confirmed suspicions are never retracted by later traffic.
+    pub fn confirm_failures(
+        &mut self,
+        now: SimTime,
+        failed: &[ProcessId],
+        out: &mut Vec<EndpointOutput>,
+    ) {
+        self.note_failures(now, failed, true, out);
+    }
+
+    fn note_failures(
+        &mut self,
+        now: SimTime,
+        failed: &[ProcessId],
+        confirmed: bool,
         out: &mut Vec<EndpointOutput>,
     ) {
         let Some(view) = self.view.clone() else {
@@ -359,11 +432,23 @@ impl GroupEndpoint {
         };
         let mut newly = false;
         for f in failed {
-            if view.contains(*f) && self.suspected.insert(*f) {
-                newly = true;
+            if view.contains(*f) {
+                if self.suspected.insert(*f) {
+                    newly = true;
+                }
+                if confirmed {
+                    self.confirmed.insert(*f);
+                }
             }
         }
         if !newly {
+            return;
+        }
+        // Primary-partition fence, checked pre-emptively at every member: if the visible
+        // component no longer holds a majority of the view, wedge instead of cutting —
+        // the other side of the partition (which does) will install the next primary view.
+        if !self.has_primary_majority(&view) {
+            self.enter_wedge(view.seq(), out);
             return;
         }
         // Fully failed sites will never answer ABCAST proposals or flush requests.
@@ -406,6 +491,176 @@ impl GroupEndpoint {
         self.start_flush_if_needed(now, out);
     }
 
+    /// Withdraws every *timeout-based* suspicion of members hosted at `site`: the site
+    /// spoke, so it cannot be dead.  Confirmed process crashes stay suspected.  Called by
+    /// the hosting stack when its failure detector hears from a suspected site again, and
+    /// internally on any protocol message — so a suspicion raised by a delay spike is
+    /// retracted before it can force a needless view change.
+    pub fn unsuspect_site(&mut self, now: SimTime, site: SiteId, out: &mut Vec<EndpointOutput>) {
+        let cleared: Vec<ProcessId> = self
+            .suspected
+            .iter()
+            .copied()
+            .filter(|p| p.site == site && !self.confirmed.contains(p))
+            .collect();
+        if cleared.is_empty() {
+            return;
+        }
+        for p in &cleared {
+            self.suspected.remove(p);
+        }
+        self.stats.with(|s| {
+            for _ in &cleared {
+                s.count_suspicion_cleared();
+            }
+        });
+        // If we are coordinating a flush that was about to exclude the retracted members,
+        // abandon it: the next attempt (if anything is still pending) re-awaits their site
+        // and builds the view from the corrected failure set.  If nothing else is pending,
+        // no flush restarts and the needless view change never happens.
+        if matches!(self.flush, Some(FlushRole::Coordinator(_))) {
+            self.flush = None;
+            self.flush_attempt += 1;
+        }
+        self.maybe_unwedge(out);
+        self.start_flush_if_needed(now, out);
+    }
+
+    // -- Primary-partition fence ---------------------------------------------------------------
+
+    /// Votes for the majority fence: `(alive, voters)` where voters are the current view's
+    /// members minus voluntary leavers and minus *confirmed* crashes — a process whose
+    /// exit was observed and reported cannot be running in a rival component, so it is no
+    /// more partition evidence than a leaver.  Alive are the voters this endpoint does not
+    /// suspect (all remaining suspicions are timeout-based, i.e. possibly a partition).
+    fn majority_tally(&self, view: &View) -> (usize, usize) {
+        let mut voters = 0usize;
+        let mut alive = 0usize;
+        for m in &view.members {
+            if self.pending_leaves.contains(m) || self.confirmed.contains(m) {
+                continue;
+            }
+            voters += 1;
+            if !self.suspected.contains(m) {
+                alive += 1;
+            }
+        }
+        (alive, voters)
+    }
+
+    /// The primary-partition rule: a component may cut a new view from `view` only if it
+    /// holds a strict majority of the voters, or exactly half of them *including the
+    /// oldest voter* (the rank-0 tie-break, so an even split has exactly one winner).
+    fn has_primary_majority(&self, view: &View) -> bool {
+        if !self.cfg.primary_partition {
+            return true;
+        }
+        let (alive, voters) = self.majority_tally(view);
+        if voters == 0 || alive * 2 > voters {
+            return true;
+        }
+        if alive * 2 == voters {
+            // Exactly half: the half containing the oldest voter wins.
+            return view
+                .members
+                .iter()
+                .find(|m| !self.pending_leaves.contains(*m) && !self.confirmed.contains(*m))
+                .map(|oldest| !self.suspected.contains(oldest))
+                .unwrap_or(false);
+        }
+        false
+    }
+
+    /// Wedges the endpoint: abandons any flush role, counts the stall, and reports it.
+    fn enter_wedge(&mut self, view_seq: u64, out: &mut Vec<EndpointOutput>) {
+        if self.flush.take().is_some() {
+            self.flush_attempt += 1;
+        }
+        let (alive, voters) = self
+            .view
+            .as_ref()
+            .map(|v| self.majority_tally(v))
+            .unwrap_or((0, 0));
+        self.stats.with(|s| {
+            s.count_partition_stall();
+            if !self.wedged {
+                s.count_minority_wedge();
+            }
+        });
+        self.wedged = true;
+        out.push(EndpointOutput::PartitionStalled {
+            group: self.group,
+            view_seq,
+            alive,
+            voters,
+        });
+    }
+
+    /// Un-wedges the endpoint if retracted suspicions restored its majority.
+    ///
+    /// Retraction proves the suspected *sites* are alive again — not that this view is
+    /// still current.  If the cut outlived the failure timeout, the far side already
+    /// committed a view without us and, holding no member of ours, will never address us
+    /// again; silently resuming in the stale view would strand this endpoint as a
+    /// quiescent zombie.  So the transition out of a wedge always probes: gossip
+    /// immediately and for [`STALE_VIEW_PROBES`] more rounds.  A peer still in this view
+    /// reads the probe as ordinary stability traffic; a peer that moved on sees the stale
+    /// view stamp and answers with the bulletin commit that triggers the rejoin.
+    fn maybe_unwedge(&mut self, out: &mut Vec<EndpointOutput>) {
+        if !self.wedged {
+            return;
+        }
+        let Some(view) = &self.view else {
+            return;
+        };
+        if !self.has_primary_majority(view) {
+            return;
+        }
+        let view_seq = view.seq();
+        self.wedged = false;
+        self.stale_probes = STALE_VIEW_PROBES;
+        if !self.peer_sites.is_empty() {
+            self.send_stability_gossip(view_seq, out);
+        }
+    }
+
+    /// A wedged (or excluded) member saw evidence of a newer primary view: request a
+    /// rejoin through the site that evidenced it, at most once.
+    fn require_rejoin(
+        &mut self,
+        contact: SiteId,
+        observed_seq: u64,
+        out: &mut Vec<EndpointOutput>,
+    ) {
+        if self.rejoin_emitted {
+            return;
+        }
+        self.rejoin_emitted = true;
+        out.push(EndpointOutput::RejoinRequired {
+            group: self.group,
+            contact,
+            observed_seq,
+        });
+    }
+
+    /// Answers stale traffic from a site that hosts no member of the current view by
+    /// re-sending the latest flush commit.  Such a sender missed the cut that excluded it
+    /// (its commit copy was swallowed by a partition); without the bulletin it would keep
+    /// multicasting into its stale view forever and never learn it has to rejoin.  Senders
+    /// that *are* current members just have old-view traffic in flight across a cut —
+    /// normal, and ignored as before.
+    fn bulletin_stale_sender(&mut self, from_site: SiteId, out: &mut Vec<EndpointOutput>) {
+        let Some(view) = &self.view else {
+            return;
+        };
+        if from_site == self.site || view.member_sites().contains(&from_site) {
+            return;
+        }
+        if let Some(commit) = self.last_commit.clone() {
+            self.send_to_site(from_site, PacketKind::Flush, commit, out);
+        }
+    }
+
     // -- Protocol message handling ------------------------------------------------------------
 
     /// Handles a protocol message from the endpoint at `from_site`.
@@ -427,14 +682,23 @@ impl GroupEndpoint {
                 self.group
             )));
         }
+        // Whatever this message is, its sender site is alive: retract any timeout-based
+        // suspicion of its members before acting, so a delayed-but-live site is never
+        // excluded by a flush that commits after it already spoke again.
+        self.unsuspect_site(now, from_site, out);
         match msg {
             ProtoMsg::CbData { view_seq, .. } | ProtoMsg::AbData { view_seq, .. } => {
                 match self.view_position(*view_seq) {
                     ViewPosition::Current => self.handle_data(now, msg, frame, out),
                     ViewPosition::Future => {
                         self.future_msgs.push((from_site, frame.clone()));
+                        // Data stamped with a view we never installed: while wedged this
+                        // is proof a newer primary view exists on the far side.
+                        if self.wedged {
+                            self.require_rejoin(from_site, *view_seq, out);
+                        }
                     }
-                    ViewPosition::Past => {}
+                    ViewPosition::Past => self.bulletin_stale_sender(from_site, out),
                 }
             }
             ProtoMsg::AbPropose {
@@ -451,6 +715,9 @@ impl GroupEndpoint {
                     }
                 } else if self.view_position(*view_seq) == ViewPosition::Future {
                     self.future_msgs.push((from_site, frame.clone()));
+                    if self.wedged {
+                        self.require_rejoin(from_site, *view_seq, out);
+                    }
                 }
             }
             ProtoMsg::AbOrder {
@@ -464,8 +731,13 @@ impl GroupEndpoint {
                     self.stab.set_ab_priority(*id, *final_priority);
                     self.drain_abcasts(out);
                 }
-                ViewPosition::Future => self.future_msgs.push((from_site, frame.clone())),
-                ViewPosition::Past => {}
+                ViewPosition::Future => {
+                    self.future_msgs.push((from_site, frame.clone()));
+                    if self.wedged {
+                        self.require_rejoin(from_site, *view_seq, out);
+                    }
+                }
+                ViewPosition::Past => self.bulletin_stale_sender(from_site, out),
             },
             ProtoMsg::JoinReq {
                 joiner,
@@ -477,8 +749,10 @@ impl GroupEndpoint {
                 self.submit_leave(now, *member, out)?;
             }
             ProtoMsg::FailReport { failed } => {
+                // Fail reports carry explicit process-exit notifications, not timeouts:
+                // these suspicions are confirmed and never retracted by later traffic.
                 let failed = failed.clone();
-                self.report_failures(now, &failed, out);
+                self.confirm_failures(now, &failed, out);
             }
             ProtoMsg::GbcastReq { sender, payload } => {
                 self.gbcast(now, *sender, payload.clone(), out)?;
@@ -517,13 +791,19 @@ impl GroupEndpoint {
             }
             ProtoMsg::Stability {
                 view_seq,
-                from_site,
+                from_site: gossip_site,
                 ids,
-            } => {
-                if self.view_position(*view_seq) == ViewPosition::Current {
-                    self.stab.on_gossip(*from_site, ids);
+            } => match self.view_position(*view_seq) {
+                ViewPosition::Current => {
+                    self.stab.on_gossip(*gossip_site, ids);
                 }
-            }
+                ViewPosition::Future => {
+                    if self.wedged {
+                        self.require_rejoin(from_site, *view_seq, out);
+                    }
+                }
+                ViewPosition::Past => self.bulletin_stale_sender(from_site, out),
+            },
             // Reform traffic is a site-level exchange handled by the hosting stack before
             // any endpoint exists (there is no group to route it to while the group is
             // dead); an operational endpoint simply ignores a stray copy.
@@ -545,16 +825,18 @@ impl GroupEndpoint {
             // Gossip while there is anything to advertise — held copies *or* ack
             // tombstones: a site that stabilized a message before ever gossiping it must
             // still tell the origin, or the origin's ack set never completes (see
-            // `stability::Tracked::stable_for`).
-            if self.stab.has_reportable() && !self.peer_sites.is_empty() {
-                let ids = self.stab.local_ids();
-                let wire = ProtoMsg::Stability {
-                    view_seq,
-                    from_site: self.site,
-                    ids,
-                }
-                .encode_frame(self.group);
-                self.send_to_peers(PacketKind::Stability, wire, out);
+            // `stability::Tracked::stable_for`).  A wedged endpoint gossips even with
+            // nothing to report: across a healed partition the stale view stamp makes a
+            // primary-side member answer with the latest commit (the bulletin), which is
+            // an idle minority's only way to learn it was cut out.  The same goes for the
+            // probe rounds right after an un-wedge (see `maybe_unwedge`): heartbeats
+            // retract suspicions the instant the cut heals, usually before this tick ever
+            // fires in the wedged state, so the wedge alone cannot carry that burden.
+            let probing = self.stale_probes > 0;
+            if (self.stab.has_reportable() || self.wedged || probing) && !self.peer_sites.is_empty()
+            {
+                self.send_stability_gossip(view_seq, out);
+                self.stale_probes = self.stale_probes.saturating_sub(1);
             }
             self.stab.note_gossip_round();
         }
@@ -662,6 +944,20 @@ impl GroupEndpoint {
                 msg: msg.clone(),
             });
         }
+    }
+
+    /// One round of stability gossip to every peer of the current view, stamped with
+    /// `view_seq`.  Doubles as the stale-view probe: at a peer that committed a newer
+    /// view the stamp reads as `ViewPosition::Past` and draws the bulletin commit back.
+    fn send_stability_gossip(&mut self, view_seq: u64, out: &mut Vec<EndpointOutput>) {
+        let ids = self.stab.local_ids();
+        let wire = ProtoMsg::Stability {
+            view_seq,
+            from_site: self.site,
+            ids,
+        }
+        .encode_frame(self.group);
+        self.send_to_peers(PacketKind::Stability, wire, out);
     }
 
     fn emit_delivery(
@@ -800,6 +1096,13 @@ impl GroupEndpoint {
         if !has_changes {
             return;
         }
+        // Primary-partition fence: never start cutting a view from inside a minority
+        // component — wedge until the partition heals or the suspicions are retracted.
+        if !self.has_primary_majority(&view) {
+            self.enter_wedge(view.seq(), out);
+            return;
+        }
+        self.wedged = false;
         let Some(coord) = self.acting_coordinator() else {
             return;
         };
@@ -950,6 +1253,14 @@ impl GroupEndpoint {
         let Some(view) = self.view.clone() else {
             return;
         };
+        // Authoritative primary-partition fence: suspicions may have accumulated since
+        // this flush started (forgotten sites complete a flush too), so re-check that we
+        // still hold a majority of the view being cut before committing its successor.
+        if !self.has_primary_majority(&view) {
+            self.flush_attempt += 1;
+            self.enter_wedge(view.seq(), out);
+            return;
+        }
         // Merge our own unstable messages and pending proposals into the union.
         let own = self.flush_report(view.seq());
         c.merge(own);
@@ -1032,6 +1343,22 @@ impl GroupEndpoint {
                 return;
             }
         }
+        // A commit whose new view excludes every local member that neither asked to leave
+        // nor provably crashed is not ours to install: the primary partition cut us out (a
+        // false suspicion that committed, or a minority wedge the majority flushed
+        // around).  Everything we did past the last shared view is a divergent tail —
+        // request a discard-and-rejoin instead of installing.
+        let mut involuntary = self
+            .local_members
+            .iter()
+            .filter(|m| !self.leaving_local.contains(m) && !self.confirmed.contains(m))
+            .peekable();
+        let cut_out = involuntary.peek().is_some() && !involuntary.any(|m| new_view.contains(*m));
+        if cut_out {
+            let contact = new_view.coordinator().map(|c| c.site).unwrap_or(self.site);
+            self.require_rejoin(contact, target_seq, out);
+            return;
+        }
         // Relay the commit on first install (receivers only — the creator already sent it
         // everywhere).  Commits come from the acting coordinator, which may die with some
         // copies still on the wire; a commit that reaches only part of the membership would
@@ -1040,6 +1367,14 @@ impl GroupEndpoint {
         // closes the gap: whoever installs re-sends the frame to every member site of the
         // old and new views, and later copies fail the sequence check above, so the relay
         // storm terminates after at most one send per member.
+        let wire = ProtoMsg::FlushCommit {
+            target_seq,
+            view: new_view.clone(),
+            deliver: deliver.clone(),
+            covered: covered.clone(),
+            gbcasts: gbcasts.clone(),
+        }
+        .encode_frame(self.group);
         if relay {
             let mut relay_sites: Vec<SiteId> = self
                 .view
@@ -1051,20 +1386,14 @@ impl GroupEndpoint {
                     relay_sites.push(s);
                 }
             }
-            let wire = ProtoMsg::FlushCommit {
-                target_seq,
-                view: new_view.clone(),
-                deliver: deliver.clone(),
-                covered: covered.clone(),
-                gbcasts: gbcasts.clone(),
-            }
-            .encode_frame(self.group);
             for s in relay_sites {
                 if s != self.site {
                     self.send_to_site(s, PacketKind::Flush, wire.clone(), out);
                 }
             }
         }
+        // Keep the commit as the bulletin answered to stale traffic from excluded sites.
+        self.last_commit = Some(wire);
         // A joining endpoint (no view installed: this site only enters the group at this
         // cut) must NOT apply the redistributed pre-cut messages: the state snapshot its
         // members receive is taken exactly at this cut and already covers them, so
@@ -1144,6 +1473,9 @@ impl GroupEndpoint {
         // Any membership change reported during the flush that the new view did not cover
         // must trigger another round.
         self.suspected.retain(|p| new_view.contains(*p));
+        self.confirmed.retain(|p| new_view.contains(*p));
+        // A leave the new view processed is done; one still pending stays remembered.
+        self.leaving_local.retain(|p| new_view.contains(*p));
         let pending_restart = !self.suspected.is_empty()
             || !self.pending_joins.is_empty()
             || !self.pending_leaves.is_empty()
@@ -1190,6 +1522,11 @@ impl GroupEndpoint {
         self.delivered.clear();
         self.flush = None;
         self.flush_attempt = 0;
+        // A committed view is primary by construction: any wedge episode ends here, and
+        // with it the stale-view probing — this view is fresh by definition.
+        self.wedged = false;
+        self.stale_probes = 0;
+        self.rejoin_emitted = false;
         self.view = Some(view);
     }
 

@@ -27,6 +27,10 @@ struct Cluster {
     channels: BTreeMap<(SiteId, SiteId), VecDeque<Frame>>,
     deliveries: BTreeMap<SiteId, Vec<Delivery>>,
     views: BTreeMap<SiteId, Vec<ViewEvent>>,
+    /// `PartitionStalled` reports per site: `(view_seq, alive, voters)`.
+    stalls: BTreeMap<SiteId, Vec<(u64, usize, usize)>>,
+    /// `RejoinRequired` requests per site: `(contact, observed_seq)`.
+    rejoins: BTreeMap<SiteId, Vec<(SiteId, u64)>>,
     now: SimTime,
     stats: SharedStats,
 }
@@ -50,6 +54,8 @@ impl Cluster {
             channels: BTreeMap::new(),
             deliveries: BTreeMap::new(),
             views: BTreeMap::new(),
+            stalls: BTreeMap::new(),
+            rejoins: BTreeMap::new(),
             now: SimTime::ZERO,
             stats,
         }
@@ -83,6 +89,27 @@ impl Cluster {
                 }
                 EndpointOutput::ViewChange(v) => {
                     self.views.entry(from).or_default().push(v);
+                }
+                EndpointOutput::PartitionStalled {
+                    view_seq,
+                    alive,
+                    voters,
+                    ..
+                } => {
+                    self.stalls
+                        .entry(from)
+                        .or_default()
+                        .push((view_seq, alive, voters));
+                }
+                EndpointOutput::RejoinRequired {
+                    contact,
+                    observed_seq,
+                    ..
+                } => {
+                    self.rejoins
+                        .entry(from)
+                        .or_default()
+                        .push((contact, observed_seq));
                 }
             }
         }
@@ -446,6 +473,11 @@ fn stable_undecided_abcasts_after_crash(ack_proposal_only: bool) -> Cluster {
         4,
         ProtoConfig {
             ack_proposal_only,
+            // The scenario kills exactly half the view including the rank-0 member, which
+            // the primary-partition fence (rightly) refuses to cut past — survivors cannot
+            // tell these crashes from a partition.  This test pins the proposal-only-ack
+            // edge, not partition semantics, so the fence is off.
+            primary_partition: false,
             ..ProtoConfig::fast()
         },
     );
@@ -717,4 +749,174 @@ fn multicast_counters_reflect_primitive_usage() {
     assert_eq!(snap.multicasts_of(ProtocolKind::Cbcast), 1);
     assert_eq!(snap.multicasts_of(ProtocolKind::Abcast), 1);
     assert_eq!(snap.multicasts_of(ProtocolKind::Gbcast), 0);
+}
+
+// -- Primary-partition fence ---------------------------------------------------------------
+
+#[test]
+fn minority_component_wedges_instead_of_cutting_a_view() {
+    let mut c = Cluster::build_three_member_group();
+    c.stats.reset();
+    // A cut isolates site 2: its failure detector suspects both other members.
+    c.exec(SiteId(2), |ep, now, out| {
+        ep.report_failures(now, &[member(0), member(1)], out);
+    });
+    assert!(c.endpoints[&SiteId(2)].is_wedged());
+    assert_eq!(c.stalls[&SiteId(2)], vec![(3, 1, 3)]);
+    // The wedge happens before any flush traffic leaves the site: no FlushReq was sent,
+    // so a one-member "view" can never be cut.
+    assert!(c.channels.values().all(|q| q.is_empty()));
+    assert_eq!(c.endpoints[&SiteId(2)].view().unwrap().seq(), 3);
+    let snap = c.stats.snapshot();
+    assert_eq!(snap.minority_wedges, 1);
+    assert_eq!(snap.partition_stalls, 1);
+}
+
+#[test]
+fn retracted_suspicion_unwedges_without_a_view_change() {
+    let mut c = Cluster::build_three_member_group();
+    c.stats.reset();
+    c.exec(SiteId(2), |ep, now, out| {
+        ep.report_failures(now, &[member(0), member(1)], out);
+    });
+    assert!(c.endpoints[&SiteId(2)].is_wedged());
+    // The "dead" members speak again (the cut was a delay spike, not a crash): their
+    // suspicions are withdrawn on arrival and the wedge lifts, with no view change.
+    c.exec(SiteId(0), |ep, now, out| {
+        ep.cbcast(now, member(0), Message::with_body(7u64), out)
+            .unwrap();
+    });
+    c.exec(SiteId(1), |ep, now, out| {
+        ep.cbcast(now, member(1), Message::with_body(8u64), out)
+            .unwrap();
+    });
+    c.pump(false);
+    let ep2 = &c.endpoints[&SiteId(2)];
+    assert!(!ep2.is_wedged());
+    assert_eq!(ep2.suspected_len(), 0);
+    assert_eq!(ep2.view().unwrap().seq(), 3, "no view change was needed");
+    assert_eq!(c.delivered_bodies(SiteId(2)), vec![7, 8]);
+    assert_eq!(c.stats.snapshot().suspicions_cleared, 2);
+}
+
+#[test]
+fn majority_cuts_the_minority_which_rejoins_after_heal() {
+    let mut c = Cluster::build_three_member_group();
+    c.stats.reset();
+    // Cut: {0, 1} | {2}.  Each side suspects the other.
+    c.exec(SiteId(2), |ep, now, out| {
+        ep.report_failures(now, &[member(0), member(1)], out);
+    });
+    c.exec(SiteId(0), |ep, now, out| {
+        ep.report_failures(now, &[member(2)], out);
+    });
+    c.exec(SiteId(1), |ep, now, out| {
+        ep.report_failures(now, &[member(2)], out);
+    });
+    // While the cut holds, packets addressed to the isolated site are swallowed: pump
+    // with its endpoint lifted out of the cluster (the harness drops traffic to missing
+    // sites, which is exactly the sender-side drop a real partition performs).
+    let isolated = c.endpoints.remove(&SiteId(2)).expect("endpoint exists");
+    c.pump(false);
+    c.endpoints.insert(SiteId(2), isolated);
+    // The majority side cut the minority out ...
+    for s in [0u16, 1] {
+        let v = c.endpoints[&SiteId(s)].view().unwrap();
+        assert_eq!(v.seq(), 4, "site {s}");
+        assert_eq!(v.members, vec![member(0), member(1)]);
+    }
+    // ... while the minority wedged at the old view, having missed the commit.
+    assert!(c.endpoints[&SiteId(2)].is_wedged());
+    assert_eq!(c.endpoints[&SiteId(2)].view().unwrap().seq(), 3);
+    assert!(c.stats.snapshot().minority_wedges >= 1);
+    // Heal.  The wedged side's next tick gossips into its stale view; a primary-side
+    // member answers with the latest commit (the bulletin); the commit excludes the
+    // minority's local member, which requests a rejoin instead of installing.
+    c.tick_all();
+    c.pump(false);
+    assert_eq!(c.rejoins[&SiteId(2)], vec![(SiteId(0), 4)]);
+    assert_eq!(
+        c.endpoints[&SiteId(2)].view().unwrap().seq(),
+        3,
+        "the divergent tail is never installed over"
+    );
+}
+
+#[test]
+fn an_even_split_has_exactly_one_winner_the_rank_zero_side() {
+    let mut c = Cluster::new(4);
+    c.exec(SiteId(0), |ep, _now, out| ep.create(member(0), out));
+    for m in [1u16, 2, 3] {
+        c.exec(SiteId(0), |ep, now, out| {
+            ep.submit_join(now, member(m), None, out).unwrap();
+        });
+        c.pump(false);
+    }
+    for s in [0u16, 1, 2, 3] {
+        assert_eq!(c.endpoints[&SiteId(s)].view().unwrap().seq(), 4, "site {s}");
+    }
+    c.stats.reset();
+    // Cut: {0, 1} | {2, 3} — exactly half of the view on each side.
+    c.exec(SiteId(2), |ep, now, out| {
+        ep.report_failures(now, &[member(0), member(1)], out);
+    });
+    c.exec(SiteId(3), |ep, now, out| {
+        ep.report_failures(now, &[member(0), member(1)], out);
+    });
+    c.exec(SiteId(0), |ep, now, out| {
+        ep.report_failures(now, &[member(2), member(3)], out);
+    });
+    c.exec(SiteId(1), |ep, now, out| {
+        ep.report_failures(now, &[member(2), member(3)], out);
+    });
+    let iso2 = c.endpoints.remove(&SiteId(2)).expect("endpoint exists");
+    let iso3 = c.endpoints.remove(&SiteId(3)).expect("endpoint exists");
+    c.pump(false);
+    c.endpoints.insert(SiteId(2), iso2);
+    c.endpoints.insert(SiteId(3), iso3);
+    // The half holding the rank-0 member cuts the view ...
+    for s in [0u16, 1] {
+        let v = c.endpoints[&SiteId(s)].view().unwrap();
+        assert_eq!(v.seq(), 5, "site {s}");
+        assert_eq!(v.members, vec![member(0), member(1)]);
+    }
+    // ... and the other half wedges: an even split has one winner, never two.
+    for s in [2u16, 3] {
+        assert!(c.endpoints[&SiteId(s)].is_wedged(), "site {s}");
+        assert_eq!(c.endpoints[&SiteId(s)].view().unwrap().seq(), 4, "site {s}");
+        assert_eq!(c.stalls[&SiteId(s)], vec![(4, 2, 4)], "site {s}");
+    }
+    assert_eq!(c.stats.snapshot().minority_wedges, 2);
+}
+
+#[test]
+fn without_the_fence_a_cut_splits_the_brain() {
+    let mut c = Cluster::build_three_member_group_with(ProtoConfig {
+        primary_partition: false,
+        ..ProtoConfig::fast()
+    });
+    // Same cut as `majority_cuts_the_minority_which_rejoins_after_heal`, but with the
+    // fence disabled the isolated site happily elects itself: two concurrent "primary"
+    // views at the same sequence number with disjoint memberships.  This is the failure
+    // mode the fence exists to prevent.
+    c.exec(SiteId(2), |ep, now, out| {
+        ep.report_failures(now, &[member(0), member(1)], out);
+    });
+    c.drop_channel(SiteId(0), SiteId(2));
+    c.drop_channel(SiteId(1), SiteId(2));
+    c.exec(SiteId(0), |ep, now, out| {
+        ep.report_failures(now, &[member(2)], out);
+    });
+    c.exec(SiteId(1), |ep, now, out| {
+        ep.report_failures(now, &[member(2)], out);
+    });
+    let isolated = c.endpoints.remove(&SiteId(2)).expect("endpoint exists");
+    c.pump(false);
+    c.endpoints.insert(SiteId(2), isolated);
+    let majority = c.endpoints[&SiteId(0)].view().expect("view installed");
+    let minority = c.endpoints[&SiteId(2)].view().expect("view installed");
+    assert_eq!(majority.seq(), 4);
+    assert_eq!(minority.seq(), 4, "same sequence number on both sides");
+    assert_eq!(majority.members, vec![member(0), member(1)]);
+    assert_eq!(minority.members, vec![member(2)], "disjoint memberships");
 }

@@ -61,6 +61,30 @@ pub enum EndpointOutput {
     Deliver(Delivery),
     /// Deliver a view change / GBCAST event to the local members of the group.
     ViewChange(ViewEvent),
+    /// The endpoint refused to start or commit a view change because its component does
+    /// not hold a majority of the current view (the primary-partition fence): it is now
+    /// wedged, and stays wedged until the partition heals or suspicions are retracted.
+    PartitionStalled {
+        /// The group whose view change stalled.
+        group: GroupId,
+        /// The view the component failed to cut from.
+        view_seq: u64,
+        /// Unsuspected members of that view visible from this component.
+        alive: usize,
+        /// Total members eligible to vote (the view minus voluntary leavers).
+        voters: usize,
+    },
+    /// A wedged (or excluded) member observed evidence of a newer primary view: its own
+    /// history is a divergent tail.  The hosting stack must discard this endpoint and
+    /// rejoin its local members through `contact`, receiving fresh state at the join cut.
+    RejoinRequired {
+        /// The group to rejoin.
+        group: GroupId,
+        /// The site whose traffic evidenced the newer primary view.
+        contact: SiteId,
+        /// The newer view sequence observed there.
+        observed_seq: u64,
+    },
 }
 
 impl EndpointOutput {

@@ -94,6 +94,12 @@ pub enum ReformStatus {
 /// unreachable, e.g. a site whose disk died with it; the paper accepts this as the price
 /// of availability, and view-seq monotonicity still guarantees no elected log can be
 /// older than any log that does eventually come back and Follow).
+///
+/// The degraded path carries the same primary-partition fence as the live membership
+/// protocol: a deadline election only fires if the summaries at hand cover a strict
+/// majority of the expected participants.  Without the fence, a minority component of
+/// restarting sites (the rest partitioned away, not dead) would self-elect an
+/// authoritative log while the majority elects a different one — split-brain by reform.
 #[derive(Clone, Debug)]
 pub struct ReformTracker {
     me: SiteId,
@@ -101,6 +107,7 @@ pub struct ReformTracker {
     summaries: BTreeMap<SiteId, LogSummary>,
     deadline: SimTime,
     resolved: Option<ReformStatus>,
+    majority_fence: bool,
 }
 
 impl ReformTracker {
@@ -119,7 +126,15 @@ impl ReformTracker {
             summaries,
             deadline,
             resolved: None,
+            majority_fence: true,
         }
+    }
+
+    /// Disables the degraded-election majority fence.  The escape hatch exists only so
+    /// tests can demonstrate the split-brain the fence prevents.
+    pub fn without_majority_fence(mut self) -> Self {
+        self.majority_fence = false;
+        self
     }
 
     /// Our own summary (re-broadcast by the stack until the election resolves).
@@ -162,7 +177,12 @@ impl ReformTracker {
             return r.clone();
         }
         let all_in = self.expected.iter().all(|s| self.summaries.contains_key(s));
-        if !all_in && now < self.deadline {
+        let majority = self.summaries.len() * 2 > self.expected.len();
+        // A degraded (deadline-fired) election additionally needs summaries from a strict
+        // majority of the expected participants; a minority keeps collecting — it can
+        // never self-elect an authoritative log while the rest might be partitioned away,
+        // alive, and electing among themselves.
+        if !all_in && (now < self.deadline || (self.majority_fence && !majority)) {
             return ReformStatus::Collecting {
                 have: self.summaries.len(),
                 expected: self.expected.len(),
@@ -305,6 +325,53 @@ mod tests {
         assert_eq!(
             t.try_resolve(deadline),
             ReformStatus::Follow { leader: SiteId(0) }
+        );
+    }
+
+    #[test]
+    fn minority_never_self_elects_at_the_deadline() {
+        let deadline = SimTime::ZERO + vsync_util::Duration::from_secs(1);
+        // 1 of 5 expected: far past the deadline, the election must keep collecting.
+        let mut t = ReformTracker::new(
+            summary(0, 9, &[(0, 50)], 0),
+            (0..5).map(SiteId).collect(),
+            deadline,
+        );
+        assert!(matches!(
+            t.try_resolve(deadline + vsync_util::Duration::from_secs(60)),
+            ReformStatus::Collecting {
+                have: 1,
+                expected: 5
+            }
+        ));
+        // 2 of 5 is still a minority.
+        t.record(summary(1, 8, &[], 1));
+        assert!(matches!(
+            t.try_resolve(deadline + vsync_util::Duration::from_secs(60)),
+            ReformStatus::Collecting { have: 2, .. }
+        ));
+        // 3 of 5 crosses the majority: the degraded election fires.
+        t.record(summary(2, 7, &[], 2));
+        assert_eq!(
+            t.try_resolve(deadline + vsync_util::Duration::from_secs(60)),
+            ReformStatus::Lead { new_view_seq: 10 }
+        );
+    }
+
+    #[test]
+    fn fence_escape_hatch_demonstrates_minority_self_election() {
+        let deadline = SimTime::ZERO + vsync_util::Duration::from_secs(1);
+        let mut t = ReformTracker::new(
+            summary(0, 9, &[(0, 50)], 0),
+            (0..5).map(SiteId).collect(),
+            deadline,
+        )
+        .without_majority_fence();
+        // With the fence disabled a single stranded site elects its own log: exactly the
+        // split-brain the fence exists to prevent.
+        assert_eq!(
+            t.try_resolve(deadline),
+            ReformStatus::Lead { new_view_seq: 10 }
         );
     }
 

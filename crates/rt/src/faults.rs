@@ -1,4 +1,4 @@
-//! Fault injection for the threaded backend.
+//! Fault injection for the runtime backends.
 //!
 //! The discrete-event simulator injects delay, loss and reordering through
 //! [`vsync_net::NetworkModel`]; real threads need the same knobs or the failure-scenario
@@ -12,9 +12,19 @@
 //! attempt instead of disappearing.  Disappearing messages are modelled where the paper
 //! models them: by crashing whole sites ([`crate::threaded::ThreadedCluster::kill_site`]).
 //!
+//! *Partitions* go beyond the paper's fail-stop model: the quote above was true of ISIS
+//! in 1987, but this system no longer inherits the limitation.  [`LinkFaults`] cuts
+//! site-to-site links (symmetric or one-way) so traffic genuinely disappears instead of
+//! being retransmitted, and a [`NemesisSchedule`] composes timed partition / heal / crash /
+//! delay-spike events the way [`CrashSchedule`] composes coordinated kills.  Both backends
+//! honor the cut at the sending side; the protocol layer's primary-partition rule (see
+//! `vsync-proto`'s endpoint) turns a cut into a wedged minority rather than split-brain.
+//!
 //! Decisions are drawn from a deterministic RNG seeded per node, so a node's *sequence* of
 //! fault decisions is reproducible even though thread interleaving is not (see the
 //! "where determinism ends" section of ARCHITECTURE.md).
+
+use std::collections::BTreeSet;
 
 use vsync_util::{DetRng, Duration, SiteId};
 
@@ -212,6 +222,211 @@ impl CrashSchedule {
     }
 }
 
+/// The current state of the cluster's links: which directed site pairs drop packets, and
+/// how much extra latency every surviving inter-site packet pays.
+///
+/// A cut is *directional* — `(src, dst)` present means packets from `src` to `dst`
+/// disappear — so asymmetric failures (A hears B, B does not hear A) are expressible.
+/// Both backends consult the table at the sending transport, which is where the simulator
+/// plans deliveries and where the threaded router hands a packet to the destination
+/// channel: a cut packet is simply never submitted, exactly like a mid-flight crash.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinkFaults {
+    /// Directed (src, dst) site pairs whose packets are dropped.
+    cut: BTreeSet<(SiteId, SiteId)>,
+    /// Extra one-way latency added to surviving inter-site packets (a delay spike).
+    extra_delay: Duration,
+}
+
+impl LinkFaults {
+    /// Healthy links: nothing cut, no extra delay.
+    pub fn none() -> Self {
+        LinkFaults::default()
+    }
+
+    /// Cuts the cluster into the given components: every link between sites in
+    /// *different* components is cut in both directions; links within a component stay up.
+    /// Sites not listed in any component keep all their links (they can still talk to
+    /// every side — useful for modelling a partial cut).
+    pub fn partition(components: &[Vec<SiteId>]) -> Self {
+        let mut faults = LinkFaults::default();
+        for (i, a) in components.iter().enumerate() {
+            for b in components.iter().skip(i + 1) {
+                for &x in a {
+                    for &y in b {
+                        faults.cut.insert((x, y));
+                        faults.cut.insert((y, x));
+                    }
+                }
+            }
+        }
+        faults
+    }
+
+    /// Cuts links one way only: packets from any site in `from` to any site in `to`
+    /// disappear, while the reverse direction keeps working.
+    pub fn one_way(from: &[SiteId], to: &[SiteId]) -> Self {
+        let mut faults = LinkFaults::default();
+        for &x in from {
+            for &y in to {
+                if x != y {
+                    faults.cut.insert((x, y));
+                }
+            }
+        }
+        faults
+    }
+
+    /// Adds an extra one-way latency to every surviving inter-site packet.
+    pub fn with_extra_delay(mut self, d: Duration) -> Self {
+        self.extra_delay = d;
+        self
+    }
+
+    /// True if packets from `src` to `dst` are currently dropped.
+    pub fn blocks(&self, src: SiteId, dst: SiteId) -> bool {
+        src != dst && !self.cut.is_empty() && self.cut.contains(&(src, dst))
+    }
+
+    /// The extra latency surviving inter-site packets currently pay.
+    pub fn extra_delay(&self) -> Duration {
+        self.extra_delay
+    }
+
+    /// True if the table injects nothing at all (the hot-path fast case).
+    pub fn is_clear(&self) -> bool {
+        self.cut.is_empty() && self.extra_delay == Duration::ZERO
+    }
+}
+
+/// One timed step of a [`NemesisSchedule`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NemesisEvent {
+    /// Replace the link table with a symmetric partition into the given components.
+    Partition { components: Vec<Vec<SiteId>> },
+    /// Replace the link table with a one-way cut: `from` can no longer reach `to`.
+    OneWayCut { from: Vec<SiteId>, to: Vec<SiteId> },
+    /// Restore every link and clear any delay spike.
+    Heal,
+    /// Kill a site outright (composes partition scenarios with real crashes).
+    Crash { site: SiteId },
+    /// Add `extra` latency to every surviving inter-site packet from now on
+    /// (`Duration::ZERO` ends the spike).  Cuts currently in force are kept.
+    DelaySpike { extra: Duration },
+}
+
+/// One appointment in a [`NemesisSchedule`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduledNemesis {
+    /// When the event fires, relative to the start of the schedule.
+    pub after: Duration,
+    /// What happens.
+    pub event: NemesisEvent,
+}
+
+/// A composed sequence of timed network faults: partitions, heals, crashes and delay
+/// spikes, the way [`CrashSchedule`] composes coordinated kills.
+///
+/// Executed by `IsisHarness::run_nemesis` on either backend.  Each `Partition` /
+/// `OneWayCut` event *replaces* the link table (carrying any active delay spike forward),
+/// `Heal` clears everything, and `DelaySpike` adjusts only the latency component — so a
+/// schedule reads as a sequence of network states, not a diff algebra.  Events are held in
+/// non-decreasing `after` order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NemesisSchedule {
+    events: Vec<ScheduledNemesis>,
+}
+
+impl NemesisSchedule {
+    /// An empty schedule; chain [`at`](Self::at) to populate it.
+    pub fn new() -> Self {
+        NemesisSchedule::default()
+    }
+
+    /// Appends an event at `after` (kept sorted; equal offsets preserve insertion order).
+    pub fn at(mut self, after: Duration, event: NemesisEvent) -> Self {
+        let idx = self
+            .events
+            .iter()
+            .position(|e| e.after > after)
+            .unwrap_or(self.events.len());
+        self.events.insert(idx, ScheduledNemesis { after, event });
+        self
+    }
+
+    /// The common shape: cut the cluster into `components` at `cut_at`, heal at `heal_at`.
+    pub fn partition_window(
+        cut_at: Duration,
+        heal_at: Duration,
+        components: Vec<Vec<SiteId>>,
+    ) -> Self {
+        NemesisSchedule::new()
+            .at(cut_at, NemesisEvent::Partition { components })
+            .at(heal_at.max(cut_at), NemesisEvent::Heal)
+    }
+
+    /// A one-way cut from `from` to `to` over the same window shape.
+    pub fn one_way_window(
+        cut_at: Duration,
+        heal_at: Duration,
+        from: Vec<SiteId>,
+        to: Vec<SiteId>,
+    ) -> Self {
+        NemesisSchedule::new()
+            .at(cut_at, NemesisEvent::OneWayCut { from, to })
+            .at(heal_at.max(cut_at), NemesisEvent::Heal)
+    }
+
+    /// A delay spike of `extra` per packet between `start` and `end` (no links cut).
+    pub fn delay_spike_window(start: Duration, end: Duration, extra: Duration) -> Self {
+        NemesisSchedule::new()
+            .at(start, NemesisEvent::DelaySpike { extra })
+            .at(
+                end.max(start),
+                NemesisEvent::DelaySpike {
+                    extra: Duration::ZERO,
+                },
+            )
+    }
+
+    /// The events in execution order.
+    pub fn events(&self) -> &[ScheduledNemesis] {
+        &self.events
+    }
+
+    /// Offset of the final event: how long the whole schedule takes to execute.
+    pub fn window(&self) -> Duration {
+        self.events
+            .last()
+            .map(|e| e.after)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Folds one event into a running link table, returning `true` if the table changed
+    /// (crashes leave it untouched — the runtime handles those directly).
+    pub fn apply_to_links(event: &NemesisEvent, links: &mut LinkFaults) -> bool {
+        match event {
+            NemesisEvent::Partition { components } => {
+                *links = LinkFaults::partition(components).with_extra_delay(links.extra_delay);
+                true
+            }
+            NemesisEvent::OneWayCut { from, to } => {
+                *links = LinkFaults::one_way(from, to).with_extra_delay(links.extra_delay);
+                true
+            }
+            NemesisEvent::Heal => {
+                *links = LinkFaults::none();
+                true
+            }
+            NemesisEvent::DelaySpike { extra } => {
+                links.extra_delay = *extra;
+                true
+            }
+            NemesisEvent::Crash { .. } => false,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +490,109 @@ mod tests {
             (SiteId(0), Duration::from_millis(5)),
         ]);
         assert_eq!(ex.order(), vec![SiteId(0), SiteId(1)]);
+    }
+
+    #[test]
+    fn partitions_cut_across_components_only() {
+        let links = LinkFaults::partition(&[vec![SiteId(0), SiteId(1)], vec![SiteId(2)]]);
+        // Across components, both directions.
+        assert!(links.blocks(SiteId(0), SiteId(2)));
+        assert!(links.blocks(SiteId(2), SiteId(0)));
+        assert!(links.blocks(SiteId(1), SiteId(2)));
+        // Within a component, nothing.
+        assert!(!links.blocks(SiteId(0), SiteId(1)));
+        assert!(!links.blocks(SiteId(1), SiteId(0)));
+        // A site outside every component keeps its links.
+        assert!(!links.blocks(SiteId(0), SiteId(3)));
+        assert!(!links.blocks(SiteId(3), SiteId(2)));
+        // Self-traffic is never cut.
+        assert!(!links.blocks(SiteId(2), SiteId(2)));
+    }
+
+    #[test]
+    fn one_way_cuts_are_directional() {
+        let links = LinkFaults::one_way(&[SiteId(0)], &[SiteId(1), SiteId(2)]);
+        assert!(links.blocks(SiteId(0), SiteId(1)));
+        assert!(links.blocks(SiteId(0), SiteId(2)));
+        assert!(!links.blocks(SiteId(1), SiteId(0)));
+        assert!(!links.blocks(SiteId(2), SiteId(0)));
+        assert!(!links.blocks(SiteId(1), SiteId(2)));
+    }
+
+    #[test]
+    fn nemesis_schedule_orders_events_and_folds_links() {
+        let spike = Duration::from_millis(5);
+        let sched = NemesisSchedule::new()
+            .at(Duration::from_millis(100), NemesisEvent::Heal)
+            .at(
+                Duration::from_millis(20),
+                NemesisEvent::Partition {
+                    components: vec![vec![SiteId(0)], vec![SiteId(1)]],
+                },
+            )
+            .at(
+                Duration::from_millis(50),
+                NemesisEvent::DelaySpike { extra: spike },
+            );
+        assert_eq!(sched.window(), Duration::from_millis(100));
+        let offsets: Vec<Duration> = sched.events().iter().map(|e| e.after).collect();
+        assert_eq!(
+            offsets,
+            vec![
+                Duration::from_millis(20),
+                Duration::from_millis(50),
+                Duration::from_millis(100)
+            ]
+        );
+
+        let mut links = LinkFaults::none();
+        NemesisSchedule::apply_to_links(&sched.events()[0].event, &mut links);
+        assert!(links.blocks(SiteId(0), SiteId(1)));
+        NemesisSchedule::apply_to_links(&sched.events()[1].event, &mut links);
+        assert!(links.blocks(SiteId(0), SiteId(1)), "spike keeps the cut");
+        assert_eq!(links.extra_delay(), spike);
+        // A new partition carries the spike forward.
+        NemesisSchedule::apply_to_links(
+            &NemesisEvent::Partition {
+                components: vec![vec![SiteId(0), SiteId(1)], vec![SiteId(2)]],
+            },
+            &mut links,
+        );
+        assert!(!links.blocks(SiteId(0), SiteId(1)));
+        assert_eq!(links.extra_delay(), spike);
+        NemesisSchedule::apply_to_links(&sched.events()[2].event, &mut links);
+        assert!(links.is_clear(), "heal clears cuts and the spike");
+
+        // Crashes do not touch the link table.
+        assert!(!NemesisSchedule::apply_to_links(
+            &NemesisEvent::Crash { site: SiteId(1) },
+            &mut links
+        ));
+    }
+
+    #[test]
+    fn nemesis_window_helpers() {
+        let cut = Duration::from_millis(10);
+        let heal = Duration::from_millis(90);
+        let p =
+            NemesisSchedule::partition_window(cut, heal, vec![vec![SiteId(0)], vec![SiteId(1)]]);
+        assert_eq!(p.events().len(), 2);
+        assert!(matches!(
+            p.events()[0].event,
+            NemesisEvent::Partition { .. }
+        ));
+        assert!(matches!(p.events()[1].event, NemesisEvent::Heal));
+
+        let o = NemesisSchedule::one_way_window(cut, heal, vec![SiteId(0)], vec![SiteId(1)]);
+        assert!(matches!(
+            o.events()[0].event,
+            NemesisEvent::OneWayCut { .. }
+        ));
+
+        let d = NemesisSchedule::delay_spike_window(cut, heal, Duration::from_millis(3));
+        assert!(
+            matches!(d.events()[1].event, NemesisEvent::DelaySpike { extra } if extra == Duration::ZERO)
+        );
     }
 
     #[test]

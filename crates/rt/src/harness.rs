@@ -28,7 +28,7 @@ use vsync_util::{
     Duration, EntryId, GroupId, NetParams, ProcessId, Result, SimTime, SiteId, VsError,
 };
 
-use crate::faults::{CrashSchedule, FaultPlan};
+use crate::faults::{CrashSchedule, FaultPlan, LinkFaults, NemesisEvent, NemesisSchedule};
 use crate::sim::SimCluster;
 use crate::threaded::{NodeReport, ThreadedCluster};
 use crate::transport::invoke_fn;
@@ -60,6 +60,9 @@ pub trait IsisRuntime {
 
     /// True if the site is currently operational.
     fn site_is_up(&self, site: SiteId) -> bool;
+
+    /// Installs a link-level partition table ([`LinkFaults::none`] heals every link).
+    fn set_link_faults(&mut self, links: LinkFaults);
 }
 
 // ---------------------------------------------------------------------------------------
@@ -155,6 +158,10 @@ impl IsisRuntime for SimRuntime {
 
     fn site_is_up(&self, site: SiteId) -> bool {
         self.cluster.site_is_up(site)
+    }
+
+    fn set_link_faults(&mut self, links: LinkFaults) {
+        self.cluster.set_link_faults(links);
     }
 }
 
@@ -283,6 +290,10 @@ impl IsisRuntime for ThreadedRuntime {
 
     fn site_is_up(&self, site: SiteId) -> bool {
         self.cluster.site_is_up(site)
+    }
+
+    fn set_link_faults(&mut self, links: LinkFaults) {
+        self.cluster.set_link_faults(links);
     }
 }
 
@@ -555,6 +566,28 @@ impl<R: IsisRuntime> IsisHarness<R> {
                 elapsed = k.after;
             }
             self.rt.kill_site(k.site);
+        }
+    }
+
+    /// Executes a nemesis schedule: folds each timed partition / heal / delay-spike event
+    /// into the runtime's link-fault table and kills sites for `Crash` events, letting
+    /// runtime time pass between events.  Returns with the *final* table still installed —
+    /// callers that want a healed cluster end their schedule with [`NemesisEvent::Heal`].
+    pub fn run_nemesis(&mut self, schedule: &NemesisSchedule) {
+        let mut elapsed = Duration::ZERO;
+        let mut links = LinkFaults::none();
+        for ev in schedule.events() {
+            if ev.after > elapsed {
+                self.rt.advance(Duration::from_micros(
+                    ev.after.as_micros() - elapsed.as_micros(),
+                ));
+                elapsed = ev.after;
+            }
+            if NemesisSchedule::apply_to_links(&ev.event, &mut links) {
+                self.rt.set_link_faults(links.clone());
+            } else if let NemesisEvent::Crash { site } = ev.event {
+                self.rt.kill_site(site);
+            }
         }
     }
 

@@ -22,10 +22,15 @@
 //!   as the threaded backend's wire.
 //! * [`wire`] — packet serialization for thread-boundary crossings; keeps every `Rc`-based
 //!   protocol structure provably thread-local.
-//! * [`faults`] — delay / loss / reorder injection for the threaded backend.
+//! * [`faults`] — fault injection: delay / loss / reorder plans for the threaded backend,
+//!   link-level partitions ([`LinkFaults`]) honored by both backends, and timed
+//!   partition / heal / crash / delay-spike schedules ([`NemesisSchedule`]).
 //! * [`harness`] — backend-generic stack construction and toolkit operations
 //!   ([`IsisHarness`]), so scenarios (including the cross-backend conformance tests) are
 //!   written once.
+//! * [`invariants`] — the partition-safety checker: replays per-member view logs and
+//!   view-tagged delivery logs, asserting no two concurrent primary views and post-heal
+//!   convergence to identical duplicate-free delivery orders.
 //! * [`throughput`] — the `rt_throughput` benchmark workload (N threads × M groups).
 //!
 //! Determinism ends at the threaded backend's scheduler: fault *decisions* stay seeded and
@@ -37,14 +42,19 @@
 pub mod chan;
 pub mod faults;
 pub mod harness;
+pub mod invariants;
 pub mod sim;
 pub mod threaded;
 pub mod throughput;
 pub mod transport;
 pub mod wire;
 
-pub use faults::{CrashSchedule, FaultDecision, FaultPlan, ScheduledKill};
+pub use faults::{
+    CrashSchedule, FaultDecision, FaultPlan, LinkFaults, NemesisEvent, NemesisSchedule,
+    ScheduledKill, ScheduledNemesis,
+};
 pub use harness::{IsisHarness, IsisRuntime, SimRuntime, StackJob, ThreadedRuntime};
+pub use invariants::{InvariantViolation, MemberTimeline, PartitionInvariants};
 pub use sim::{SimCluster, SimTransport};
 pub use threaded::{NodeReport, ThreadedCluster, ThreadedTransport};
 pub use throughput::{rt_throughput, ThroughputReport, THROUGHPUT_ENTRY};

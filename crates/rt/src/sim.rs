@@ -19,6 +19,7 @@ use std::rc::Rc;
 use vsync_net::{CalendarQueue, NetworkModel, Outbox, Packet, SharedStats, SiteHandler};
 use vsync_util::{Duration, NetParams, SimTime, SiteId};
 
+use crate::faults::LinkFaults;
 use crate::transport::{Event, Node, Transport};
 
 /// An event in the shared calendar queue.
@@ -41,6 +42,8 @@ struct SimCore {
     /// Per-site incarnation counters; bumped on kill so stale timers are discarded.
     epochs: Vec<u64>,
     stats: SharedStats,
+    /// Link-level faults (partitions, delay spikes), consulted at every send.
+    links: LinkFaults,
 }
 
 /// The simulated per-node transport: sends plan deliveries through the network model into
@@ -63,6 +66,19 @@ impl Transport for SimTransport {
     fn send(&mut self, pkt: Packet) {
         let mut core = self.core.borrow_mut();
         let now = core.now;
+        // A cut link swallows the packet at the sender, like a send racing a crash: no
+        // retransmission charge, no arrival, no trace of it in the calendar.
+        if !core.links.is_clear() {
+            if core.links.blocks(pkt.src.site, pkt.dst.site) {
+                return;
+            }
+            if pkt.src.site != pkt.dst.site && core.links.extra_delay() > Duration::ZERO {
+                let extra = core.links.extra_delay();
+                let plan = core.net.plan_delivery(now, &pkt);
+                core.queue.push(plan.arrival + extra, SimEv::Pkt(pkt));
+                return;
+            }
+        }
         let plan = core.net.plan_delivery(now, &pkt);
         core.queue.push(plan.arrival, SimEv::Pkt(pkt));
     }
@@ -105,6 +121,7 @@ impl SimCluster {
             net: NetworkModel::new(params, stats.clone(), seed),
             epochs: vec![0; num_sites],
             stats,
+            links: LinkFaults::none(),
         };
         SimCluster {
             core: Rc::new(RefCell::new(core)),
@@ -163,6 +180,18 @@ impl SimCluster {
         let mut node = Node::new(transport, handler);
         node.start();
         self.nodes[idx] = Some(node);
+    }
+
+    /// Replaces the link-fault table (partitions / delay spikes) effective immediately.
+    /// Packets already in the calendar are not recalled — like real routers, a cut stops
+    /// *new* traffic; what is in flight lands.
+    pub fn set_link_faults(&mut self, links: LinkFaults) {
+        self.core.borrow_mut().links = links;
+    }
+
+    /// The link-fault table currently in force.
+    pub fn link_faults(&self) -> LinkFaults {
+        self.core.borrow().links.clone()
     }
 
     /// Crashes a site: the node is dropped, its pending timers are invalidated through the
@@ -395,6 +424,95 @@ mod tests {
         assert_eq!(
             got, 0,
             "a hard-killed site's in-flight sends die on the wire"
+        );
+    }
+
+    #[test]
+    fn cut_links_swallow_packets_and_heal_restores_them() {
+        let mut c = two_sites();
+        let a = ProcessId::new(SiteId(0), 0);
+        let b = ProcessId::new(SiteId(1), 0);
+        c.set_link_faults(LinkFaults::partition(&[vec![SiteId(0)], vec![SiteId(1)]]));
+        c.with_node::<Echo, _>(SiteId(0), |_h, _now, out| {
+            out.send(Packet::new(
+                a,
+                b,
+                PacketKind::Data,
+                Message::with_body("ping"),
+            ));
+        });
+        c.run_until(SimTime(500_000));
+        let got = c
+            .with_node::<Echo, _>(SiteId(1), |h, _n, _o| h.received.len())
+            .unwrap();
+        assert_eq!(got, 0, "a cut link swallows the packet");
+
+        c.set_link_faults(LinkFaults::none());
+        c.with_node::<Echo, _>(SiteId(0), |_h, _now, out| {
+            out.send(Packet::new(
+                a,
+                b,
+                PacketKind::Data,
+                Message::with_body("ping"),
+            ));
+        });
+        c.run_until(SimTime(1_000_000));
+        let got = c
+            .with_node::<Echo, _>(SiteId(1), |h, _n, _o| h.received.len())
+            .unwrap();
+        assert_eq!(got, 1, "healed links deliver again");
+    }
+
+    #[test]
+    fn one_way_cut_blocks_one_direction_only() {
+        let mut c = two_sites();
+        let a = ProcessId::new(SiteId(0), 0);
+        let b = ProcessId::new(SiteId(1), 0);
+        // Site 0 cannot reach site 1, but replies (1 -> 0) flow.
+        c.set_link_faults(LinkFaults::one_way(&[SiteId(0)], &[SiteId(1)]));
+        c.with_node::<Echo, _>(SiteId(1), |_h, _now, out| {
+            out.send(Packet::new(
+                b,
+                a,
+                PacketKind::Data,
+                Message::with_body("ping"),
+            ));
+        });
+        c.run_until(SimTime(500_000));
+        let at_zero = c
+            .with_node::<Echo, _>(SiteId(0), |h, _n, _o| h.received.len())
+            .unwrap();
+        assert_eq!(at_zero, 1, "1 -> 0 still delivers");
+        let at_one = c
+            .with_node::<Echo, _>(SiteId(1), |h, _n, _o| h.received.len())
+            .unwrap();
+        assert_eq!(at_one, 0, "the pong (0 -> 1) died on the cut link");
+    }
+
+    #[test]
+    fn delay_spikes_slow_surviving_links() {
+        let run = |spike: Duration| {
+            let mut c = two_sites();
+            let a = ProcessId::new(SiteId(0), 0);
+            let b = ProcessId::new(SiteId(1), 0);
+            c.set_link_faults(LinkFaults::none().with_extra_delay(spike));
+            c.with_node::<Echo, _>(SiteId(0), |_h, _now, out| {
+                out.send(Packet::new(
+                    a,
+                    b,
+                    PacketKind::Data,
+                    Message::with_body("ping"),
+                ));
+            });
+            c.run_until(SimTime(5_000_000));
+            c.with_node::<Echo, _>(SiteId(1), |h, _n, _o| h.received[0].0)
+                .unwrap()
+        };
+        let base = run(Duration::ZERO);
+        let spiked = run(Duration::from_millis(100));
+        assert!(
+            spiked >= base + Duration::from_millis(100),
+            "spike adds at least its latency: base {base:?}, spiked {spiked:?}"
         );
     }
 

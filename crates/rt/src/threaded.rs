@@ -18,9 +18,13 @@
 //! exactly like a fail-stop site.  Subsequent sends to the site are silently dropped at the
 //! router, and [`ThreadedCluster::spawn_site`] on the empty slot models site recovery.
 //! Link-level faults (delay / loss / reordering) are injected by the sending transport
-//! according to a [`FaultPlan`].
+//! according to a [`FaultPlan`].  Partitions ([`crate::faults::LinkFaults`]) live on the
+//! router: [`ThreadedCluster::set_link_faults`] swaps the shared cut table, and each
+//! sending transport consults it before handing a packet to the router — a cut link drops
+//! the packet at the sender, exactly where the simulator drops it.
 
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -31,7 +35,7 @@ use vsync_net::{Packet, SiteHandler};
 use vsync_util::{DetRng, Duration, FastHashMap, ProcessId, SimTime, SiteId};
 
 use crate::chan::{self, Receiver, Recv, Sender};
-use crate::faults::FaultPlan;
+use crate::faults::{FaultPlan, LinkFaults};
 use crate::transport::{Event, InvokeFn, Node, Transport};
 use crate::wire::WirePacket;
 
@@ -47,6 +51,11 @@ enum NodeMsg {
 pub struct Router {
     start: Instant,
     slots: RwLock<Vec<Option<Sender<NodeMsg>>>>,
+    /// Current link-level partition table, swapped whole by [`ThreadedCluster::set_link_faults`].
+    links: RwLock<LinkFaults>,
+    /// Fast-path flag: `true` iff `links` has any cut or extra delay.  Senders check this
+    /// with a relaxed-cost atomic load so a fully-healed cluster never takes the read lock.
+    links_active: AtomicBool,
 }
 
 impl Router {
@@ -54,6 +63,28 @@ impl Router {
         Router {
             start: Instant::now(),
             slots: RwLock::new((0..num_sites).map(|_| None).collect()),
+            links: RwLock::new(LinkFaults::none()),
+            links_active: AtomicBool::new(false),
+        }
+    }
+
+    fn set_links(&self, links: LinkFaults) {
+        let active = !links.is_clear();
+        *self.links.write() = links;
+        self.links_active.store(active, Ordering::Release);
+    }
+
+    /// `true` if the current partition table cuts the `src -> dst` link.
+    fn link_blocks(&self, src: SiteId, dst: SiteId) -> bool {
+        self.links_active.load(Ordering::Acquire) && self.links.read().blocks(src, dst)
+    }
+
+    /// Extra one-way delay currently charged to surviving cross-site links.
+    fn link_extra_delay(&self) -> Duration {
+        if self.links_active.load(Ordering::Acquire) {
+            self.links.read().extra_delay()
+        } else {
+            Duration::ZERO
         }
     }
 
@@ -230,8 +261,14 @@ impl Transport for ThreadedTransport {
             self.local.push_back(pkt);
             return;
         }
+        // Partition table: a cut link swallows the packet at the sender, like the sim.
+        // Control-plane `NodeMsg::Invoke` traffic never passes through here, so harness
+        // queries keep working across a partition.
+        if self.router.link_blocks(self.site, pkt.dst.site) {
+            return;
+        }
         let decision = self.faults.decide(&mut self.rng);
-        let mut deliver_at = self.now() + decision.extra;
+        let mut deliver_at = self.now() + decision.extra + self.router.link_extra_delay();
         let key = (pkt.src, pkt.dst);
         if decision.reordered {
             // Deliberately reordered: bypass the FIFO clamp *and leave it untouched*, so
@@ -387,6 +424,18 @@ impl ThreadedCluster {
     /// site is down (the closure is dropped, like any packet to a crashed site).
     pub fn invoke(&self, site: SiteId, f: InvokeFn) -> bool {
         self.router.send_to(site, NodeMsg::Invoke(f))
+    }
+
+    /// Installs a link-level partition table; [`LinkFaults::none`] heals all links.
+    /// Takes effect for packets sent after the call; packets already queued or held at
+    /// the receiver still arrive (a real cut cannot recall in-flight datagrams either).
+    pub fn set_link_faults(&self, links: LinkFaults) {
+        self.router.set_links(links);
+    }
+
+    /// The currently installed partition table.
+    pub fn link_faults(&self) -> LinkFaults {
+        self.router.links.read().clone()
     }
 
     /// Crashes a site: its channel closes, the node drains its backlog, observes the
@@ -579,6 +628,71 @@ mod tests {
         ));
         assert!(wait_for(&rx2, "ping").is_some(), "recovered node receives");
         drop(rx);
+    }
+
+    #[test]
+    fn cut_links_swallow_packets_and_heal_restores_them() {
+        let (cluster, rx) = echo_cluster(2);
+        let a = ProcessId::new(SiteId(0), 1);
+        let b = ProcessId::new(SiteId(1), 1);
+        let ping = move |cluster: &ThreadedCluster, body: &'static str| {
+            assert!(cluster.invoke(
+                SiteId(0),
+                Box::new(move |_h, _now, out| {
+                    out.send(Packet::new(
+                        a,
+                        b,
+                        PacketKind::Data,
+                        Message::with_body(body),
+                    ));
+                })
+            ));
+        };
+        cluster.set_link_faults(LinkFaults::partition(&[vec![SiteId(0)], vec![SiteId(1)]]));
+        ping(&cluster, "cut-ping");
+        // Invoke still works across the cut (control plane), but the packet is dropped.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        assert!(
+            rx.try_iter().all(|(_, body)| body != "cut-ping"),
+            "packet across a cut link must be swallowed"
+        );
+        cluster.set_link_faults(LinkFaults::none());
+        ping(&cluster, "heal-ping");
+        assert!(
+            wait_for(&rx, "heal-ping").is_some(),
+            "healed link delivers again"
+        );
+        drop(cluster);
+    }
+
+    #[test]
+    fn one_way_cut_blocks_one_direction_only() {
+        let (cluster, rx) = echo_cluster(2);
+        let a = ProcessId::new(SiteId(0), 1);
+        let b = ProcessId::new(SiteId(1), 1);
+        // 0 -> 1 is cut; 1 -> 0 still works.
+        cluster.set_link_faults(LinkFaults::one_way(&[SiteId(0)], &[SiteId(1)]));
+        assert!(cluster.invoke(
+            SiteId(1),
+            Box::new(move |_h, _now, out| {
+                out.send(Packet::new(
+                    b,
+                    a,
+                    PacketKind::Data,
+                    Message::with_body("ping"),
+                ));
+            })
+        ));
+        // Site 0 hears the ping, but its pong dies on the cut 0 -> 1 link.
+        let got = wait_for(&rx, "ping").expect("reverse direction stays open");
+        assert_eq!(got.0, SiteId(0));
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        assert!(
+            rx.try_iter()
+                .all(|(site, body)| !(site == SiteId(1) && body == "pong")),
+            "pong must be swallowed by the one-way cut"
+        );
+        drop(cluster);
     }
 
     #[test]

@@ -91,9 +91,12 @@ impl<T: Transport> Node<T> {
     /// its initial timers.
     pub fn new(transport: T, handler: Box<dyn SiteHandler>) -> Self {
         let mut out = Outbox::new();
-        // Nodes do not collect traces: the threaded backend has no global trace sink, and
-        // handlers using `trace_with` should skip the formatting entirely.
-        out.set_trace_collection(false);
+        // Nodes normally do not collect traces: the threaded backend has no global trace
+        // sink, and handlers using `trace_with` should skip the formatting entirely.
+        // `VSYNC_RT_TRACE=1` flips them on and streams every line to stderr (interleaved
+        // across node threads, each line prefixed by its site) — the only way to watch a
+        // protocol exchange unfold on the OS-scheduled backend.
+        out.set_trace_collection(std::env::var_os("VSYNC_RT_TRACE").is_some());
         Node {
             transport,
             handler,
@@ -182,8 +185,16 @@ impl<T: Transport> Node<T> {
         for (after, token) in self.out.drain_timers() {
             self.transport.set_timer(after, token);
         }
-        // Traces are off (see `Node::new`), but a handler may have pushed some through the
-        // eager `trace` path; drop them rather than let the buffer grow unbounded.
-        self.out.drain_traces();
+        // With `VSYNC_RT_TRACE` set the collected lines stream to stderr; otherwise traces
+        // are off (see `Node::new`), but a handler may have pushed some through the eager
+        // `trace` path — drop them rather than let the buffer grow unbounded.
+        if self.out.traces_enabled() {
+            let now = self.transport.now();
+            for line in self.out.drain_traces() {
+                eprintln!("[rt {now:?}] {line}");
+            }
+        } else {
+            self.out.drain_traces();
+        }
     }
 }

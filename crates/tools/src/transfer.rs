@@ -340,13 +340,32 @@ impl StateTransfer {
         let inner = self.inner.clone();
         builder.on_view_change(group, move |ctx, ev| {
             let me = ctx.me();
-            {
+            let rearmed = {
                 let mut state = inner.borrow_mut();
                 state.last_view_seq = ev.view.seq();
                 // The founding member is "ready" by definition: nobody to transfer from.
                 if ev.view.len() == 1 && ev.view.contains(me) {
                     state.ready = true;
+                    false
+                } else if state.ready && ev.view.joined.contains(&me) {
+                    // A *ready* member re-admitted as a joiner has been in exile: its
+                    // stack sat out some views in a wedged minority, discarded the
+                    // divergent protocol tail and rejoined after the heal.  Whatever
+                    // state it holds is a stale prefix, so drop readiness and fence onto
+                    // this cut — the rejoin snapshot (and nothing older) must apply.
+                    state.ready = false;
+                    state.covered = None;
+                    state.prepare_for_serve(ev.view.seq());
+                    true
+                } else {
+                    false
                 }
+            };
+            if rearmed {
+                ctx.trace(format!(
+                    "rejoined at view {} after exile; awaiting a fresh snapshot",
+                    ev.view.seq()
+                ));
             }
             joiner_side(&inner, ctx, ev, me, group);
             sender_side(&inner, ctx, ev, me);

@@ -41,6 +41,7 @@ fn quiet_cluster(num_sites: usize, num_members: usize) -> Deployment {
         flush_timeout: hour,
         abcast_retry: hour,
         ack_proposal_only: true,
+        primary_partition: true,
     };
     let mut sys = IsisSystem::builder(num_sites)
         .profile(LatencyProfile::Modern)

@@ -119,16 +119,19 @@ fn recovery_manager_advice_depends_on_who_failed_last() {
 #[test]
 fn recovered_site_can_host_a_rejoining_member() {
     let mut sys = IsisSystem::new(3, LatencyProfile::Modern);
-    let data_a = ReplicatedData::new(vsync_core::GroupId(1), DATA, UpdateOrdering::Causal);
+    let data_b = ReplicatedData::new(vsync_core::GroupId(1), DATA, UpdateOrdering::Causal);
     let gid = sys.allocate_group_id();
     assert_eq!(gid, vsync_core::GroupId(1));
-    let d = data_a.clone();
-    let a = sys.spawn(SiteId(0), move |b| d.attach(b));
-    sys.create_group_with_id("svc", gid, a);
-    let data_b = ReplicatedData::new(gid, DATA, UpdateOrdering::Causal);
+    // The group is founded on site 1, which survives the crash below: in a two-member
+    // group the primary-partition fence only lets the half holding the oldest member cut
+    // the dead half out, so the survivor must be the founder.
     let d = data_b.clone();
     let b = sys.spawn(SiteId(1), move |builder| d.attach(builder));
-    sys.join_and_wait(gid, b, None, Duration::from_secs(5))
+    sys.create_group_with_id("svc", gid, b);
+    let data_a = ReplicatedData::new(gid, DATA, UpdateOrdering::Causal);
+    let d = data_a.clone();
+    let a = sys.spawn(SiteId(0), move |builder| d.attach(builder));
+    sys.join_and_wait(gid, a, None, Duration::from_secs(5))
         .unwrap();
 
     // Site 0 crashes and later recovers empty; the group survives on site 1.

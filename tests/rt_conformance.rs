@@ -25,7 +25,9 @@ use vsync::core::{
     Duration, EntryId, GroupId, Message, ProcessId, ProtocolKind, SiteId, StackConfig,
 };
 use vsync::proto::ProtoConfig;
-use vsync::rt::{FaultPlan, IsisHarness, IsisRuntime, SimRuntime, ThreadedRuntime};
+use vsync::rt::{
+    FaultPlan, IsisHarness, IsisRuntime, NemesisEvent, NemesisSchedule, SimRuntime, ThreadedRuntime,
+};
 use vsync::tools::{FileStore, RecoveryManager, StateTransfer};
 use vsync::util::NetParams;
 
@@ -851,4 +853,398 @@ fn both_backends_deliver_the_same_message_set() {
         s
     };
     assert_eq!(set(&sim_order), set(&thr_order));
+}
+
+// ---------------------------------------------------------------------------------------
+// Partition → wedge → heal → rejoin
+// ---------------------------------------------------------------------------------------
+//
+// The same primary-partition contract on both backends: a symmetric cut exiles the
+// minority member (the majority flushes it out; the minority wedges instead of forming a
+// rump view), and after the heal the exile discards its tail and rejoins through a state
+// transfer.  Conformance is again the invariant, not the schedule: the continuous members'
+// view-tagged delivery logs stay identical, and the rejoined member's *body order* equals
+// theirs — phase-one live deliveries, then the exile-gap bodies in the snapshot server's
+// state order (which is the majority's delivery order), then post-heal traffic.
+
+/// Spawns a member whose replicated state is the ordered list of delivered bodies, wired
+/// through `StateTransfer` so a heal-rejoin can catch it up exactly once.
+fn spawn_partition_member<R: IsisRuntime>(
+    h: &mut IsisHarness<R>,
+    site: u16,
+    gid: GroupId,
+    ready: bool,
+    tx: mpsc::Sender<Obs>,
+) -> ProcessId {
+    h.spawn(SiteId(site), move |b| {
+        let state: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        let s_encode = state.clone();
+        let s_apply = state.clone();
+        let tx_apply = tx.clone();
+        let xfer = StateTransfer::new(
+            gid,
+            move || {
+                s_encode
+                    .borrow()
+                    .iter()
+                    .map(|v| Message::new().with("ph-entry", *v))
+                    .collect()
+            },
+            move |_ctx, block| {
+                if let Some(v) = block.get_u64("ph-entry") {
+                    let mut s = s_apply.borrow_mut();
+                    // A rejoin snapshot overlaps the prefix the exile already delivered.
+                    if !s.contains(&v) {
+                        s.push(v);
+                        let _ = tx_apply.send(Obs::Delivered {
+                            member: site,
+                            body: v,
+                        });
+                    }
+                }
+            },
+        );
+        xfer.attach(b);
+        if ready {
+            xfer.mark_ready();
+        }
+        let s_update = state.clone();
+        let tx_deliver = tx.clone();
+        xfer.on_entry_buffered(b, APPLY, move |_ctx, msg| {
+            let v = msg.get_u64("body").unwrap_or(u64::MAX);
+            s_update.borrow_mut().push(v);
+            let _ = tx_deliver.send(Obs::Delivered {
+                member: site,
+                body: v,
+            });
+        });
+        b.on_view_change(gid, move |_ctx, ev| {
+            let _ = tx.send(Obs::ViewInstalled {
+                member: site,
+                seq: ev.view.seq(),
+                len: ev.view.len(),
+            });
+        });
+    })
+}
+
+/// Cut `{0,1} | {2}`, run majority traffic while the minority is wedged, heal, and demand
+/// full convergence plus a post-heal burst in which the rejoined member also sends.
+fn run_partition_heal_scenario<R: IsisRuntime>(mut h: IsisHarness<R>) -> Vec<Obs> {
+    let (tx, rx) = mpsc::channel::<Obs>();
+    let gid = h.allocate_group_id();
+    let members: Vec<ProcessId> = (0..3u16)
+        .map(|site| spawn_partition_member(&mut h, site, gid, site == 0, tx.clone()))
+        .collect();
+    h.create_group_with_id("part-conf", gid, members[0]);
+    for m in &members[1..] {
+        h.join_and_wait(gid, *m, None, Duration::from_secs(20))
+            .expect("join");
+    }
+    let ok = h.wait_until(Duration::from_secs(20), |h| {
+        (0..3u16).all(|s| {
+            h.view_of(SiteId(s), gid)
+                .map(|v| v.seq() == 3 && v.len() == 3)
+                .unwrap_or(false)
+        })
+    });
+    assert!(ok, "three-member view never installed everywhere");
+
+    let mut observations: Vec<Obs> = Vec::new();
+    let drain = |obs: &mut Vec<Obs>, rx: &mpsc::Receiver<Obs>| {
+        while let Ok(o) = rx.try_recv() {
+            obs.push(o);
+        }
+    };
+    let delivered = |obs: &[Obs], member: u16| -> usize {
+        let mut bodies: Vec<u64> = obs
+            .iter()
+            .filter_map(|o| match o {
+                Obs::Delivered { member: m, body } if *m == member => Some(*body),
+                _ => None,
+            })
+            .collect();
+        bodies.sort_unstable();
+        bodies.dedup();
+        bodies.len()
+    };
+
+    // Phase one: six ABCASTs from all three members, fully delivered before the cut.
+    for i in 0..6u64 {
+        h.client_send(
+            members[(i % 3) as usize],
+            gid,
+            APPLY,
+            Message::with_body(i),
+            ProtocolKind::Abcast,
+        );
+    }
+    let ok = h.wait_until(Duration::from_secs(20), |_h| {
+        drain(&mut observations, &rx);
+        (0..3u16).all(|m| delivered(&observations, m) >= 6)
+    });
+    assert!(ok, "phase-one deliveries incomplete");
+
+    // Cut the third member away and hold the cut open (no scheduled heal): the cut lasts
+    // exactly as long as the scenario needs it to, on either backend's clock.
+    h.run_nemesis(&NemesisSchedule::new().at(
+        Duration::from_millis(10),
+        NemesisEvent::Partition {
+            components: vec![vec![SiteId(0), SiteId(1)], vec![SiteId(2)]],
+        },
+    ));
+    let ok = h.wait_until(Duration::from_secs(30), |h| {
+        [0u16, 1].iter().all(|s| {
+            h.view_of(SiteId(*s), gid)
+                .map(|v| v.len() == 2)
+                .unwrap_or(false)
+        })
+    });
+    assert!(ok, "the majority never cut the minority out");
+
+    // Phase two: majority-only traffic while the exile is wedged.
+    for i in 6..12u64 {
+        h.client_send(
+            members[(i % 2) as usize],
+            gid,
+            APPLY,
+            Message::with_body(i),
+            ProtocolKind::Abcast,
+        );
+    }
+    let ok = h.wait_until(Duration::from_secs(20), |_h| {
+        drain(&mut observations, &rx);
+        [0u16, 1].iter().all(|m| delivered(&observations, *m) >= 12)
+    });
+    assert!(ok, "phase-two survivor deliveries incomplete");
+
+    // Heal.  The wedged exile learns of the primary's view, discards its tail, rejoins,
+    // and catches up through the snapshot.
+    h.run_nemesis(&NemesisSchedule::new().at(Duration::from_millis(1), NemesisEvent::Heal));
+    let ok = h.wait_until(Duration::from_secs(60), |h| {
+        drain(&mut observations, &rx);
+        (0..3u16).all(|s| {
+            h.view_of(SiteId(s), gid)
+                .map(|v| members.iter().all(|m| v.contains(*m)))
+                .unwrap_or(false)
+        }) && delivered(&observations, 2) >= 12
+    });
+    assert!(ok, "the exiled member never rejoined and converged");
+
+    // Phase three: everyone sends, including the rejoined member.
+    for i in 12..18u64 {
+        h.client_send(
+            members[(i % 3) as usize],
+            gid,
+            APPLY,
+            Message::with_body(i),
+            ProtocolKind::Abcast,
+        );
+    }
+    let ok = h.wait_until(Duration::from_secs(20), |_h| {
+        drain(&mut observations, &rx);
+        (0..3u16).all(|m| delivered(&observations, m) >= 18)
+    });
+    assert!(ok, "phase-three deliveries incomplete");
+    h.settle(Duration::from_millis(50));
+    drain(&mut observations, &rx);
+    observations
+}
+
+fn check_partition_heal(observations: &[Obs]) {
+    let logs = member_logs(observations, &[0, 1, 2]);
+    // The continuous members observe identical view sequences from the fully-formed view
+    // on (3-member, cut to 2, back to 3) and identical view-tagged delivery orders.
+    let views_from_full =
+        |log: &MemberLog| -> Vec<u64> { log.views.iter().copied().filter(|s| *s >= 3).collect() };
+    assert_eq!(
+        views_from_full(&logs[0]),
+        views_from_full(&logs[1]),
+        "continuous members disagree on the view sequence"
+    );
+    assert_eq!(
+        logs[0].deliveries, logs[1].deliveries,
+        "continuous members disagree on delivery order relative to views"
+    );
+    // Every member — including the exile — ends with the same duplicate-free body order:
+    // the snapshot hands the exile the gap bodies in the majority's state order.
+    for (m, log) in logs.iter().enumerate() {
+        let bodies: Vec<u64> = log.deliveries.iter().map(|(_, b)| *b).collect();
+        let mut sorted = bodies.clone();
+        sorted.sort_unstable();
+        let before = sorted.len();
+        sorted.dedup();
+        assert_eq!(before, sorted.len(), "member {m} delivered a duplicate");
+        assert_eq!(
+            sorted,
+            (0..18).collect::<Vec<u64>>(),
+            "member {m} lost bodies"
+        );
+    }
+    let order = |log: &MemberLog| -> Vec<u64> { log.deliveries.iter().map(|(_, b)| *b).collect() };
+    assert_eq!(
+        order(&logs[2]),
+        order(&logs[0]),
+        "the rejoined member's body order diverged from the primary's"
+    );
+}
+
+#[test]
+fn simulated_backend_conforms_across_a_partition_heal_cycle() {
+    let params = NetParams::modern();
+    let obs = run_partition_heal_scenario(IsisHarness::new(SimRuntime::new(
+        3,
+        params,
+        StackConfig::from_params(&params),
+        ProtoConfig::fast(),
+        2027,
+    )));
+    check_partition_heal(&obs);
+}
+
+#[test]
+fn threaded_backend_conforms_across_a_partition_heal_cycle() {
+    let faults = FaultPlan::none()
+        .with_delay(Duration::from_micros(100))
+        .with_jitter(Duration::from_micros(300));
+    let obs = run_partition_heal_scenario(IsisHarness::new(ThreadedRuntime::new(
+        3,
+        ThreadedRuntime::fast_local_config(),
+        ProtoConfig::fast(),
+        faults,
+        2027,
+    )));
+    check_partition_heal(&obs);
+}
+
+#[test]
+fn one_way_cut_exiles_the_silenced_member_without_a_wedge() {
+    // Asymmetric failure: site 2 can still *hear* the majority but the majority cannot
+    // hear it.  The majority suspects the silent member and cuts it; the member itself
+    // never loses its majority (it hears every heartbeat), so it never wedges — it learns
+    // of its exile from the commit that excludes it and goes straight to rejoin, which
+    // stalls on the outbound cut until the heal.
+    let params = NetParams::modern();
+    let mut h = IsisHarness::new(SimRuntime::new(
+        3,
+        params,
+        StackConfig::from_params(&params),
+        ProtoConfig::fast(),
+        2028,
+    ));
+    let (tx, rx) = mpsc::channel::<Obs>();
+    let gid = h.allocate_group_id();
+    let members: Vec<ProcessId> = (0..3u16)
+        .map(|site| spawn_partition_member(&mut h, site, gid, site == 0, tx.clone()))
+        .collect();
+    h.create_group_with_id("oneway", gid, members[0]);
+    for m in &members[1..] {
+        h.join_and_wait(gid, *m, None, Duration::from_secs(20))
+            .expect("join");
+    }
+
+    let mut observations: Vec<Obs> = Vec::new();
+    let delivered = |obs: &[Obs], member: u16| -> Vec<u64> {
+        obs.iter()
+            .filter_map(|o| match o {
+                Obs::Delivered { member: m, body } if *m == member => Some(*body),
+                _ => None,
+            })
+            .collect()
+    };
+
+    // A fully delivered burst before the cut.
+    for i in 0..6u64 {
+        h.client_send(
+            members[(i % 3) as usize],
+            gid,
+            APPLY,
+            Message::with_body(i),
+            ProtocolKind::Abcast,
+        );
+    }
+    let ok = h.wait_until(Duration::from_secs(20), |_h| {
+        while let Ok(o) = rx.try_recv() {
+            observations.push(o);
+        }
+        (0..3u16).all(|m| delivered(&observations, m).len() >= 6)
+    });
+    assert!(ok, "pre-cut deliveries incomplete");
+
+    h.run_nemesis(&NemesisSchedule::new().at(
+        Duration::from_millis(10),
+        NemesisEvent::OneWayCut {
+            from: vec![SiteId(2)],
+            to: vec![SiteId(0), SiteId(1)],
+        },
+    ));
+    let ok = h.wait_until(Duration::from_secs(30), |h| {
+        [0u16, 1].iter().all(|s| {
+            h.view_of(SiteId(*s), gid)
+                .map(|v| v.len() == 2)
+                .unwrap_or(false)
+        })
+    });
+    assert!(ok, "the majority never cut the silenced member");
+    assert_eq!(
+        h.rt.stats().minority_wedges,
+        0,
+        "the silenced member hears the majority and must not wedge"
+    );
+
+    // Heal the outbound direction; the pending rejoin can now reach a contact.
+    h.run_nemesis(&NemesisSchedule::new().at(Duration::from_millis(1), NemesisEvent::Heal));
+    let ok = h.wait_until(Duration::from_secs(60), |h| {
+        (0..3u16).all(|s| {
+            h.view_of(SiteId(s), gid)
+                .map(|v| members.iter().all(|m| v.contains(*m)))
+                .unwrap_or(false)
+        })
+    });
+    assert!(ok, "the exiled member never rejoined after the heal");
+    assert!(
+        h.rt.stats().rejoins_after_heal >= 1,
+        "the rejoin path was not taken"
+    );
+
+    // Post-heal traffic from everyone lands everywhere, in one order.
+    for i in 6..12u64 {
+        h.client_send(
+            members[(i % 3) as usize],
+            gid,
+            APPLY,
+            Message::with_body(i),
+            ProtocolKind::Abcast,
+        );
+    }
+    let ok = h.wait_until(Duration::from_secs(20), |_h| {
+        while let Ok(o) = rx.try_recv() {
+            observations.push(o);
+        }
+        (0..3u16).all(|m| {
+            let mut b = delivered(&observations, m);
+            b.sort_unstable();
+            b.dedup();
+            b.len() >= 12
+        })
+    });
+    assert!(ok, "post-heal deliveries incomplete");
+    h.settle(Duration::from_millis(50));
+    while let Ok(o) = rx.try_recv() {
+        observations.push(o);
+    }
+    let logs = member_logs(&observations, &[0, 1, 2]);
+    for (m, log) in logs.iter().enumerate() {
+        let bodies: Vec<u64> = log.deliveries.iter().map(|(_, b)| *b).collect();
+        let mut sorted = bodies.clone();
+        sorted.sort_unstable();
+        let before = sorted.len();
+        sorted.dedup();
+        assert_eq!(before, sorted.len(), "member {m} delivered a duplicate");
+        assert_eq!(
+            sorted,
+            (0..12).collect::<Vec<u64>>(),
+            "member {m} lost bodies"
+        );
+    }
 }

@@ -556,8 +556,11 @@ fn fuzz_root(tag: &str) -> PathBuf {
 
 #[test]
 fn simulated_backend_reforms_after_total_failure() {
-    // Generous gaps: each kill is followed by a view change at the survivors, so the
-    // last-killed site's log carries the highest view seq and must win the election.
+    // Generous gaps: each kill is followed by a view change at the survivors — until the
+    // group is down to its last two members.  Killing the *older* of those wedges the
+    // younger behind the primary-partition fence (the survivor is the losing half of an
+    // even split), so the final two sites' logs share the authoritative view and the
+    // election tie-breaks toward the older member: the penultimate kill wins.
     let sites: Vec<SiteId> = (0..NUM_SITES).map(SiteId).collect();
     let schedule = CrashSchedule::staggered(sites, Duration::from_millis(200));
     let o = run_total_failure_scenario(
@@ -568,10 +571,11 @@ fn simulated_backend_reforms_after_total_failure() {
         None,
     );
     check_reform(&o);
+    let penultimate = o.kill_order.get(o.kill_order.len() - 2);
     assert_eq!(
         Some(&o.lead),
-        o.kill_order.last(),
-        "with view changes between kills, the last site to fail must win"
+        penultimate,
+        "the older member of the final wedged pair must win the election"
     );
 }
 

@@ -1,9 +1,10 @@
 //! Property test: crashing the **state-transfer source at a random instant** of an ongoing
 //! multicast burst never wedges the joiner (simulated backend, seeded).
 //!
-//! Every case runs the same scenario — a two-member group blasting interleaved CBCAST and
-//! ABCAST increments, a third member whose join is injected at a randomized point of the
-//! burst, and the rank-0 transfer source killed at a *second* randomized point — under a
+//! Every case runs the same scenario — a three-member group (the source plus two members
+//! on the survivor site, so the survivors stay a primary majority) blasting interleaved
+//! CBCAST and ABCAST increments, a joiner injected at a randomized point of the burst,
+//! and the rank-0 transfer source killed at a *second* randomized point — under a
 //! randomized network schedule.  Whatever the interleaving, the survivor re-serve protocol
 //! must hold: if the source dies mid-transfer, the joiner discards the dead cut's partial
 //! blocks, GBCASTs a re-request that rides a fresh flush, and the surviving member
@@ -162,9 +163,13 @@ fn submit_join<R: IsisRuntime>(
     (pid, mirrors)
 }
 
-/// Builds the two-member group (source at site 0, survivor at site 1) with the survivor's
-/// transfer completed, ready for a burst.
-fn two_member_group<R: IsisRuntime>(
+/// Builds the source/survivor group: the rank-0 transfer source at site 0 and *two*
+/// members at the survivor site 1, with the survivors' transfers completed, ready for a
+/// burst.  The second survivor-site member keeps the survivor side a strict majority of
+/// the view when the source dies: a lone junior survivor of a two-member group is
+/// indistinguishable from the losing half of an even partition split, so the
+/// primary-partition fence wedges it by design and the join could never install.
+fn source_survivor_group<R: IsisRuntime>(
     h: &mut IsisHarness<R>,
     gid: vsync::core::GroupId,
     pad: usize,
@@ -174,11 +179,14 @@ fn two_member_group<R: IsisRuntime>(
     let (m1, mir1) = spawn_log_member(h, SiteId(1), gid, false, true, pad);
     h.join_and_wait(gid, m1, None, Duration::from_secs(10))
         .expect("survivor join");
+    let (m1b, mir1b) = spawn_log_member(h, SiteId(1), gid, false, true, pad);
+    h.join_and_wait(gid, m1b, None, Duration::from_secs(10))
+        .expect("second survivor join");
     assert!(
-        h.wait_until(Duration::from_secs(10), |_| mir1
-            .ready
-            .load(Ordering::Relaxed)),
-        "survivor transfer never completed"
+        h.wait_until(Duration::from_secs(10), |_| {
+            mir1.ready.load(Ordering::Relaxed) && mir1b.ready.load(Ordering::Relaxed)
+        }),
+        "survivor transfers never completed"
     );
     (m0, mir0, m1, mir1)
 }
@@ -208,7 +216,7 @@ fn crash_races_transfer(seed: u64, join_after: u64, kill_after: u64) {
     let ctx = format!("seed {seed}, join_after {join_after}, kill_after {kill_after}");
     let mut h = sim_harness(seed);
     let gid = h.allocate_group_id();
-    let (m0, _mir0, m1, mir1) = two_member_group(&mut h, gid, 0);
+    let (m0, _mir0, m1, mir1) = source_survivor_group(&mut h, gid, 0);
 
     // The burst, with the joiner and the crash injected mid-flight.
     let mut joiner: Option<(ProcessId, Mirrors)> = None;
@@ -244,7 +252,7 @@ fn crash_races_transfer(seed: u64, join_after: u64, kill_after: u64) {
     let ok = h.wait_until(Duration::from_secs(30), |h| {
         [SiteId(1), SiteId(2)].iter().all(|s| {
             h.view_of(*s, gid)
-                .map(|v| v.contains(jid) && !v.contains(m0) && v.len() == 2)
+                .map(|v| v.contains(jid) && !v.contains(m0) && v.len() == 3)
                 .unwrap_or(false)
         })
     });
@@ -382,7 +390,7 @@ fn run_mid_transfer_crash(
     // simulator's latency model is deterministic, so without the ballast the small blocks
     // would *always* beat the commit and the window would never be observable.
     const PAD: usize = 512 * 1024;
-    let (m0, _mir0, m1, mir1) = two_member_group(&mut h, gid, PAD);
+    let (m0, _mir0, m1, mir1) = source_survivor_group(&mut h, gid, PAD);
     // Pre-join history: 16 entries, fully delivered, so the snapshot is 16 blocks wide —
     // a wide window for the crash to land inside.
     for i in 0..TOTAL {
@@ -454,7 +462,7 @@ fn threaded_source_crash_never_wedges_the_joiner() {
             77 + round as u64,
         ));
         let gid = h.allocate_group_id();
-        let (m0, _mir0, m1, mir1) = two_member_group(&mut h, gid, 0);
+        let (m0, _mir0, m1, mir1) = source_survivor_group(&mut h, gid, 0);
         for i in 0..TOTAL {
             let sender = if i % 2 == 0 { m0 } else { m1 };
             h.client_send(
@@ -488,7 +496,7 @@ fn threaded_source_crash_never_wedges_the_joiner() {
         let ok = h.wait_until(Duration::from_secs(30), |h| {
             [SiteId(1), SiteId(2)].iter().all(|s| {
                 h.view_of(*s, gid)
-                    .map(|v| v.contains(jid) && !v.contains(m0) && v.len() == 2)
+                    .map(|v| v.contains(jid) && !v.contains(m0) && v.len() == 3)
                     .unwrap_or(false)
             })
         });
